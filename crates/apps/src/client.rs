@@ -1,0 +1,574 @@
+//! The trace-replay driver.
+//!
+//! [`Replayer`] executes a [`Trace`] against the OS exactly like a real
+//! m3fs client: it opens a session, opens files over IPC, pulls extent
+//! capabilities for reads and writes, accesses the memory behind them
+//! (modeled as compute time per the paper's non-contended-memory
+//! methodology), and closes files, triggering revocations at the
+//! service. [`AppClient`] wraps one replayer around one application
+//! trace; the Nginx server reuses the replayer for per-request traces.
+
+use std::collections::BTreeMap;
+
+use semper_base::msg::{
+    FsOp, FsReply, FsReplyData, FsReq, Outbox, Payload, SysReply, SysReplyData, Syscall, Upcall,
+    UpcallReply,
+};
+use semper_base::{Code, CostModel, Error, Msg, PeId, VpeId};
+
+use crate::trace::{Trace, TraceOp};
+
+/// Lifecycle of an application client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientPhase {
+    /// Not started yet.
+    Cold,
+    /// Waiting for the session to open.
+    OpeningSession,
+    /// Executing the trace.
+    Running,
+    /// Trace complete.
+    Done,
+    /// A filesystem or OS error aborted the trace.
+    Failed(Error),
+}
+
+/// Per-client statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Filesystem requests issued.
+    pub fs_requests: u64,
+    /// Extent capabilities received.
+    pub extents: u64,
+    /// Bytes read through memory capabilities.
+    pub bytes_read: u64,
+    /// Bytes written through memory capabilities.
+    pub bytes_written: u64,
+    /// Cycles spent in modeled computation (think time + data access).
+    pub compute_cycles: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FileState {
+    fid: u64,
+    size: u64,
+    /// Extent ranges already delegated to us for this open file
+    /// (clients cache their memory capabilities — re-requesting a range
+    /// the client already holds would be a wasted IPC *and* a spurious
+    /// capability operation). Cleared on close, when the service revokes
+    /// the capabilities.
+    cached: Vec<(u64, u64)>,
+}
+
+impl FileState {
+    /// The cached range covering `offset`, if any.
+    fn covering(&self, offset: u64) -> Option<(u64, u64)> {
+        self.cached.iter().copied().find(|(s, e)| *s <= offset && offset < *e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Io {
+    path: String,
+    /// Next file offset to access.
+    offset: u64,
+    /// End of the requested range (clamped for reads).
+    end: u64,
+    write: bool,
+}
+
+/// What the replayer is currently waiting for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Waiting {
+    /// Nothing — ready to execute the next op.
+    None,
+    /// The `OpenSession` system call.
+    Session,
+    /// A filesystem reply with the given tag.
+    Fs(u64),
+}
+
+/// Executes traces against the OS. See the module docs.
+pub struct Replayer {
+    vpe: VpeId,
+    pe: PeId,
+    kernel_pe: PeId,
+    cost: CostModel,
+    service_name: u64,
+
+    session: Option<(u64, PeId)>,
+    trace: Option<Trace>,
+    ip: usize,
+    files: BTreeMap<String, FileState>,
+    io: Option<Io>,
+    waiting: Waiting,
+    next_tag: u64,
+    stats: ClientStats,
+    error: Option<Error>,
+}
+
+impl Replayer {
+    /// Creates an idle replayer for `vpe` on `pe`.
+    pub fn new(
+        vpe: VpeId,
+        pe: PeId,
+        kernel_pe: PeId,
+        cost: CostModel,
+        service_name: u64,
+    ) -> Replayer {
+        Replayer {
+            vpe,
+            pe,
+            kernel_pe,
+            cost,
+            service_name,
+            session: None,
+            trace: None,
+            ip: 0,
+            files: BTreeMap::new(),
+            io: None,
+            waiting: Waiting::None,
+            next_tag: 1,
+            stats: ClientStats::default(),
+            error: None,
+        }
+    }
+
+    /// The VPE this replayer drives.
+    pub fn vpe(&self) -> VpeId {
+        self.vpe
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
+    }
+
+    /// The first error encountered, if any.
+    pub fn error(&self) -> Option<Error> {
+        self.error
+    }
+
+    /// True once a session to the service is established.
+    pub fn has_session(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// True if a trace is loaded and not yet finished.
+    pub fn busy(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Issues the `OpenSession` system call.
+    pub fn open_session(&mut self, out: &mut Outbox) -> u64 {
+        debug_assert!(self.session.is_none());
+        self.waiting = Waiting::Session;
+        out.push(Msg::new(
+            self.pe,
+            self.kernel_pe,
+            Payload::Sys { tag: 0, call: Syscall::OpenSession { name: self.service_name } },
+        ));
+        self.cost.fs_meta_op / 4
+    }
+
+    /// Loads a trace for execution (requires an established session and
+    /// no trace in progress).
+    pub fn load(&mut self, trace: Trace) {
+        debug_assert!(self.trace.is_none(), "trace already loaded");
+        self.trace = Some(trace);
+        self.ip = 0;
+        self.io = None;
+    }
+
+    /// Drives execution until the trace needs a reply or finishes.
+    /// Returns `(cycle cost, finished)`.
+    pub fn run(&mut self, out: &mut Outbox) -> (u64, bool) {
+        let mut cost = 0u64;
+        if self.waiting != Waiting::None || self.error.is_some() {
+            return (cost, false);
+        }
+        loop {
+            let Some(trace) = &self.trace else { return (cost, false) };
+            let Some(op) = trace.ops.get(self.ip) else {
+                // Trace complete.
+                self.trace = None;
+                return (cost, true);
+            };
+            let op = op.clone();
+            match op {
+                TraceOp::Compute { cycles } => {
+                    cost += cycles;
+                    self.stats.compute_cycles += cycles;
+                    self.ip += 1;
+                }
+                TraceOp::Open { path, write, create } => {
+                    cost += self.send_fs(out, FsOp::Open { path, write, create });
+                    return (cost, false);
+                }
+                TraceOp::Read { path, bytes } => {
+                    let Some(f) = self.files.get(&path) else {
+                        self.fail(Error::new(Code::InvalidArgs));
+                        return (cost, false);
+                    };
+                    let end = bytes.min(f.size);
+                    if end == 0 {
+                        self.ip += 1;
+                        continue;
+                    }
+                    self.io = Some(Io { path, offset: 0, end, write: false });
+                    if self.drive_io(out, &mut cost) {
+                        return (cost, false);
+                    }
+                }
+                TraceOp::Write { path, bytes } => {
+                    let Some(f) = self.files.get_mut(&path) else {
+                        self.fail(Error::new(Code::InvalidArgs));
+                        return (cost, false);
+                    };
+                    // Appends start at the current end of file.
+                    let start = f.size;
+                    let end = start + bytes;
+                    f.size = end;
+                    self.io = Some(Io { path, offset: start, end, write: true });
+                    if self.drive_io(out, &mut cost) {
+                        return (cost, false);
+                    }
+                }
+                TraceOp::Stat { path } => {
+                    cost += self.send_fs(out, FsOp::Stat { path });
+                    return (cost, false);
+                }
+                TraceOp::ReadDir { path } => {
+                    cost += self.send_fs(out, FsOp::ReadDir { path });
+                    return (cost, false);
+                }
+                TraceOp::Mkdir { path } => {
+                    cost += self.send_fs(out, FsOp::Mkdir { path });
+                    return (cost, false);
+                }
+                TraceOp::Unlink { path } => {
+                    cost += self.send_fs(out, FsOp::Unlink { path });
+                    return (cost, false);
+                }
+                TraceOp::Close { path } => {
+                    let Some(f) = self.files.remove(&path) else {
+                        self.fail(Error::new(Code::InvalidArgs));
+                        return (cost, false);
+                    };
+                    cost += self.send_fs(out, FsOp::Close { fid: f.fid });
+                    return (cost, false);
+                }
+            }
+        }
+    }
+
+    /// Advances the current IO as far as the cached extent capabilities
+    /// allow, charging memory-access cycles. Returns true if an extent
+    /// request is now in flight (waiting), false if the IO completed
+    /// (`ip` advanced, `io` cleared).
+    fn drive_io(&mut self, out: &mut Outbox, cost: &mut u64) -> bool {
+        loop {
+            let Some(io) = &self.io else { return false };
+            if io.offset >= io.end {
+                self.io = None;
+                self.ip += 1;
+                return false;
+            }
+            let (offset, end, write, path) =
+                (io.offset, io.end, io.write, io.path.clone());
+            let Some(f) = self.files.get(&path) else {
+                self.fail(Error::new(Code::InvalidArgs));
+                return false;
+            };
+            match f.covering(offset) {
+                Some((_, cached_end)) => {
+                    // Access through a capability we already hold.
+                    let usable = cached_end.min(end) - offset;
+                    let access = self.cost.mem_access(usable);
+                    *cost += access;
+                    self.stats.compute_cycles += access;
+                    if write {
+                        self.stats.bytes_written += usable;
+                    } else {
+                        self.stats.bytes_read += usable;
+                    }
+                    if let Some(io) = &mut self.io {
+                        io.offset += usable;
+                    }
+                }
+                None => {
+                    let fid = f.fid;
+                    *cost += self.send_fs(out, FsOp::NextExtent { fid, offset, write });
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn send_fs(&mut self, out: &mut Outbox, op: FsOp) -> u64 {
+        let (session, srv_pe) = self.session.expect("session established before trace");
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.waiting = Waiting::Fs(tag);
+        self.stats.fs_requests += 1;
+        out.push(Msg::new(self.pe, srv_pe, Payload::Fs(FsReq { session, tag, op })));
+        // Marshalling cost of one IPC request.
+        self.cost.dtu_send
+    }
+
+    fn fail(&mut self, e: Error) {
+        self.error = Some(e);
+        self.trace = None;
+        self.waiting = Waiting::None;
+    }
+
+    /// Handles one incoming message. Returns `(cost, trace_finished)`.
+    pub fn on_msg(&mut self, msg: &Msg, out: &mut Outbox) -> (u64, bool) {
+        match &msg.payload {
+            Payload::Upcall(Upcall::AcceptExchange { op, .. }) => {
+                // The kernel asks whether we accept a capability (the
+                // service delegating an extent): always yes.
+                out.push(Msg::new(
+                    self.pe,
+                    msg.src,
+                    Payload::UpcallReply(UpcallReply::AcceptExchange { op: *op, accept: true }),
+                ));
+                (self.cost.upcall_work, false)
+            }
+            Payload::SysReply(SysReply { result, .. }) => {
+                debug_assert_eq!(self.waiting, Waiting::Session);
+                match result {
+                    Ok(SysReplyData::Session { srv_pe, ident, .. }) => {
+                        self.session = Some((*ident, *srv_pe));
+                        self.waiting = Waiting::None;
+                        let (c, done) = self.run(out);
+                        (c + self.cost.fs_meta_op / 4, done)
+                    }
+                    other => {
+                        self.fail(match other {
+                            Err(e) => *e,
+                            Ok(_) => Error::new(Code::InternalError),
+                        });
+                        (0, false)
+                    }
+                }
+            }
+            Payload::FsReply(reply) => self.on_fs_reply(reply, out),
+            other => {
+                debug_assert!(false, "client got unexpected payload {other:?}");
+                (0, false)
+            }
+        }
+    }
+
+    fn on_fs_reply(&mut self, reply: &FsReply, out: &mut Outbox) -> (u64, bool) {
+        match self.waiting {
+            Waiting::Fs(tag) if tag == reply.tag => {}
+            _ => {
+                debug_assert!(false, "unexpected fs reply tag {}", reply.tag);
+                return (0, false);
+            }
+        }
+        self.waiting = Waiting::None;
+        let mut cost = self.cost.dtu_recv;
+        match &reply.result {
+            Ok(FsReplyData::Opened { fid, size }) => {
+                // The Open op told us the path.
+                let Some(TraceOp::Open { path, .. }) =
+                    self.trace.as_ref().and_then(|t| t.ops.get(self.ip)).cloned()
+                else {
+                    self.fail(Error::new(Code::InternalError));
+                    return (cost, false);
+                };
+                self.files.insert(
+                    path,
+                    FileState { fid: *fid, size: *size, cached: Vec::new() },
+                );
+                self.ip += 1;
+            }
+            Ok(FsReplyData::Extent { sel: _, addr: _, offset, len }) => {
+                self.stats.extents += 1;
+                let Some(io) = &self.io else {
+                    self.fail(Error::new(Code::InternalError));
+                    return (cost, false);
+                };
+                let path = io.path.clone();
+                let Some(f) = self.files.get_mut(&path) else {
+                    self.fail(Error::new(Code::InternalError));
+                    return (cost, false);
+                };
+                // Cache the delegated capability's range, then continue
+                // the IO through it.
+                f.cached.push((*offset, offset + len));
+                if self.drive_io(out, &mut cost) {
+                    return (cost, false);
+                }
+            }
+            Ok(FsReplyData::Stat(_)) | Ok(FsReplyData::Dir { .. }) | Ok(FsReplyData::Ok) => {
+                self.ip += 1;
+            }
+            Err(e) if e.code() == Code::EndOfFile && self.io.as_ref().is_some_and(|io| !io.write) => {
+                // Reading past the end: treat as a short read.
+                self.io = None;
+                self.ip += 1;
+            }
+            Err(e) => {
+                self.fail(*e);
+                return (cost, false);
+            }
+        }
+        let (c, done) = self.run(out);
+        (cost + c, done)
+    }
+}
+
+/// One application benchmark instance: a replayer bound to one trace.
+pub struct AppClient {
+    replayer: Replayer,
+    trace: Option<Trace>,
+    phase: ClientPhase,
+}
+
+impl AppClient {
+    /// Creates a client that will run `trace` once.
+    pub fn new(
+        vpe: VpeId,
+        pe: PeId,
+        kernel_pe: PeId,
+        cost: CostModel,
+        service_name: u64,
+        trace: Trace,
+    ) -> AppClient {
+        AppClient {
+            replayer: Replayer::new(vpe, pe, kernel_pe, cost, service_name),
+            trace: Some(trace),
+            phase: ClientPhase::Cold,
+        }
+    }
+
+    /// Current lifecycle phase.
+    pub fn phase(&self) -> ClientPhase {
+        self.phase
+    }
+
+    /// The client's VPE.
+    pub fn vpe(&self) -> VpeId {
+        self.replayer.vpe()
+    }
+
+    /// Replay statistics.
+    pub fn stats(&self) -> &ClientStats {
+        self.replayer.stats()
+    }
+
+    /// Starts the client: opens the service session.
+    pub fn boot(&mut self, out: &mut Outbox) -> u64 {
+        debug_assert_eq!(self.phase, ClientPhase::Cold);
+        self.phase = ClientPhase::OpeningSession;
+        self.replayer.open_session(out)
+    }
+
+    /// Handles one incoming message; returns the modeled cycle cost.
+    pub fn handle(&mut self, msg: &Msg, out: &mut Outbox) -> u64 {
+        let was_waiting_session = self.phase == ClientPhase::OpeningSession;
+        let (cost, done) = self.replayer.on_msg(msg, out);
+        if was_waiting_session && self.replayer.has_session() {
+            self.phase = ClientPhase::Running;
+            let trace = self.trace.take().expect("trace present until started");
+            self.replayer.load(trace);
+            let (c2, done2) = self.replayer.run(out);
+            if done2 {
+                self.phase = ClientPhase::Done;
+            }
+            return cost + c2;
+        }
+        if done {
+            self.phase = ClientPhase::Done;
+        } else if let Some(e) = self.replayer.error() {
+            self.phase = ClientPhase::Failed(e);
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AppKind;
+
+    #[test]
+    fn boot_opens_session() {
+        let mut c = AppClient::new(
+            VpeId(0),
+            PeId(1),
+            PeId(0),
+            CostModel::calibrated(),
+            7,
+            AppKind::Find.trace(0),
+        );
+        let mut out = Outbox::new();
+        c.boot(&mut out);
+        assert_eq!(c.phase(), ClientPhase::OpeningSession);
+        let msgs = out.drain();
+        assert!(matches!(
+            &msgs[0].0.payload,
+            Payload::Sys { call: Syscall::OpenSession { name: 7 }, .. }
+        ));
+    }
+
+    #[test]
+    fn session_reply_starts_trace() {
+        let mut c = AppClient::new(
+            VpeId(0),
+            PeId(1),
+            PeId(0),
+            CostModel::calibrated(),
+            7,
+            AppKind::Find.trace(0),
+        );
+        let mut out = Outbox::new();
+        c.boot(&mut out);
+        out.drain();
+        let reply = Msg::new(
+            PeId(0),
+            PeId(1),
+            Payload::SysReply(SysReply {
+                tag: 0,
+                result: Ok(SysReplyData::Session {
+                    sel: semper_base::CapSel(3),
+                    srv_pe: PeId(9),
+                    ident: 1,
+                }),
+            }),
+        );
+        c.handle(&reply, &mut out);
+        assert_eq!(c.phase(), ClientPhase::Running);
+        // find's first op is Open → an Fs request to the service PE.
+        let msgs = out.drain();
+        assert!(msgs.iter().any(|(m, _)| matches!(&m.payload, Payload::Fs(_)) && m.dst == PeId(9)));
+    }
+
+    #[test]
+    fn failed_session_marks_failure() {
+        let mut c = AppClient::new(
+            VpeId(0),
+            PeId(1),
+            PeId(0),
+            CostModel::calibrated(),
+            7,
+            AppKind::Find.trace(0),
+        );
+        let mut out = Outbox::new();
+        c.boot(&mut out);
+        let reply = Msg::new(
+            PeId(0),
+            PeId(1),
+            Payload::SysReply(SysReply {
+                tag: 0,
+                result: Err(Error::new(Code::NoSuchService)),
+            }),
+        );
+        c.handle(&reply, &mut out);
+        assert!(matches!(c.phase(), ClientPhase::Failed(_)));
+    }
+}

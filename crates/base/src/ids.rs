@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers used across the whole system.
+//!
+//! Every identifier is a thin newtype over an integer so that mixing up,
+//! say, a PE number and a VPE number is a compile error rather than a
+//! silent protocol bug. All of them are `Copy`, ordered, and hashable so
+//! they can key `BTreeMap`s in the deterministic simulation paths.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a processing element (PE) — a tile on the NoC.
+///
+/// PEs are numbered globally across the machine; the DDL uses the PE id to
+/// partition the capability key space (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeId(pub u16);
+
+/// Identifier of a virtual PE (VPE) — the unit of execution, comparable to
+/// a single-threaded process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VpeId(pub u16);
+
+/// Identifier of a kernel instance (one per PE group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KernelId(pub u16);
+
+/// A DTU endpoint number. Each DTU provides [`crate::config::EP_COUNT`]
+/// endpoints that can be configured as send, receive, or memory endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EpId(pub u8);
+
+/// A capability selector: the index of a capability within one VPE's
+/// capability table (the VPE-local name of a capability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CapSel(pub u32);
+
+/// Correlation id for in-flight operations (system calls and inter-kernel
+/// calls). Allocated by the initiating kernel; unique per kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u64);
+
+/// Identifier of a registered OS service (e.g. one m3fs instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServiceId(pub u16);
+
+macro_rules! impl_display {
+    ($($ty:ident => $prefix:literal),* $(,)?) => {
+        $(impl core::fmt::Display for $ty {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        })*
+    };
+}
+
+impl_display! {
+    PeId => "PE",
+    VpeId => "VPE",
+    KernelId => "K",
+    EpId => "EP",
+    CapSel => "sel",
+    OpId => "op",
+    ServiceId => "svc",
+}
+
+impl PeId {
+    /// Returns the PE id as a usable array index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VpeId {
+    /// Returns the VPE id as a usable array index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl KernelId {
+    /// Returns the kernel id as a usable array index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CapSel {
+    /// The invalid selector, used by protocols to mean "none".
+    pub const INVALID: CapSel = CapSel(u32::MAX);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PeId(3).to_string(), "PE3");
+        assert_eq!(VpeId(7).to_string(), "VPE7");
+        assert_eq!(KernelId(1).to_string(), "K1");
+        assert_eq!(EpId(15).to_string(), "EP15");
+        assert_eq!(CapSel(42).to_string(), "sel42");
+        assert_eq!(OpId(9).to_string(), "op9");
+        assert_eq!(ServiceId(2).to_string(), "svc2");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(PeId(1) < PeId(2));
+        assert!(VpeId(1) < VpeId(2));
+        assert!(OpId(1) < OpId(2));
+    }
+
+    #[test]
+    fn idx_helpers() {
+        assert_eq!(PeId(5).idx(), 5);
+        assert_eq!(VpeId(6).idx(), 6);
+        assert_eq!(KernelId(2).idx(), 2);
+    }
+
+    #[test]
+    fn invalid_selector_is_max() {
+        assert_eq!(CapSel::INVALID.0, u32::MAX);
+    }
+}

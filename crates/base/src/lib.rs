@@ -1,0 +1,35 @@
+//! Shared foundation types for the SemperOS reproduction.
+//!
+//! This crate is dependency-free (besides `serde`) and holds everything the
+//! other crates need to agree on:
+//!
+//! * [`ids`] — strongly-typed identifiers for processing elements (PEs),
+//!   VPEs, kernels, DTU endpoints, and capability selectors.
+//! * [`error`] — the system-wide error type mirroring M3's error codes.
+//! * [`ddl`] — the Distributed Data Lookup key format (§3.2 of the paper):
+//!   a globally valid capability address packing
+//!   `(PE id, VPE id, type, object id)`.
+//! * [`msg`] — the wire protocol: system calls, inter-kernel calls, the
+//!   m3fs IPC protocol, and application-level messages.
+//! * [`cost`] — the calibrated cycle-cost model that stands in for gem5's
+//!   micro-architectural timing.
+//! * [`config`] — machine- and experiment-level configuration.
+//!
+//! The split matters: `semper-caps` builds capability *trees* over the raw
+//! [`ddl::DdlKey`] defined here, and `semper-kernel` implements the
+//! distributed protocol over the [`msg::Payload`] enum defined here, so the
+//! two can evolve independently without a dependency cycle.
+
+pub mod config;
+pub mod cost;
+pub mod ddl;
+pub mod error;
+pub mod ids;
+pub mod msg;
+
+pub use config::{Feature, KernelMode, MachineConfig};
+pub use cost::CostModel;
+pub use ddl::{CapType, DdlKey};
+pub use error::{Code, Error, Result};
+pub use ids::{CapSel, EpId, KernelId, OpId, PeId, ServiceId, VpeId};
+pub use msg::{CapDesc, CapKindDesc, ExchangeKind, Msg, Payload, Perms};

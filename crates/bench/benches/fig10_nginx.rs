@@ -1,0 +1,34 @@
+//! Figure 10: scalability of the Nginx webserver.
+//!
+//! Network-interface PEs constantly send requests to webserver processes
+//! on separate PEs; each server replays the request-handling trace and
+//! responds. The paper: requests scale almost linearly with 32 kernels
+//! and 32 services; fewer OS resources flatten the curve.
+
+use semper_base::MachineConfig;
+use semper_bench::banner;
+use semperos::experiment::run_nginx;
+
+fn main() {
+    banner("Figure 10: scalability of the Nginx webserver", "Figure 10");
+    let configs: [(u16, u16); 6] = [(8, 8), (8, 16), (8, 32), (16, 16), (32, 16), (32, 32)];
+    let servers = [32u16, 64, 96, 128, 160, 192, 224, 256];
+    print!("{:<24}", "config \\ servers");
+    for s in servers {
+        print!(" {s:>8}");
+    }
+    println!("   (requests/s x1000)");
+    for (k, svc) in configs {
+        print!("{:<24}", format!("{k} kernels, {svc} services"));
+        for n in servers {
+            let cfg = MachineConfig::paper_testbed(k, svc);
+            let res = run_nginx(&cfg, n, (n / 16).max(1), 4, 1_000_000, 4_000_000);
+            print!(" {:>8.0}", res.requests_per_sec / 1000.0);
+        }
+        println!();
+    }
+    println!();
+    println!("shape check: near-linear scaling at 32 kernels / 32 services;");
+    println!("smaller OS configurations flatten as servers contend for the");
+    println!("kernels' capability handling and the services' extents.");
+}

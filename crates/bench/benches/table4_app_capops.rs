@@ -1,0 +1,42 @@
+//! Table 4: number of capability operations for the selected
+//! applications, for 1 and 512 parallel benchmark instances, plus the
+//! average rate of capability operations over the runtime.
+//!
+//! The 512-instance rates use 64 kernels and 64 filesystem services, as
+//! in the paper.
+
+use semper_apps::AppKind;
+use semper_base::MachineConfig;
+use semper_bench::banner;
+use semperos::experiment::run_app_instances;
+
+fn main() {
+    banner("Table 4: capability operations of the applications", "Table 4");
+    println!(
+        "{:<9} {:>8} {:>8} {:>10} {:>10} | {:>9} {:>10} {:>11} {:>11}",
+        "app", "ops(1)", "paper", "ops/s(1)", "paper", "ops(512)", "paper", "ops/s(512)", "paper"
+    );
+    let paper_1 = [7_295u64, 4_012, 1_310, 5_987, 8_749, 21_166];
+    let paper_512_ops = [10_752u64, 5_632, 1_536, 12_288, 11_264, 19_456];
+    let paper_512_rate = [191_703u64, 100_772, 27_096, 207_072, 201_204, 348_285];
+    let cfg = MachineConfig::paper_testbed(64, 64);
+    for (i, app) in AppKind::ALL.into_iter().enumerate() {
+        let r1 = run_app_instances(&cfg, app, 1);
+        let r512 = run_app_instances(&cfg, app, 512);
+        println!(
+            "{:<9} {:>8} {:>8} {:>10.0} {:>10} | {:>9} {:>10} {:>11.0} {:>11}",
+            app.name(),
+            r1.cap_ops,
+            app.paper_cap_ops(),
+            r1.cap_ops_per_sec(),
+            paper_1[i],
+            r512.cap_ops,
+            paper_512_ops[i],
+            r512.cap_ops_per_sec(),
+            paper_512_rate[i],
+        );
+    }
+    println!();
+    println!("note: paper 512-instance op counts are 512 x single-instance counts");
+    println!("      (e.g. tar 21 x 512 = 10752); rates average over the whole run.");
+}

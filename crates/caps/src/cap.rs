@@ -1,0 +1,149 @@
+//! The capability object.
+//!
+//! From the kernel's perspective (§3.4) a capability references a kernel
+//! object (the resource), a VPE (the holder), and other capabilities
+//! (parent and children in the mapping database). In SemperOS those
+//! references are DDL keys so they can cross kernel boundaries; in M3
+//! baseline mode the same structure is used but lookups skip the DDL
+//! decode cost.
+
+use semper_base::msg::CapKindDesc;
+use semper_base::{CapSel, DdlKey, VpeId};
+
+/// Lifecycle state of a capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapState {
+    /// Normal state: usable and exchangeable.
+    Usable,
+    /// Phase 1 of revocation has marked this capability; exchanges
+    /// involving it are denied (*pointless* prevention, Table 2) and it
+    /// will be deleted once all remote children acknowledged.
+    Revoking,
+}
+
+/// A capability: the unit of authority.
+#[derive(Debug, Clone)]
+pub struct Capability {
+    /// Globally valid address of this capability.
+    pub key: DdlKey,
+    /// Description of the resource this capability grants access to.
+    pub kind: CapKindDesc,
+    /// The VPE holding this capability.
+    pub owner: VpeId,
+    /// Selector in the owner's capability table.
+    pub sel: CapSel,
+    /// Parent in the capability tree (`None` for root capabilities).
+    pub parent: Option<DdlKey>,
+    /// Children in the capability tree, in creation order (deterministic).
+    pub children: Vec<DdlKey>,
+    /// Lifecycle state.
+    pub state: CapState,
+    /// Outstanding inter-kernel revoke replies for this capability
+    /// (Algorithm 1's per-capability counter).
+    pub outstanding: u32,
+}
+
+impl Capability {
+    /// Creates a usable root capability (no parent).
+    pub fn root(key: DdlKey, kind: CapKindDesc, owner: VpeId, sel: CapSel) -> Capability {
+        Capability {
+            key,
+            kind,
+            owner,
+            sel,
+            parent: None,
+            children: Vec::new(),
+            state: CapState::Usable,
+            outstanding: 0,
+        }
+    }
+
+    /// Creates a usable child capability.
+    pub fn child(
+        key: DdlKey,
+        kind: CapKindDesc,
+        owner: VpeId,
+        sel: CapSel,
+        parent: DdlKey,
+    ) -> Capability {
+        Capability { parent: Some(parent), ..Capability::root(key, kind, owner, sel) }
+    }
+
+    /// True if the capability is marked for revocation.
+    pub fn revoking(&self) -> bool {
+        self.state == CapState::Revoking
+    }
+
+    /// Registers a child reference (idempotent).
+    pub fn add_child(&mut self, child: DdlKey) {
+        if !self.children.contains(&child) {
+            self.children.push(child);
+        }
+    }
+
+    /// Removes a child reference; returns true if it was present.
+    pub fn remove_child(&mut self, child: DdlKey) -> bool {
+        match self.children.iter().position(|c| *c == child) {
+            Some(i) => {
+                self.children.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::msg::Perms;
+    use semper_base::{CapType, PeId};
+
+    fn key(n: u32) -> DdlKey {
+        DdlKey::new(PeId(0), VpeId(0), CapType::Memory, n)
+    }
+
+    fn mem_desc() -> CapKindDesc {
+        CapKindDesc::Memory { addr: 0, size: 4096, perms: Perms::RW }
+    }
+
+    #[test]
+    fn root_has_no_parent() {
+        let c = Capability::root(key(0), mem_desc(), VpeId(1), CapSel(2));
+        assert_eq!(c.parent, None);
+        assert!(!c.revoking());
+        assert_eq!(c.outstanding, 0);
+    }
+
+    #[test]
+    fn child_links_parent() {
+        let c = Capability::child(key(1), mem_desc(), VpeId(1), CapSel(2), key(0));
+        assert_eq!(c.parent, Some(key(0)));
+    }
+
+    #[test]
+    fn add_child_is_idempotent() {
+        let mut c = Capability::root(key(0), mem_desc(), VpeId(1), CapSel(2));
+        c.add_child(key(1));
+        c.add_child(key(1));
+        assert_eq!(c.children, vec![key(1)]);
+    }
+
+    #[test]
+    fn remove_child_reports_presence() {
+        let mut c = Capability::root(key(0), mem_desc(), VpeId(1), CapSel(2));
+        c.add_child(key(1));
+        assert!(c.remove_child(key(1)));
+        assert!(!c.remove_child(key(1)));
+        assert!(c.children.is_empty());
+    }
+
+    #[test]
+    fn children_keep_creation_order() {
+        let mut c = Capability::root(key(0), mem_desc(), VpeId(1), CapSel(2));
+        c.add_child(key(3));
+        c.add_child(key(1));
+        c.add_child(key(2));
+        assert_eq!(c.children, vec![key(3), key(1), key(2)]);
+    }
+}

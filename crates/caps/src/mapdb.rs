@@ -1,0 +1,302 @@
+//! The mapping database: all capabilities owned by one kernel.
+//!
+//! As in other microkernel-based systems (§3.4), the kernel tracks
+//! capability sharing in a tree to enable recursive revocation. Here the
+//! tree is stored as a flat `DdlKey → Capability` map with explicit
+//! parent/child links, because links may point at capabilities owned by
+//! *other* kernels — a local pointer structure cannot represent that.
+//!
+//! All iteration is over `BTreeMap`, keeping protocol behaviour
+//! deterministic.
+
+use crate::cap::{CapState, Capability};
+use semper_base::{Code, DdlKey, Error, Result};
+use std::collections::BTreeMap;
+
+/// All capabilities owned by one kernel, indexed by DDL key.
+#[derive(Debug, Default, Clone)]
+pub struct MappingDb {
+    caps: BTreeMap<DdlKey, Capability>,
+}
+
+impl MappingDb {
+    /// Creates an empty database.
+    pub fn new() -> MappingDb {
+        MappingDb::default()
+    }
+
+    /// Inserts a capability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key is already present — keys are globally unique by
+    /// construction, so a duplicate indicates a kernel bug.
+    pub fn insert(&mut self, cap: Capability) {
+        let prev = self.caps.insert(cap.key, cap);
+        assert!(prev.is_none(), "duplicate DDL key in mapping database");
+    }
+
+    /// Looks up a capability.
+    pub fn get(&self, key: DdlKey) -> Result<&Capability> {
+        self.caps.get(&key).ok_or_else(|| Error::new(Code::NoSuchCap))
+    }
+
+    /// Looks up a capability mutably.
+    pub fn get_mut(&mut self, key: DdlKey) -> Result<&mut Capability> {
+        self.caps.get_mut(&key).ok_or_else(|| Error::new(Code::NoSuchCap))
+    }
+
+    /// True if the key is present.
+    pub fn contains(&self, key: DdlKey) -> bool {
+        self.caps.contains_key(&key)
+    }
+
+    /// Removes a capability, returning it.
+    pub fn remove(&mut self, key: DdlKey) -> Option<Capability> {
+        self.caps.remove(&key)
+    }
+
+    /// Number of capabilities in the database.
+    pub fn len(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// True if the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.caps.is_empty()
+    }
+
+    /// Iterates over all capabilities in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Capability> {
+        self.caps.values()
+    }
+
+    /// Registers `child` in `parent`'s child list (both may be remote;
+    /// this touches only the local parent).
+    pub fn link_child(&mut self, parent: DdlKey, child: DdlKey) -> Result<()> {
+        self.get_mut(parent)?.add_child(child);
+        Ok(())
+    }
+
+    /// Drops `child` from `parent`'s child list, if the parent still
+    /// exists locally. Returns whether the link existed.
+    pub fn unlink_child(&mut self, parent: DdlKey, child: DdlKey) -> bool {
+        match self.caps.get_mut(&parent) {
+            Some(p) => p.remove_child(child),
+            None => false,
+        }
+    }
+
+    /// Marks the capability for revocation. Returns the previous state so
+    /// callers can detect concurrent revokes (`Revoking` already set).
+    pub fn mark_revoking(&mut self, key: DdlKey) -> Result<CapState> {
+        let cap = self.get_mut(key)?;
+        let prev = cap.state;
+        cap.state = CapState::Revoking;
+        Ok(prev)
+    }
+
+    /// Collects the *locally owned* subtree rooted at `key` in preorder,
+    /// plus the list of remote children encountered (children whose
+    /// capabilities are not in this database).
+    ///
+    /// Used by the revocation protocol: local capabilities are marked and
+    /// later swept; remote children each trigger an inter-kernel call.
+    pub fn local_subtree(&self, key: DdlKey) -> (Vec<DdlKey>, Vec<DdlKey>) {
+        let mut local = Vec::new();
+        let mut remote = Vec::new();
+        let mut stack = vec![key];
+        while let Some(k) = stack.pop() {
+            match self.caps.get(&k) {
+                Some(cap) => {
+                    local.push(k);
+                    // Reverse keeps preorder left-to-right after pop().
+                    for child in cap.children.iter().rev() {
+                        stack.push(*child);
+                    }
+                }
+                None => remote.push(k),
+            }
+        }
+        (local, remote)
+    }
+
+    /// Deletes the locally owned subtree rooted at `key`, unlinking the
+    /// root from its (possibly local) parent. Returns the deleted
+    /// capabilities in deletion order.
+    pub fn delete_local_subtree(&mut self, key: DdlKey) -> Vec<Capability> {
+        let (local, _) = self.local_subtree(key);
+        if let Some(root) = self.caps.get(&key) {
+            if let Some(parent) = root.parent {
+                self.unlink_child(parent, key);
+            }
+        }
+        let mut deleted = Vec::with_capacity(local.len());
+        for k in local {
+            if let Some(cap) = self.caps.remove(&k) {
+                deleted.push(cap);
+            }
+        }
+        deleted
+    }
+
+    /// Checks structural invariants; returns a description of the first
+    /// violation. Test-and-debug aid used by the property tests:
+    ///
+    /// 1. Every local child reference of a local capability points back
+    ///    via `parent`.
+    /// 2. Every local capability with a local parent is in that parent's
+    ///    child list.
+    /// 3. No capability is its own ancestor (tree, not graph).
+    pub fn check_invariants(&self) -> core::result::Result<(), String> {
+        for cap in self.caps.values() {
+            for child in &cap.children {
+                if let Some(c) = self.caps.get(child) {
+                    if c.parent != Some(cap.key) {
+                        return Err(format!(
+                            "child {child:?} of {key:?} has parent {parent:?}",
+                            key = cap.key,
+                            parent = c.parent
+                        ));
+                    }
+                }
+            }
+            if let Some(parent) = cap.parent {
+                if let Some(p) = self.caps.get(&parent) {
+                    if !p.children.contains(&cap.key) {
+                        return Err(format!(
+                            "{key:?} not in parent {parent:?} child list",
+                            key = cap.key
+                        ));
+                    }
+                }
+            }
+            // Walk up; local chains are short, remote parents terminate.
+            let mut seen = vec![cap.key];
+            let mut cur = cap.parent;
+            while let Some(k) = cur {
+                if seen.contains(&k) {
+                    return Err(format!("cycle through {k:?}"));
+                }
+                seen.push(k);
+                cur = self.caps.get(&k).and_then(|c| c.parent);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::msg::{CapKindDesc, Perms};
+    use semper_base::{CapSel, CapType, PeId, VpeId};
+
+    fn key(n: u32) -> DdlKey {
+        DdlKey::new(PeId(0), VpeId(0), CapType::Memory, n)
+    }
+
+    fn remote_key(n: u32) -> DdlKey {
+        DdlKey::new(PeId(99), VpeId(9), CapType::Memory, n)
+    }
+
+    fn mem() -> CapKindDesc {
+        CapKindDesc::Memory { addr: 0, size: 64, perms: Perms::RW }
+    }
+
+    fn root(db: &mut MappingDb, k: DdlKey) {
+        db.insert(Capability::root(k, mem(), VpeId(0), CapSel(0)));
+    }
+
+    fn child(db: &mut MappingDb, k: DdlKey, parent: DdlKey) {
+        db.insert(Capability::child(k, mem(), VpeId(0), CapSel(0), parent));
+        db.link_child(parent, k).unwrap();
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        assert!(db.contains(key(0)));
+        assert_eq!(db.get(key(0)).unwrap().key, key(0));
+        assert!(db.remove(key(0)).is_some());
+        assert_eq!(db.get(key(0)).unwrap_err().code(), Code::NoSuchCap);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate DDL key")]
+    fn duplicate_insert_panics() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        root(&mut db, key(0));
+    }
+
+    #[test]
+    fn subtree_collection_preorder() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        child(&mut db, key(1), key(0));
+        child(&mut db, key(2), key(0));
+        child(&mut db, key(3), key(1));
+        let (local, remote) = db.local_subtree(key(0));
+        assert_eq!(local, vec![key(0), key(1), key(3), key(2)]);
+        assert!(remote.is_empty());
+    }
+
+    #[test]
+    fn subtree_reports_remote_children() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        child(&mut db, key(1), key(0));
+        db.link_child(key(0), remote_key(7)).unwrap();
+        let (local, remote) = db.local_subtree(key(0));
+        assert_eq!(local, vec![key(0), key(1)]);
+        assert_eq!(remote, vec![remote_key(7)]);
+    }
+
+    #[test]
+    fn delete_local_subtree_unlinks_from_parent() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        child(&mut db, key(1), key(0));
+        child(&mut db, key(2), key(1));
+        let deleted = db.delete_local_subtree(key(1));
+        assert_eq!(deleted.len(), 2);
+        assert!(db.contains(key(0)));
+        assert!(!db.contains(key(1)));
+        assert!(!db.contains(key(2)));
+        assert!(db.get(key(0)).unwrap().children.is_empty());
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mark_revoking_reports_previous_state() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        assert_eq!(db.mark_revoking(key(0)).unwrap(), CapState::Usable);
+        assert_eq!(db.mark_revoking(key(0)).unwrap(), CapState::Revoking);
+        assert!(db.get(key(0)).unwrap().revoking());
+    }
+
+    #[test]
+    fn invariants_catch_dangling_parent_link() {
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        // Child claims key(0) as parent but parent does not list it.
+        db.insert(Capability::child(key(1), mem(), VpeId(0), CapSel(0), key(0)));
+        assert!(db.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_ok_with_remote_parent() {
+        let mut db = MappingDb::new();
+        db.insert(Capability::child(key(1), mem(), VpeId(0), CapSel(0), remote_key(3)));
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unlink_missing_parent_is_noop() {
+        let mut db = MappingDb::new();
+        assert!(!db.unlink_child(key(0), key(1)));
+    }
+}

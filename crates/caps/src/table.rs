@@ -1,0 +1,157 @@
+//! Per-VPE capability tables.
+//!
+//! Each VPE has its own capability space (§2.2): a mapping from selectors
+//! (small VPE-local integers) to DDL keys. The kernel owns these tables;
+//! VPEs only ever see selectors.
+
+use semper_base::{CapSel, Code, DdlKey, Error, Result};
+use std::collections::BTreeMap;
+
+/// One VPE's capability space.
+#[derive(Debug, Default, Clone)]
+pub struct CapTable {
+    slots: BTreeMap<CapSel, DdlKey>,
+    next_sel: u32,
+}
+
+impl CapTable {
+    /// Creates an empty table.
+    ///
+    /// Selectors below `first_free` are reserved for well-known
+    /// capabilities (the VPE's own cap, its syscall gate, ...), mirroring
+    /// M3's convention.
+    pub fn new(first_free: u32) -> CapTable {
+        CapTable { slots: BTreeMap::new(), next_sel: first_free }
+    }
+
+    /// Allocates the next free selector.
+    pub fn alloc_sel(&mut self) -> CapSel {
+        loop {
+            let sel = CapSel(self.next_sel);
+            self.next_sel += 1;
+            if !self.slots.contains_key(&sel) {
+                return sel;
+            }
+        }
+    }
+
+    /// Binds `sel` to `key`.
+    ///
+    /// Fails with [`Code::Exists`] if the selector is occupied.
+    pub fn insert(&mut self, sel: CapSel, key: DdlKey) -> Result<()> {
+        if self.slots.contains_key(&sel) {
+            return Err(Error::new(Code::Exists));
+        }
+        self.slots.insert(sel, key);
+        Ok(())
+    }
+
+    /// Allocates a selector and binds it to `key` in one step.
+    pub fn insert_new(&mut self, key: DdlKey) -> CapSel {
+        let sel = self.alloc_sel();
+        self.slots.insert(sel, key);
+        sel
+    }
+
+    /// Looks up the key bound to `sel`.
+    pub fn get(&self, sel: CapSel) -> Result<DdlKey> {
+        self.slots.get(&sel).copied().ok_or_else(|| Error::new(Code::NoSuchCap))
+    }
+
+    /// Removes the binding for `sel`; returns the key if it existed.
+    pub fn remove(&mut self, sel: CapSel) -> Option<DdlKey> {
+        self.slots.remove(&sel)
+    }
+
+    /// Removes the binding pointing at `key` (reverse removal used when a
+    /// revoke deletes by DDL key).
+    pub fn remove_key(&mut self, key: DdlKey) -> Option<CapSel> {
+        let sel = self.slots.iter().find(|(_, k)| **k == key).map(|(s, _)| *s)?;
+        self.slots.remove(&sel);
+        Some(sel)
+    }
+
+    /// Number of occupied selectors.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no selectors are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over `(selector, key)` pairs in selector order.
+    pub fn iter(&self) -> impl Iterator<Item = (CapSel, DdlKey)> + '_ {
+        self.slots.iter().map(|(s, k)| (*s, *k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::{CapType, PeId, VpeId};
+
+    fn key(n: u32) -> DdlKey {
+        DdlKey::new(PeId(0), VpeId(0), CapType::Memory, n)
+    }
+
+    #[test]
+    fn alloc_skips_reserved_range() {
+        let mut t = CapTable::new(4);
+        assert_eq!(t.alloc_sel(), CapSel(4));
+        assert_eq!(t.alloc_sel(), CapSel(5));
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = CapTable::new(0);
+        t.insert(CapSel(1), key(9)).unwrap();
+        assert_eq!(t.get(CapSel(1)).unwrap(), key(9));
+        assert_eq!(t.get(CapSel(2)).unwrap_err().code(), Code::NoSuchCap);
+    }
+
+    #[test]
+    fn double_insert_fails() {
+        let mut t = CapTable::new(0);
+        t.insert(CapSel(1), key(1)).unwrap();
+        assert_eq!(t.insert(CapSel(1), key(2)).unwrap_err().code(), Code::Exists);
+    }
+
+    #[test]
+    fn alloc_skips_occupied() {
+        let mut t = CapTable::new(0);
+        t.insert(CapSel(0), key(0)).unwrap();
+        t.insert(CapSel(1), key(1)).unwrap();
+        assert_eq!(t.alloc_sel(), CapSel(2));
+    }
+
+    #[test]
+    fn remove_key_reverse_lookup() {
+        let mut t = CapTable::new(0);
+        let s = t.insert_new(key(5));
+        assert_eq!(t.remove_key(key(5)), Some(s));
+        assert_eq!(t.remove_key(key(5)), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_in_selector_order() {
+        let mut t = CapTable::new(0);
+        t.insert(CapSel(3), key(3)).unwrap();
+        t.insert(CapSel(1), key(1)).unwrap();
+        let sels: Vec<_> = t.iter().map(|(s, _)| s).collect();
+        assert_eq!(sels, vec![CapSel(1), CapSel(3)]);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let mut t = CapTable::new(0);
+        assert_eq!(t.len(), 0);
+        t.insert_new(key(1));
+        t.insert_new(key(2));
+        assert_eq!(t.len(), 2);
+        t.remove(CapSel(0));
+        assert_eq!(t.len(), 1);
+    }
+}

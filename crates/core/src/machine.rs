@@ -1,0 +1,604 @@
+//! The timed machine: event loop, busy-time modeling, boot sequencing.
+//!
+//! Every PE hosts one [`Node`]. Messages pop from the deterministic
+//! event queue in delivery order; a node that is still executing a
+//! previous handler delays delivery until it is free — this per-PE
+//! serialization is what makes kernels the contention points whose
+//! behaviour the paper measures (parallel efficiency drops as more
+//! instances share a kernel).
+
+use std::collections::BTreeMap;
+
+use semper_apps::client::ClientPhase;
+use semper_apps::{AppClient, LoadGen, NginxServer, Trace};
+use semper_base::msg::{Outbox, Payload, SysReply, Upcall, UpcallReply};
+use semper_base::{KernelId, MachineConfig, Msg, PeId, VpeId};
+use semper_kernel::{Kernel, KernelStats};
+use semper_m3fs::{FsImage, FsService, FsSpec, M3FS_NAME};
+use semper_noc::{GlobalMemory, Mesh, Noc};
+use semper_sim::{Cycles, EventQueue};
+
+use crate::topology::{Role, Topology};
+
+/// A stub VPE used by the microbenchmarks: accepts every exchange and
+/// collects system-call replies.
+#[derive(Debug, Default)]
+pub struct StubVpe {
+    /// The last system-call reply received, with its delivery time.
+    pub last_reply: Option<(SysReply, Cycles)>,
+}
+
+/// What runs on one PE.
+pub enum Node {
+    /// A kernel instance.
+    Kernel(Box<Kernel>),
+    /// An m3fs instance.
+    Service(Box<FsService>),
+    /// An application benchmark instance.
+    Client(Box<AppClient>),
+    /// An Nginx webserver process.
+    Server(Box<NginxServer>),
+    /// A load generator.
+    LoadGen(LoadGen),
+    /// A microbenchmark stub VPE.
+    Stub(StubVpe),
+    /// Unused PE.
+    Idle,
+}
+
+/// What to populate the non-OS PEs with.
+pub enum Workload {
+    /// Stub VPEs on every client PE (microbenchmarks).
+    Micro,
+    /// One application client per trace.
+    Apps(Vec<Trace>),
+    /// Webservers plus closed-loop load generators.
+    Nginx {
+        /// Outstanding requests per (generator, server) pair.
+        depth: u32,
+    },
+}
+
+/// Boot stagger between client starts, in cycles. The paper replays the
+/// *same* trace in every instance, started together — the resulting
+/// alignment of capability-operation bursts at the kernels is the very
+/// contention the evaluation measures. A small per-instance offset
+/// (~launch jitter) keeps the simulation realistic without decorrelating
+/// the bursts.
+const CLIENT_STAGGER: u64 = 40;
+
+/// The assembled machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    topo: Topology,
+    noc: Noc,
+    queue: EventQueue<Msg>,
+    nodes: Vec<Node>,
+    busy_until: Vec<Cycles>,
+    /// Per-client (start, finish) times.
+    client_times: BTreeMap<u32, (Cycles, Option<Cycles>)>,
+    booted_os: bool,
+}
+
+impl Machine {
+    /// Builds a machine: `cfg` hardware/OS shape, `clients`/`servers`/
+    /// `loadgens` role counts, populated per `workload`.
+    pub fn build(cfg: MachineConfig, clients: u32, loadgens: u16, workload: Workload) -> Machine {
+        let nginx_depth = match &workload {
+            Workload::Nginx { depth } => Some(*depth),
+            _ => None,
+        };
+        let servers = if nginx_depth.is_some() { clients as u16 } else { 0 };
+        let app_clients = if nginx_depth.is_some() { 0 } else { clients };
+        let topo = Topology::build(&cfg, app_clients, servers, loadgens);
+        let noc = Noc::new(Mesh::new(cfg.mesh_width), cfg.cost);
+
+        // Kernels, with disjoint 1 TiB memory partitions.
+        let mut kernels: Vec<Kernel> = (0..cfg.kernels)
+            .map(|k| {
+                let mem = GlobalMemory::new(((k as u64) + 1) << 40, 1 << 40);
+                Kernel::new(KernelId(k), cfg.clone(), topo.membership.clone(), mem)
+            })
+            .collect();
+        // Register every VPE with its kernel and install the directory.
+        for (vpe_idx, pe) in topo.vpe_dir.iter().enumerate() {
+            let k = topo.membership.kernel_of(*pe);
+            kernels[k.idx()].add_vpe(VpeId(vpe_idx as u16), *pe);
+        }
+        for k in &mut kernels {
+            k.set_vpe_dir(topo.vpe_dir.clone());
+        }
+        let mut kernels: BTreeMap<u16, Kernel> =
+            kernels.into_iter().map(|k| (k.id().0, k)).collect();
+
+        // The filesystem image shared (by copy) by all service instances.
+        let (image, region_size) = build_image(app_clients.max(clients));
+
+        let mut nodes: Vec<Node> = Vec::with_capacity(cfg.num_pes as usize);
+        let mut trace_iter = match workload {
+            Workload::Apps(traces) => {
+                assert_eq!(traces.len() as u32, app_clients, "one trace per client");
+                Some(traces.into_iter())
+            }
+            _ => None,
+        };
+        for pe in 0..cfg.num_pes {
+            let pe = PeId(pe);
+            let node = match topo.roles[pe.idx()] {
+                Role::Kernel(k) => {
+                    Node::Kernel(Box::new(kernels.remove(&k.0).expect("each kernel used once")))
+                }
+                Role::Service(s) => {
+                    let vpe = topo.service_vpes[s as usize];
+                    let kernel_pe = topo.membership.kernel_pe(topo.kernel_of(pe));
+                    Node::Service(Box::new(FsService::new(
+                        vpe,
+                        pe,
+                        kernel_pe,
+                        cfg.cost,
+                        image.clone(),
+                        region_size,
+                    )))
+                }
+                Role::Client(c) => {
+                    let vpe = topo.client_vpes[c as usize];
+                    let kernel_pe = topo.membership.kernel_pe(topo.kernel_of(pe));
+                    match &mut trace_iter {
+                        Some(it) => {
+                            let trace = it.next().expect("trace per client");
+                            Node::Client(Box::new(AppClient::new(
+                                vpe, pe, kernel_pe, cfg.cost, M3FS_NAME, trace,
+                            )))
+                        }
+                        None => Node::Stub(StubVpe::default()),
+                    }
+                }
+                Role::Server(s) => {
+                    let vpe = topo.server_vpes[s as usize];
+                    let kernel_pe = topo.membership.kernel_pe(topo.kernel_of(pe));
+                    Node::Server(Box::new(NginxServer::new(
+                        vpe, pe, kernel_pe, cfg.cost, M3FS_NAME,
+                    )))
+                }
+                Role::LoadGen(l) => {
+                    // Targets assigned at boot (round-robin share of the
+                    // servers).
+                    let _ = l;
+                    Node::LoadGen(LoadGen::new(pe, Vec::new(), 0))
+                }
+                Role::Idle => Node::Idle,
+            };
+            nodes.push(node);
+        }
+
+        let busy_until = vec![Cycles::ZERO; cfg.num_pes as usize];
+        let mut m = Machine {
+            cfg,
+            topo,
+            noc,
+            queue: EventQueue::new(),
+            nodes,
+            busy_until,
+            client_times: BTreeMap::new(),
+            booted_os: false,
+        };
+        if let Some(depth) = nginx_depth {
+            m.assign_loadgen_targets(depth);
+        }
+        m
+    }
+
+    fn assign_loadgen_targets(&mut self, depth: u32) {
+        let gens = self.topo.loadgen_pes.clone();
+        if gens.is_empty() {
+            return;
+        }
+        let servers = self.topo.server_pes.clone();
+        for (i, pe) in gens.iter().enumerate() {
+            let mine: Vec<PeId> = servers
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| s % gens.len() == i)
+                .map(|(_, p)| *p)
+                .collect();
+            if let Node::LoadGen(lg) = &mut self.nodes[pe.idx()] {
+                *lg = LoadGen::new(*pe, mine, depth);
+            }
+        }
+    }
+
+    /// The machine configuration.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.queue.now()
+    }
+
+    /// Events processed so far.
+    pub fn events(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    // ----- event loop -----------------------------------------------------
+
+    /// Injects messages into the NoC. Messages without an offset leave
+    /// when the handler completes (`end`); messages with an offset leave
+    /// that many cycles after the handler started (`start`) — the
+    /// pipelined sends of loop-heavy handlers like the revocation
+    /// fan-out.
+    fn send_batch(&mut self, msgs: Vec<(Msg, Option<u64>)>, start: Cycles, end: Cycles) {
+        for (m, off) in msgs {
+            let at = match off {
+                None => end,
+                Some(o) => (start + o).min(end),
+            };
+            let delivery = self.noc.route(&m, at);
+            self.queue.schedule(delivery, m);
+        }
+    }
+
+    /// Injects messages into the NoC at time `at`.
+    fn send_at(&mut self, msgs: Vec<(Msg, Option<u64>)>, at: Cycles) {
+        self.send_batch(msgs, at, at);
+    }
+
+    /// Processes one event; returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, msg)) = self.queue.pop() else { return false };
+        let pe = msg.dst.idx();
+        if self.busy_until[pe] > t {
+            // The PE is still executing; retry when it frees up. The
+            // stable event queue preserves arrival order among equal
+            // retry times.
+            let at = self.busy_until[pe];
+            self.queue.schedule(at, msg);
+            return true;
+        }
+        let mut out = Outbox::new();
+        let cost = match &mut self.nodes[pe] {
+            Node::Kernel(k) => k.handle(&msg, &mut out),
+            Node::Service(s) => s.handle(&msg, &mut out),
+            Node::Client(c) => c.handle(&msg, &mut out),
+            Node::Server(s) => s.handle(&msg, &mut out),
+            Node::LoadGen(l) => l.handle(&msg, &mut out),
+            Node::Stub(stub) => handle_stub(stub, &msg, &mut out, t, &self.cfg.cost),
+            Node::Idle => 0,
+        };
+        let end = t + cost;
+        self.busy_until[pe] = end;
+        // DTU slot tracking (§4.1): consuming an inter-kernel request
+        // frees the slot, returning the sender's credit. This is a
+        // hardware-level exchange, so it does not occupy the sender's
+        // kernel CPU.
+        if matches!(msg.payload, Payload::Kcall(_)) {
+            let dst_kernel = self.topo.kernel_of(msg.dst);
+            let src_pe = msg.src.idx();
+            let mut credit_out = Outbox::new();
+            if let Node::Kernel(k) = &mut self.nodes[src_pe] {
+                k.return_credit(&mut credit_out, dst_kernel);
+            }
+            self.send_at(credit_out.drain(), t);
+        }
+        // Record client completion.
+        if let (Role::Client(c), Node::Client(client)) =
+            (self.topo.roles[pe], &self.nodes[pe])
+        {
+            match client.phase() {
+                ClientPhase::Done => {
+                    if let Some(entry) = self.client_times.get_mut(&c) {
+                        entry.1.get_or_insert(end);
+                    }
+                }
+                ClientPhase::Failed(e) => {
+                    panic!("client {c} failed: {e}");
+                }
+                _ => {}
+            }
+        }
+        self.send_batch(out.drain(), t, end);
+        true
+    }
+
+    /// Runs until no events remain; returns the final time.
+    pub fn run_until_idle(&mut self) -> Cycles {
+        while self.step() {}
+        self.queue.now()
+    }
+
+    /// Runs until the next event would be after `deadline` (events at
+    /// exactly `deadline` are processed).
+    pub fn run_until(&mut self, deadline: Cycles) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    // ----- boot ------------------------------------------------------------
+
+    /// Boots the OS services and waits for them to become ready.
+    pub fn boot_os(&mut self) {
+        assert!(!self.booted_os, "boot_os called twice");
+        self.booted_os = true;
+        let pes = self.topo.service_pes.clone();
+        for (i, pe) in pes.iter().enumerate() {
+            let at = self.queue.now() + (i as u64) * 200;
+            let mut out = Outbox::new();
+            let cost = match &mut self.nodes[pe.idx()] {
+                Node::Service(s) => s.boot(&mut out),
+                _ => unreachable!("service PE hosts a service"),
+            };
+            self.busy_until[pe.idx()] = self.busy_until[pe.idx()].max(at + cost);
+            self.send_at(out.drain(), at + cost);
+        }
+        self.run_until_idle();
+        for pe in &self.topo.service_pes {
+            if let Node::Service(s) = &self.nodes[pe.idx()] {
+                assert!(s.ready(), "service on {pe} failed to boot");
+            }
+        }
+    }
+
+    /// Starts all application clients (staggered); returns the base
+    /// start time.
+    pub fn start_clients(&mut self) -> Cycles {
+        assert!(self.booted_os, "boot_os first");
+        let base = self.queue.now();
+        let pes = self.topo.client_pes.clone();
+        for (i, pe) in pes.iter().enumerate() {
+            let at = base + (i as u64) * CLIENT_STAGGER;
+            let mut out = Outbox::new();
+            let cost = match &mut self.nodes[pe.idx()] {
+                Node::Client(c) => c.boot(&mut out),
+                Node::Stub(_) => continue,
+                _ => unreachable!("client PE hosts a client"),
+            };
+            self.client_times.insert(i as u32, (at, None));
+            self.busy_until[pe.idx()] = self.busy_until[pe.idx()].max(at + cost);
+            self.send_at(out.drain(), at + cost);
+        }
+        base
+    }
+
+    /// Boots the Nginx servers, waits for their sessions, then starts
+    /// the load generators.
+    pub fn start_nginx(&mut self) {
+        assert!(self.booted_os, "boot_os first");
+        let pes = self.topo.server_pes.clone();
+        for (i, pe) in pes.iter().enumerate() {
+            let at = self.queue.now() + (i as u64) * 200;
+            let mut out = Outbox::new();
+            let cost = match &mut self.nodes[pe.idx()] {
+                Node::Server(s) => s.boot(&mut out),
+                _ => unreachable!("server PE hosts a server"),
+            };
+            self.busy_until[pe.idx()] = self.busy_until[pe.idx()].max(at + cost);
+            self.send_at(out.drain(), at + cost);
+        }
+        self.run_until_idle();
+        let gens = self.topo.loadgen_pes.clone();
+        for pe in gens {
+            let mut out = Outbox::new();
+            if let Node::LoadGen(lg) = &mut self.nodes[pe.idx()] {
+                lg.boot(&mut out);
+            }
+            let at = self.queue.now();
+            self.send_at(out.drain(), at);
+        }
+    }
+
+    // ----- direct syscall injection (microbenchmarks) ----------------------
+
+    /// Issues a system call from a stub VPE and runs the machine until
+    /// the reply arrives. Returns the reply and the round-trip time in
+    /// cycles (issue to reply delivery) — the measurement of Table 3.
+    pub fn syscall_blocking(
+        &mut self,
+        vpe: VpeId,
+        call: semper_base::msg::Syscall,
+    ) -> (SysReply, u64) {
+        let pe = self.topo.vpe_dir[vpe.idx()];
+        let kernel_pe = self.topo.membership.kernel_pe(self.topo.kernel_of(pe));
+        match &mut self.nodes[pe.idx()] {
+            Node::Stub(s) => s.last_reply = None,
+            _ => panic!("syscall_blocking requires a stub VPE on {pe}"),
+        }
+        let start = self.queue.now().max(self.busy_until[pe.idx()]);
+        let msg = Msg::new(pe, kernel_pe, Payload::Sys { tag: 0, call });
+        let delivery = self.noc.route(&msg, start);
+        self.queue.schedule(delivery, msg);
+        loop {
+            if let Node::Stub(s) = &mut self.nodes[pe.idx()] {
+                if let Some((reply, at)) = s.last_reply.take() {
+                    return (reply, (at - start).0);
+                }
+            }
+            assert!(self.step(), "queue drained without a syscall reply for {vpe}");
+        }
+    }
+
+    // ----- metrics ----------------------------------------------------------
+
+    /// Per-client `(start, finish)` times; finish is `None` for clients
+    /// still running.
+    pub fn client_times(&self) -> &BTreeMap<u32, (Cycles, Option<Cycles>)> {
+        &self.client_times
+    }
+
+    /// Statistics of every kernel, by kernel id.
+    pub fn kernel_stats(&self) -> Vec<KernelStats> {
+        let mut v = Vec::new();
+        for pe in 0..self.cfg.num_pes {
+            if let Node::Kernel(k) = &self.nodes[pe as usize] {
+                v.push(*k.stats());
+            }
+        }
+        v
+    }
+
+    /// Total requests completed by all load generators.
+    pub fn loadgen_completed(&self) -> u64 {
+        self.topo
+            .loadgen_pes
+            .iter()
+            .map(|pe| match &self.nodes[pe.idx()] {
+                Node::LoadGen(lg) => lg.completed(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Runs kernel invariant checks (tests).
+    pub fn check_invariants(&self) {
+        for pe in 0..self.cfg.num_pes {
+            if let Node::Kernel(k) = &self.nodes[pe as usize] {
+                k.check_invariants()
+                    .unwrap_or_else(|e| panic!("kernel {}: {e}", k.id()));
+            }
+        }
+    }
+
+    /// Enables an optional protocol feature on every kernel (ablation
+    /// benchmarks).
+    pub fn enable_feature_everywhere(&mut self, f: semper_base::Feature) {
+        if !self.cfg.features.contains(&f) {
+            self.cfg.features.push(f);
+        }
+        for node in &mut self.nodes {
+            if let Node::Kernel(k) = node {
+                k.enable_feature_for_test(f);
+            }
+        }
+    }
+
+    /// Access to a kernel node by id (tests).
+    pub fn kernel(&self, id: KernelId) -> &Kernel {
+        let pe = self.topo.membership.kernel_pe(id);
+        match &self.nodes[pe.idx()] {
+            Node::Kernel(k) => k,
+            _ => unreachable!("kernel PE hosts a kernel"),
+        }
+    }
+}
+
+fn handle_stub(
+    stub: &mut StubVpe,
+    msg: &Msg,
+    out: &mut Outbox,
+    t: Cycles,
+    cost: &semper_base::CostModel,
+) -> u64 {
+    match &msg.payload {
+        Payload::SysReply(r) => {
+            stub.last_reply = Some((r.clone(), t));
+            0
+        }
+        Payload::Upcall(Upcall::AcceptExchange { op, .. }) => {
+            out.push(Msg::new(
+                msg.dst,
+                msg.src,
+                Payload::UpcallReply(UpcallReply::AcceptExchange { op: *op, accept: true }),
+            ));
+            cost.upcall_work
+        }
+        Payload::Upcall(Upcall::SessionOpen { op, .. }) => {
+            out.push(Msg::new(
+                msg.dst,
+                msg.src,
+                Payload::UpcallReply(UpcallReply::SessionOpen { op: *op, result: Ok(1) }),
+            ));
+            cost.session_accept
+        }
+        other => {
+            debug_assert!(false, "stub got unexpected payload {other:?}");
+            0
+        }
+    }
+}
+
+/// Builds the benchmark filesystem image sized for `max_instances`
+/// parallel instances.
+fn build_image(max_instances: u32) -> (FsImage, u64) {
+    let (dirs, files) = semper_apps::trace::required_image();
+    let mut spec = FsSpec::empty();
+    for d in dirs {
+        spec = spec.dir(&d);
+    }
+    for (p, s) in files {
+        spec = spec.file(&p, s);
+    }
+    // Headroom: runtime work files — generous 32 MiB per instance.
+    let headroom = 64 * 1024 * 1024 + max_instances as u64 * 32 * 1024 * 1024;
+    let region = spec.region_size(headroom);
+    (FsImage::build(&spec, region), region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::msg::{Perms, SysReplyData, Syscall};
+
+    fn micro(kernels: u16, vpes: u32) -> Machine {
+        let mut cfg = MachineConfig::small();
+        cfg.kernels = kernels;
+        cfg.services = 0;
+        cfg.num_pes = (kernels + kernels * 2).max(kernels + vpes as u16 + 2);
+        cfg.mesh_width = semper_base::config::mesh_width_for(cfg.num_pes);
+        Machine::build(cfg, vpes, 0, Workload::Micro)
+    }
+
+    #[test]
+    fn micro_machine_noop_roundtrip() {
+        let mut m = micro(1, 2);
+        let (reply, cycles) = m.syscall_blocking(VpeId(0), Syscall::Noop);
+        assert!(reply.result.is_ok());
+        assert!(cycles > 0, "syscall must take time");
+    }
+
+    #[test]
+    fn create_and_obtain_across_groups_timed() {
+        let mut m = micro(2, 4);
+        // Client 0 → group 0, client 1 → group 1 (round-robin).
+        let (r, _) = m.syscall_blocking(
+            VpeId(0),
+            Syscall::CreateMem { size: 4096, perms: Perms::RW },
+        );
+        let Ok(SysReplyData::Mem { sel, .. }) = r.result else { panic!("{r:?}") };
+        let (r, spanning_cycles) = m.syscall_blocking(
+            VpeId(1),
+            Syscall::Exchange {
+                other: VpeId(0),
+                own_sel: semper_base::CapSel::INVALID,
+                other_sel: sel,
+                kind: semper_base::ExchangeKind::Obtain,
+            },
+        );
+        assert!(matches!(r.result, Ok(SysReplyData::Sel(_))), "{r:?}");
+        // Local obtain for comparison: client 2 is in group 0 with 0.
+        let (r, local_cycles) = m.syscall_blocking(
+            VpeId(2),
+            Syscall::Exchange {
+                other: VpeId(0),
+                own_sel: semper_base::CapSel::INVALID,
+                other_sel: sel,
+                kind: semper_base::ExchangeKind::Obtain,
+            },
+        );
+        assert!(r.result.is_ok(), "{r:?}");
+        assert!(
+            spanning_cycles > local_cycles,
+            "spanning {spanning_cycles} should exceed local {local_cycles}"
+        );
+        m.check_invariants();
+    }
+}

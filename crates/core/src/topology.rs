@@ -1,0 +1,224 @@
+//! PE-role assignment.
+//!
+//! The machine is divided into contiguous PE groups, one per kernel
+//! (§3.1); the first PE of each group hosts the kernel. Service
+//! instances and application VPEs are distributed round-robin across
+//! groups, mirroring the paper's even distribution of benchmark
+//! instances (§5.3.2: "distributing them equally between kernels and
+//! filesystem services").
+
+use semper_base::{KernelId, MachineConfig, PeId, VpeId};
+use semper_caps::MembershipTable;
+
+/// What runs on a PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A kernel (one per group).
+    Kernel(KernelId),
+    /// An m3fs service instance (index into the service list).
+    Service(u16),
+    /// An application benchmark instance (index into the client list).
+    Client(u32),
+    /// An Nginx webserver process.
+    Server(u16),
+    /// A load-generator ("network interface") PE. Load generators are
+    /// pure traffic sources; they have no VPE and never issue syscalls.
+    LoadGen(u16),
+    /// Unused.
+    Idle,
+}
+
+/// The machine layout: who lives where.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// PE → kernel mapping.
+    pub membership: MembershipTable,
+    /// Role of every PE.
+    pub roles: Vec<Role>,
+    /// VPE → PE directory (services first, then clients, then servers).
+    pub vpe_dir: Vec<PeId>,
+    /// PEs of the service instances, by service index.
+    pub service_pes: Vec<PeId>,
+    /// PEs of the clients, by client index.
+    pub client_pes: Vec<PeId>,
+    /// PEs of the webserver processes, by server index.
+    pub server_pes: Vec<PeId>,
+    /// PEs of the load generators, by generator index.
+    pub loadgen_pes: Vec<PeId>,
+    /// VPE ids of the service instances.
+    pub service_vpes: Vec<VpeId>,
+    /// VPE ids of the clients.
+    pub client_vpes: Vec<VpeId>,
+    /// VPE ids of the webservers.
+    pub server_vpes: Vec<VpeId>,
+}
+
+impl Topology {
+    /// Builds a layout for `clients` application instances, `servers`
+    /// webservers, and `loadgens` load generators on top of `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine does not have enough PEs.
+    pub fn build(cfg: &MachineConfig, clients: u32, servers: u16, loadgens: u16) -> Topology {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid config: {e}"));
+        let membership = MembershipTable::contiguous(cfg.num_pes, cfg.kernels);
+        let mut roles = vec![Role::Idle; cfg.num_pes as usize];
+        for k in 0..cfg.kernels {
+            let pe = membership.kernel_pe(KernelId(k));
+            roles[pe.idx()] = Role::Kernel(KernelId(k));
+        }
+
+        // Free PEs per group, in PE order (deterministic).
+        let mut free: Vec<Vec<PeId>> = (0..cfg.kernels)
+            .map(|k| {
+                membership
+                    .group_pes(KernelId(k))
+                    .filter(|pe| roles[pe.idx()] == Role::Idle)
+                    .collect()
+            })
+            .collect();
+        // Pop from the front for locality with the kernel PE.
+        for f in &mut free {
+            f.reverse();
+        }
+        let mut take_from_group = |g: usize, roles: &mut Vec<Role>, role: Role| -> PeId {
+            let pe = match free[g].pop() {
+                Some(pe) => pe,
+                None => {
+                    // Group full: steal from the least-loaded other group.
+                    let (gi, len) = free
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (i, v.len()))
+                        .max_by_key(|(_, len)| *len)
+                        .expect("at least one group");
+                    assert!(len > 0, "machine out of PEs");
+                    free[gi].pop().expect("checked non-empty")
+                }
+            };
+            roles[pe.idx()] = role;
+            pe
+        };
+
+        let mut vpe_dir = Vec::new();
+        let mut service_pes = Vec::new();
+        let mut service_vpes = Vec::new();
+        for s in 0..cfg.services {
+            let g = (s % cfg.kernels) as usize;
+            let pe = take_from_group(g, &mut roles, Role::Service(s));
+            let vpe = VpeId(vpe_dir.len() as u16);
+            vpe_dir.push(pe);
+            service_pes.push(pe);
+            service_vpes.push(vpe);
+        }
+        let mut client_pes = Vec::new();
+        let mut client_vpes = Vec::new();
+        for c in 0..clients {
+            let g = (c % cfg.kernels as u32) as usize;
+            let pe = take_from_group(g, &mut roles, Role::Client(c));
+            let vpe = VpeId(vpe_dir.len() as u16);
+            vpe_dir.push(pe);
+            client_pes.push(pe);
+            client_vpes.push(vpe);
+        }
+        let mut server_pes = Vec::new();
+        let mut server_vpes = Vec::new();
+        for s in 0..servers {
+            let g = (s % cfg.kernels) as usize;
+            let pe = take_from_group(g, &mut roles, Role::Server(s));
+            let vpe = VpeId(vpe_dir.len() as u16);
+            vpe_dir.push(pe);
+            server_pes.push(pe);
+            server_vpes.push(vpe);
+        }
+        let mut loadgen_pes = Vec::new();
+        for l in 0..loadgens {
+            let g = (l % cfg.kernels) as usize;
+            let pe = take_from_group(g, &mut roles, Role::LoadGen(l));
+            loadgen_pes.push(pe);
+        }
+
+        Topology {
+            membership,
+            roles,
+            vpe_dir,
+            service_pes,
+            client_pes,
+            server_pes,
+            loadgen_pes,
+            service_vpes,
+            client_vpes,
+            server_vpes,
+        }
+    }
+
+    /// The kernel managing a PE.
+    pub fn kernel_of(&self, pe: PeId) -> KernelId {
+        self.membership.kernel_of(pe)
+    }
+
+    /// Number of PEs consumed by the OS (kernels + services) — the
+    /// denominator adjustment of the paper's *system efficiency*
+    /// (Figure 9).
+    pub fn os_pes(&self) -> usize {
+        self.membership.kernel_count() + self.service_pes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kernels: u16, services: u16) -> MachineConfig {
+        let mut c = MachineConfig::paper_testbed(kernels, services);
+        c.num_pes = 640;
+        c
+    }
+
+    #[test]
+    fn kernels_sit_at_group_starts() {
+        let t = Topology::build(&cfg(4, 4), 16, 0, 0);
+        assert_eq!(t.roles[0], Role::Kernel(KernelId(0)));
+        assert_eq!(t.roles[160], Role::Kernel(KernelId(1)));
+    }
+
+    #[test]
+    fn services_spread_across_groups() {
+        let t = Topology::build(&cfg(4, 8), 0, 0, 0);
+        let groups: Vec<KernelId> =
+            t.service_pes.iter().map(|pe| t.kernel_of(*pe)).collect();
+        // 8 services over 4 kernels → 2 per group.
+        for k in 0..4u16 {
+            assert_eq!(groups.iter().filter(|g| **g == KernelId(k)).count() as u16, 2);
+        }
+    }
+
+    #[test]
+    fn clients_get_unique_pes_and_vpes() {
+        let t = Topology::build(&cfg(8, 8), 128, 0, 0);
+        let mut pes: Vec<PeId> = t.client_pes.clone();
+        pes.sort();
+        pes.dedup();
+        assert_eq!(pes.len(), 128);
+        assert_eq!(t.client_vpes.len(), 128);
+        assert_eq!(t.vpe_dir.len(), 8 + 128);
+    }
+
+    #[test]
+    fn servers_and_loadgens_allocated() {
+        let t = Topology::build(&cfg(8, 8), 0, 32, 8);
+        assert_eq!(t.server_pes.len(), 32);
+        assert_eq!(t.loadgen_pes.len(), 8);
+        assert_eq!(t.os_pes(), 8 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of PEs")]
+    fn overflow_panics() {
+        let mut c = MachineConfig::small();
+        c.num_pes = 8;
+        c.mesh_width = 3;
+        let _ = Topology::build(&c, 32, 0, 0);
+    }
+}

@@ -1,0 +1,685 @@
+//! Capability exchange: obtain and delegate (§4.3.2).
+//!
+//! Both operations start with an `Exchange` system call. The initiator's
+//! kernel decides whether the peer VPE is group-local (single-kernel
+//! handling, sequence A of Figure 3) or managed by another kernel
+//! (inter-kernel handling, sequence B). In both cases the peer VPE is
+//! asked for consent via an upcall before any capability changes hands.
+//!
+//! The asymmetry between obtain and delegate is deliberate and mirrors
+//! the paper's analysis of interference (Table 2):
+//!
+//! * **Obtain** leaves the obtainer's tree untouched until the owner's
+//!   kernel replied. If the obtainer died meanwhile, the owner is told to
+//!   drop the *orphaned* child reference (the orphan-notice inter-kernel call).
+//! * **Delegate** uses a **two-way handshake**: the receiver's kernel
+//!   creates the capability but does not insert it until the delegator's
+//!   kernel confirmed that the parent still exists. Without this, a
+//!   revoke of the parent racing with the delegate could leave the
+//!   receiver holding a capability that survives the revocation —
+//!   the *invalid* case the paper rules out. The one-way variant can be
+//!   enabled as an ablation ([`Feature::OneWayDelegate`]) to demonstrate
+//!   exactly that window.
+
+use semper_base::config::Feature;
+use semper_base::msg::{CapDesc, CapKindDesc, Kcall, KReply, Payload, SysReplyData, Upcall};
+use semper_base::{
+    CapSel, CapType, Code, DdlKey, Error, ExchangeKind, Msg, OpId, PeId, Result, VpeId,
+};
+use semper_caps::Capability;
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+use crate::pending::PendingOp;
+
+impl Kernel {
+    /// Entry point for the `Exchange` system call.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sys_exchange(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        other: VpeId,
+        own_sel: CapSel,
+        other_sel: CapSel,
+        kind: ExchangeKind,
+        out: &mut Outbox,
+    ) -> u64 {
+        match self.exchange_start(vpe, tag, other, own_sel, other_sel, kind, out) {
+            Ok(cost) => cost,
+            Err(e) => {
+                if e.code() == Code::RevokeInProgress {
+                    self.stats.pointless_denied += 1;
+                }
+                self.reply_sys(out, vpe, tag, Err(e));
+                self.cfg.cost.syscall_exit
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exchange_start(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        other: VpeId,
+        own_sel: CapSel,
+        other_sel: CapSel,
+        kind: ExchangeKind,
+        out: &mut Outbox,
+    ) -> Result<u64> {
+        if other == vpe {
+            return Err(Error::new(Code::InvalidArgs));
+        }
+        let peer_kernel = self.kernel_of_vpe(other)?;
+
+        // For a delegate, the initiator's capability must exist and must
+        // not be under revocation (denying *pointless* exchanges).
+        let parent_key = match kind {
+            ExchangeKind::Delegate => {
+                let key = self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(own_sel)?;
+                let cap = self.mapdb.get(key)?;
+                if cap.revoking() {
+                    return Err(Error::new(Code::RevokeInProgress));
+                }
+                Some(key)
+            }
+            ExchangeKind::Obtain => None,
+        };
+
+        if peer_kernel == self.id {
+            // Group-local: the peer's capabilities are ours to inspect.
+            if !self.vpe_alive(other) {
+                return Err(Error::new(Code::VpeGone));
+            }
+            if kind == ExchangeKind::Obtain {
+                let key =
+                    self.tables.get(&other).ok_or(Error::new(Code::NoSuchVpe))?.get(other_sel)?;
+                if self.mapdb.get(key)?.revoking() {
+                    return Err(Error::new(Code::RevokeInProgress));
+                }
+            }
+            let op = self.alloc_op();
+            let peer_pe = self.pe_of_vpe(other)?;
+            out.push(Msg::new(
+                self.pe,
+                peer_pe,
+                Payload::Upcall(Upcall::AcceptExchange { op, from_vpe: vpe, kind, sel: other_sel }),
+            ));
+            self.park(
+                op,
+                PendingOp::ExchangeLocalAccept {
+                    tag,
+                    initiator: vpe,
+                    peer: other,
+                    kind,
+                    own_sel,
+                    other_sel,
+                },
+            );
+            Ok(2 * self.ref_cost())
+        } else {
+            // Group-spanning: involve the peer's kernel (sequence B).
+            let op = self.alloc_op();
+            match kind {
+                ExchangeKind::Obtain => {
+                    // Pre-allocate the child key; nothing is inserted
+                    // until the owner's kernel replies.
+                    let pe = self.pe_of_vpe(vpe)?;
+                    let child_key = self.keys.alloc(pe, vpe, CapType::Memory);
+                    self.send_kcall(
+                        out,
+                        peer_kernel,
+                        Kcall::ObtainReq {
+                            op,
+                            child_key,
+                            owner_vpe: other,
+                            owner_sel: other_sel,
+                            requester_vpe: vpe,
+                        },
+                    );
+                    self.park(
+                        op,
+                        PendingOp::ObtainRemote { tag, requester: vpe, child_key, peer_kernel },
+                    );
+                }
+                ExchangeKind::Delegate => {
+                    let parent_key = parent_key.expect("checked above for delegate");
+                    let desc = self.mapdb.get(parent_key)?.kind;
+                    self.send_kcall(
+                        out,
+                        peer_kernel,
+                        Kcall::DelegateReq { op, parent_key, desc, recv_vpe: other },
+                    );
+                    self.park(
+                        op,
+                        PendingOp::DelegateRemote {
+                            tag,
+                            delegator: vpe,
+                            parent_key,
+                            peer_kernel,
+                        },
+                    );
+                }
+            }
+            Ok(2 * self.ref_cost())
+        }
+    }
+
+    /// The peer VPE answered an accept-exchange upcall.
+    pub(crate) fn upcall_accept_exchange(
+        &mut self,
+        src: PeId,
+        op: OpId,
+        accept: bool,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(state) = self.pending.remove(&op) else {
+            // The operation was cancelled (e.g. a party died); ignore.
+            return 0;
+        };
+        match state {
+            PendingOp::ExchangeLocalAccept { tag, initiator, peer, kind, own_sel, other_sel } => {
+                debug_assert_eq!(self.pe_of_vpe(peer).ok(), Some(src));
+                self.finish_local_exchange(
+                    tag, initiator, peer, kind, own_sel, other_sel, accept, out,
+                )
+            }
+            PendingOp::ObtainAtOwnerAccept { caller_op, caller_kernel, child_key, parent_key, .. } => {
+                self.finish_obtain_at_owner(
+                    caller_op, caller_kernel, child_key, parent_key, accept, out,
+                )
+            }
+            PendingOp::DelegateAtRecvAccept { caller_op, caller_kernel, parent_key, desc, recv } => {
+                self.finish_delegate_at_recv(
+                    caller_op, caller_kernel, parent_key, desc, recv, accept, out,
+                )
+            }
+            other => {
+                debug_assert!(false, "accept-exchange reply for {:?}", other.class());
+                self.pending.insert(op, other);
+                0
+            }
+        }
+    }
+
+    /// Completes a group-local exchange after the peer accepted.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_local_exchange(
+        &mut self,
+        tag: u64,
+        initiator: VpeId,
+        peer: VpeId,
+        kind: ExchangeKind,
+        own_sel: CapSel,
+        other_sel: CapSel,
+        accept: bool,
+        out: &mut Outbox,
+    ) -> u64 {
+        if !accept {
+            self.reply_sys(out, initiator, tag, Err(Error::new(Code::ExchangeDenied)));
+            return self.cfg.cost.syscall_exit;
+        }
+        if !self.vpe_alive(initiator) {
+            // The initiator died while the upcall was in flight; nothing
+            // was inserted, so nothing to clean up.
+            return 0;
+        }
+        let result = match kind {
+            ExchangeKind::Obtain => {
+                self.insert_child_for(peer, other_sel, initiator).map(SysReplyData::Sel)
+            }
+            ExchangeKind::Delegate => self
+                .insert_child_for(initiator, own_sel, peer)
+                .map(|recv_sel| SysReplyData::Delegated { recv_sel }),
+        };
+        if result.is_ok() {
+            self.stats.exchanges_local += 1;
+        } else if result.as_ref().err().map(|e| e.code()) == Some(Code::RevokeInProgress) {
+            self.stats.pointless_denied += 1;
+        }
+        self.reply_sys(out, initiator, tag, result);
+        self.cfg.cost.cap_create
+            + self.cfg.cost.cap_insert
+            + 2 * self.ref_cost()
+            + self.cfg.cost.syscall_exit
+    }
+
+    /// Creates a child of `owner`'s capability at `sel` for `receiver`
+    /// (both VPEs in this group). Returns the receiver-side selector.
+    fn insert_child_for(&mut self, owner: VpeId, sel: CapSel, receiver: VpeId) -> Result<CapSel> {
+        let parent_key = self.tables.get(&owner).ok_or(Error::new(Code::NoSuchVpe))?.get(sel)?;
+        let parent = self.mapdb.get(parent_key)?;
+        if parent.revoking() {
+            return Err(Error::new(Code::RevokeInProgress));
+        }
+        let desc = parent.kind;
+        let recv_pe = self.pe_of_vpe(receiver)?;
+        let child_key = self.keys.alloc(recv_pe, receiver, key_type_for(&desc));
+        let recv_table = self.tables.get_mut(&receiver).ok_or(Error::new(Code::NoSuchVpe))?;
+        let recv_sel = recv_table.insert_new(child_key);
+        self.mapdb.insert(Capability::child(child_key, desc, receiver, recv_sel, parent_key));
+        self.mapdb.link_child(parent_key, child_key)?;
+        self.stats.caps_created += 1;
+        Ok(recv_sel)
+    }
+
+    // ----- obtain, group-spanning ---------------------------------------
+
+    /// Owner-side handling of an obtain request from another kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn kcall_obtain_req(
+        &mut self,
+        from: semper_base::KernelId,
+        op: OpId,
+        child_key: DdlKey,
+        owner_vpe: VpeId,
+        owner_sel: CapSel,
+        _requester_vpe: VpeId,
+        out: &mut Outbox,
+    ) -> u64 {
+        let check = (|| -> Result<DdlKey> {
+            if !self.vpe_alive(owner_vpe) {
+                return Err(Error::new(Code::VpeGone));
+            }
+            let key =
+                self.tables.get(&owner_vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(owner_sel)?;
+            if self.mapdb.get(key)?.revoking() {
+                return Err(Error::new(Code::RevokeInProgress));
+            }
+            Ok(key)
+        })();
+        match check {
+            Err(e) => {
+                if e.code() == Code::RevokeInProgress {
+                    self.stats.pointless_denied += 1;
+                }
+                self.send_kreply(out, from, KReply::Obtain { op, result: Err(e) });
+                self.cfg.cost.kcall_exit
+            }
+            Ok(parent_key) => {
+                let my_op = self.alloc_op();
+                let pe = self.pe_of_vpe(owner_vpe).expect("owner is local");
+                out.push(Msg::new(
+                    self.pe,
+                    pe,
+                    Payload::Upcall(Upcall::AcceptExchange {
+                        op: my_op,
+                        from_vpe: _requester_vpe,
+                        kind: ExchangeKind::Obtain,
+                        sel: owner_sel,
+                    }),
+                ));
+                self.park(
+                    my_op,
+                    PendingOp::ObtainAtOwnerAccept {
+                        caller_op: op,
+                        caller_kernel: from,
+                        child_key,
+                        parent_key,
+                        owner: owner_vpe,
+                    },
+                );
+                self.ref_cost() + self.cfg.cost.xfer_desc
+            }
+        }
+    }
+
+    /// Owner accepted (or denied) a remote obtain: link the child and
+    /// reply with the capability description.
+    fn finish_obtain_at_owner(
+        &mut self,
+        caller_op: OpId,
+        caller_kernel: semper_base::KernelId,
+        child_key: DdlKey,
+        parent_key: DdlKey,
+        accept: bool,
+        out: &mut Outbox,
+    ) -> u64 {
+        let result = (|| -> Result<CapDesc> {
+            if !accept {
+                return Err(Error::new(Code::ExchangeDenied));
+            }
+            let parent = self.mapdb.get(parent_key)?;
+            if parent.revoking() {
+                return Err(Error::new(Code::RevokeInProgress));
+            }
+            let kind = parent.kind;
+            // C1 is added to C2's child list *before* the reply (§4.3.2);
+            // if the requester died, it becomes an orphan the requester's
+            // kernel tells us to remove.
+            self.mapdb.link_child(parent_key, child_key)?;
+            Ok(CapDesc { key: parent_key, kind })
+        })();
+        if let Err(e) = &result {
+            if e.code() == Code::RevokeInProgress {
+                self.stats.pointless_denied += 1;
+            }
+        }
+        self.send_kreply(out, caller_kernel, KReply::Obtain { op: caller_op, result });
+        self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
+    }
+
+    /// Requester-side completion of a group-spanning obtain.
+    pub(crate) fn kreply_obtain(
+        &mut self,
+        op: OpId,
+        result: &Result<CapDesc>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(PendingOp::ObtainRemote { tag, requester, child_key, peer_kernel }) =
+            self.pending.remove(&op)
+        else {
+            debug_assert!(false, "obtain reply without pending op");
+            return 0;
+        };
+        match result {
+            Err(e) => {
+                self.reply_sys(out, requester, tag, Err(*e));
+                self.cfg.cost.syscall_exit
+            }
+            Ok(desc) => {
+                if !self.vpe_alive(requester) {
+                    // Orphaned: tell the owner's kernel to unlink the
+                    // child reference it optimistically created.
+                    self.send_kcall(
+                        out,
+                        peer_kernel,
+                        Kcall::OrphanNotice { parent_key: desc.key, child_key },
+                    );
+                    return self.cfg.cost.kcall_exit;
+                }
+                let table = self.tables.get_mut(&requester).expect("alive VPE has table");
+                let sel = table.insert_new(child_key);
+                self.mapdb.insert(Capability::child(
+                    child_key, desc.kind, requester, sel, desc.key,
+                ));
+                self.stats.caps_created += 1;
+                self.stats.exchanges_spanning += 1;
+                self.reply_sys(out, requester, tag, Ok(SysReplyData::Sel(sel)));
+                self.cfg.cost.xfer_desc
+                    + self.cfg.cost.cap_create
+                    + self.cfg.cost.cap_insert
+                    + self.cfg.cost.syscall_exit
+            }
+        }
+    }
+
+    /// Owner-side cleanup of an orphaned child reference (the obtainer
+    /// died before receiving the capability).
+    pub(crate) fn kcall_orphan_notice(&mut self, parent_key: DdlKey, child_key: DdlKey) -> u64 {
+        if self.mapdb.unlink_child(parent_key, child_key) {
+            self.stats.orphans_cleaned += 1;
+        }
+        self.ref_cost()
+    }
+
+    // ----- delegate, group-spanning --------------------------------------
+
+    /// Receiver-side handling of a delegate request (first leg).
+    pub(crate) fn kcall_delegate_req(
+        &mut self,
+        from: semper_base::KernelId,
+        op: OpId,
+        parent_key: DdlKey,
+        desc: CapKindDesc,
+        recv_vpe: VpeId,
+        out: &mut Outbox,
+    ) -> u64 {
+        if !self.vpe_alive(recv_vpe) {
+            self.send_kreply(
+                out,
+                from,
+                KReply::Delegate { op, result: Err(Error::new(Code::VpeGone)) },
+            );
+            return self.cfg.cost.kcall_exit;
+        }
+        let my_op = self.alloc_op();
+        let pe = self.pe_of_vpe(recv_vpe).expect("recv is local");
+        out.push(Msg::new(
+            self.pe,
+            pe,
+            Payload::Upcall(Upcall::AcceptExchange {
+                op: my_op,
+                from_vpe: recv_vpe,
+                kind: ExchangeKind::Delegate,
+                sel: CapSel::INVALID,
+            }),
+        ));
+        self.park(
+            my_op,
+            PendingOp::DelegateAtRecvAccept {
+                caller_op: op,
+                caller_kernel: from,
+                parent_key,
+                desc,
+                recv: recv_vpe,
+            },
+        );
+        self.ref_cost() + self.cfg.cost.xfer_desc
+    }
+
+    /// Receiver accepted a remote delegate: create the capability.
+    ///
+    /// With the two-way handshake (default) the capability is parked
+    /// uninserted until the delegator's kernel confirms the parent is
+    /// still alive. With [`Feature::OneWayDelegate`] (ablation) it is
+    /// inserted immediately — opening the *invalid-capability* window.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_delegate_at_recv(
+        &mut self,
+        caller_op: OpId,
+        caller_kernel: semper_base::KernelId,
+        parent_key: DdlKey,
+        desc: CapKindDesc,
+        recv: VpeId,
+        accept: bool,
+        out: &mut Outbox,
+    ) -> u64 {
+        if !accept {
+            self.send_kreply(
+                out,
+                caller_kernel,
+                KReply::Delegate { op: caller_op, result: Err(Error::new(Code::ExchangeDenied)) },
+            );
+            return self.cfg.cost.kcall_exit;
+        }
+        let pe = self.pe_of_vpe(recv).expect("recv is local");
+        let child_key = self.keys.alloc(pe, recv, key_type_for(&desc));
+        let cap = Capability::child(child_key, desc, recv, CapSel::INVALID, parent_key);
+
+        if self.cfg.has_feature(Feature::OneWayDelegate) {
+            // Ablation: naive one-way protocol — insert immediately.
+            let table = self.tables.get_mut(&recv).expect("alive VPE has table");
+            let sel = table.insert_new(child_key);
+            self.mapdb.insert(Capability { sel, ..cap });
+            self.stats.caps_created += 1;
+            let my_op = self.alloc_op();
+            self.send_kreply(
+                out,
+                caller_kernel,
+                KReply::Delegate { op: caller_op, result: Ok((child_key, my_op)) },
+            );
+            return self.cfg.cost.cap_create + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit;
+        }
+
+        let my_op = self.alloc_op();
+        self.park(
+            my_op,
+            PendingOp::DelegatePendingInsert { caller_kernel, cap: Box::new(cap) },
+        );
+        self.send_kreply(
+            out,
+            caller_kernel,
+            KReply::Delegate { op: caller_op, result: Ok((child_key, my_op)) },
+        );
+        self.cfg.cost.cap_create + self.cfg.cost.kcall_exit
+    }
+
+    /// Delegator-side handling of the first-leg reply: validate the
+    /// parent is still alive, then commit or abort.
+    pub(crate) fn kreply_delegate(
+        &mut self,
+        from: semper_base::KernelId,
+        op: OpId,
+        result: &Result<(DdlKey, OpId)>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(PendingOp::DelegateRemote { tag, delegator, parent_key, peer_kernel }) =
+            self.pending.remove(&op)
+        else {
+            debug_assert!(false, "delegate reply without pending op");
+            return 0;
+        };
+        debug_assert_eq!(from, peer_kernel);
+        match result {
+            Err(e) => {
+                self.reply_sys(out, delegator, tag, Err(*e));
+                self.cfg.cost.syscall_exit
+            }
+            Ok((child_key, peer_op)) => {
+                if self.cfg.has_feature(Feature::OneWayDelegate) {
+                    // Ablation: link blindly, no validation, no ack.
+                    let _ = self.mapdb.link_child(parent_key, *child_key);
+                    self.stats.exchanges_spanning += 1;
+                    self.reply_sys(
+                        out,
+                        delegator,
+                        tag,
+                        Ok(SysReplyData::Delegated { recv_sel: CapSel::INVALID }),
+                    );
+                    return self.cfg.cost.cap_insert + self.cfg.cost.syscall_exit;
+                }
+
+                // Validate: parent must still exist, not be in
+                // revocation, and the delegator must still be alive.
+                let valid = self.vpe_alive(delegator)
+                    && self.mapdb.get(parent_key).map(|c| !c.revoking()).unwrap_or(false);
+                let reply_op = self.alloc_op();
+                if valid {
+                    self.mapdb
+                        .link_child(parent_key, *child_key)
+                        .expect("parent checked above");
+                    self.send_kcall(
+                        out,
+                        peer_kernel,
+                        Kcall::DelegateAck { op: *peer_op, reply_op, commit: true },
+                    );
+                    self.park(
+                        reply_op,
+                        PendingOp::DelegateWaitDone {
+                            tag,
+                            delegator,
+                            parent_key,
+                            child_key: *child_key,
+                        },
+                    );
+                    self.ref_cost() + self.cfg.cost.xfer_desc + self.cfg.cost.cap_insert
+                } else {
+                    let reason = if !self.vpe_alive(delegator) {
+                        Error::new(Code::VpeGone)
+                    } else if self.mapdb.contains(parent_key) {
+                        self.stats.pointless_denied += 1;
+                        Error::new(Code::RevokeInProgress)
+                    } else {
+                        Error::new(Code::NoSuchCap)
+                    };
+                    self.send_kcall(
+                        out,
+                        peer_kernel,
+                        Kcall::DelegateAck { op: *peer_op, reply_op, commit: false },
+                    );
+                    self.park(reply_op, PendingOp::DelegateAborted { tag, delegator, reason });
+                    self.ref_cost()
+                }
+            }
+        }
+    }
+
+    /// Receiver-side handling of the commit/abort ack (second leg).
+    pub(crate) fn kcall_delegate_ack(
+        &mut self,
+        from: semper_base::KernelId,
+        op: OpId,
+        reply_op: OpId,
+        commit: bool,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(PendingOp::DelegatePendingInsert { caller_kernel, cap }) =
+            self.pending.remove(&op)
+        else {
+            debug_assert!(false, "delegate ack without pending insert");
+            return 0;
+        };
+        debug_assert_eq!(from, caller_kernel);
+        let result = if !commit {
+            Err(Error::new(Code::ExchangeDenied))
+        } else if !self.vpe_alive(cap.owner) {
+            // Receiver died during the handshake: the capability is an
+            // orphan; report it so the delegator unlinks the child
+            // reference quickly (§4.3.2).
+            self.stats.orphans_cleaned += 1;
+            Err(Error::new(Code::VpeGone))
+        } else {
+            let table = self.tables.get_mut(&cap.owner).expect("alive VPE has table");
+            let sel = table.insert_new(cap.key);
+            self.mapdb.insert(Capability { sel, ..*cap });
+            self.stats.caps_created += 1;
+            Ok(sel)
+        };
+        self.send_kreply(out, from, KReply::DelegateDone { op: reply_op, result });
+        self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
+    }
+
+    /// Delegator-side completion of the handshake.
+    pub(crate) fn kreply_delegate_done(
+        &mut self,
+        op: OpId,
+        result: Result<CapSel>,
+        out: &mut Outbox,
+    ) -> u64 {
+        match self.pending.remove(&op) {
+            Some(PendingOp::DelegateWaitDone { tag, delegator, parent_key, child_key }) => {
+                match result {
+                    Ok(recv_sel) => {
+                        self.stats.exchanges_spanning += 1;
+                        self.reply_sys(
+                            out,
+                            delegator,
+                            tag,
+                            Ok(SysReplyData::Delegated { recv_sel }),
+                        );
+                    }
+                    Err(e) => {
+                        // Insertion failed (receiver died): unlink the
+                        // child reference we optimistically added.
+                        self.mapdb.unlink_child(parent_key, child_key);
+                        self.reply_sys(out, delegator, tag, Err(e));
+                    }
+                }
+                self.ref_cost() + self.cfg.cost.syscall_exit
+            }
+            Some(PendingOp::DelegateAborted { tag, delegator, reason }) => {
+                self.reply_sys(out, delegator, tag, Err(reason));
+                self.cfg.cost.syscall_exit
+            }
+            other => {
+                debug_assert!(false, "delegate-done without pending op: {other:?}");
+                0
+            }
+        }
+    }
+}
+
+/// DDL key type matching a resource description.
+fn key_type_for(desc: &CapKindDesc) -> CapType {
+    match desc {
+        CapKindDesc::Vpe { .. } => CapType::Vpe,
+        CapKindDesc::Memory { .. } => CapType::Memory,
+        CapKindDesc::SendGate { .. } => CapType::SendGate,
+        CapKindDesc::RecvGate { .. } => CapType::RecvGate,
+        CapKindDesc::Service { .. } => CapType::Service,
+        CapKindDesc::Session { .. } => CapType::Session,
+        CapKindDesc::Kernel => CapType::Kernel,
+    }
+}

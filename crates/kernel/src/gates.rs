@@ -1,0 +1,80 @@
+//! DTU endpoint activation (M3's `activate` system call).
+//!
+//! Capabilities *authorise*; DTU endpoints *enforce*. Before a VPE can
+//! touch the memory behind a memory capability (or send through a send
+//! gate), it asks its kernel to configure one of its DTU endpoints for
+//! the capability (§2.2: "The client can instruct the kernel to
+//! configure a memory endpoint for the memory capability"). The kernel
+//! is the only privileged party, so it also *deconfigures* endpoints
+//! when the backing capability is revoked — this is the moment a revoke
+//! actually severs the hardware access path, and why revocation speed
+//! matters for designs like copy-on-write filesystems (§3).
+
+use semper_base::config::EP_COUNT;
+use semper_base::msg::SysReplyData;
+use semper_base::{CapSel, Code, DdlKey, EpId, Error, Result, VpeId};
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+
+impl Kernel {
+    /// Entry point for the `Activate` system call.
+    pub(crate) fn sys_activate(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        sel: CapSel,
+        ep: EpId,
+        out: &mut Outbox,
+    ) -> u64 {
+        let result = (|| -> Result<SysReplyData> {
+            if ep.0 >= EP_COUNT {
+                return Err(Error::new(Code::InvalidArgs));
+            }
+            let key = self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(sel)?;
+            let cap = self.mapdb.get(key)?;
+            if cap.revoking() {
+                return Err(Error::new(Code::RevokeInProgress));
+            }
+            use semper_base::msg::CapKindDesc;
+            match cap.kind {
+                CapKindDesc::Memory { .. } | CapKindDesc::SendGate { .. } => {}
+                _ => return Err(Error::new(Code::InvalidArgs)),
+            }
+            // (Re)configure: an endpoint holds at most one binding.
+            self.ep_configs.insert((vpe, ep), key);
+            Ok(SysReplyData::None)
+        })();
+        if let Err(e) = &result {
+            if e.code() == Code::RevokeInProgress {
+                self.stats.pointless_denied += 1;
+            }
+        }
+        self.reply_sys(out, vpe, tag, result);
+        self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.syscall_exit
+    }
+
+    /// The capability currently activated on `(vpe, ep)`, if any
+    /// (tests and verification).
+    pub fn ep_binding(&self, vpe: VpeId, ep: EpId) -> Option<DdlKey> {
+        self.ep_configs.get(&(vpe, ep)).copied()
+    }
+
+    /// Invalidates every endpoint configured for a deleted capability.
+    /// Called from the revocation sweep; returns the modeled cost (one
+    /// DTU reconfiguration per invalidated endpoint).
+    pub(crate) fn invalidate_eps_for(&mut self, key: DdlKey) -> u64 {
+        let victims: Vec<(VpeId, EpId)> = self
+            .ep_configs
+            .iter()
+            .filter(|(_, k)| **k == key)
+            .map(|(slot, _)| *slot)
+            .collect();
+        let cost = victims.len() as u64 * self.cfg.cost.cap_insert;
+        for slot in victims {
+            self.ep_configs.remove(&slot);
+            self.stats.eps_invalidated += 1;
+        }
+        cost
+    }
+}

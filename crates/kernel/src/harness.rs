@@ -1,0 +1,328 @@
+//! A synchronous multi-kernel test harness.
+//!
+//! [`TestCluster`] wires several kernels with stub VPEs and a FIFO
+//! message queue — no timing, no NoC model — so protocol logic can be
+//! unit- and property-tested in isolation. The FIFO queue preserves the
+//! per-channel ordering precondition (§4.3.1). Timing-accurate execution
+//! lives in the `semperos` crate's machine.
+//!
+//! The stubs auto-accept exchanges and sessions unless told otherwise,
+//! and the queue can be stepped one message at a time to construct the
+//! exact interleavings of Table 2.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use semper_base::config::MachineConfig;
+use semper_base::msg::{Payload, SysReply, Syscall, Upcall, UpcallReply};
+use semper_base::{KernelId, Msg, PeId, VpeId};
+use semper_caps::MembershipTable;
+use semper_noc::GlobalMemory;
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+
+/// A deterministic, untimed cluster of kernels and stub VPEs.
+pub struct TestCluster {
+    /// The kernels, indexed by kernel id.
+    pub kernels: Vec<Kernel>,
+    queue: VecDeque<Msg>,
+    vpe_of_pe: BTreeMap<PeId, VpeId>,
+    pe_of_vpe: Vec<PeId>,
+    /// VPEs that deny capability exchanges.
+    deny: BTreeSet<VpeId>,
+    /// VPEs that have been killed (their stub no longer responds).
+    dead: BTreeSet<VpeId>,
+    /// Collected system-call replies, per VPE.
+    replies: BTreeMap<VpeId, Vec<SysReply>>,
+    next_session_ident: u64,
+    tag_counter: u64,
+}
+
+impl TestCluster {
+    /// Builds a cluster of `kernels` kernels with `vpes_per_group` stub
+    /// VPEs each. PE layout: each group occupies a contiguous PE range;
+    /// the group's first PE hosts the kernel, the rest host VPEs.
+    pub fn new(kernels: u16, vpes_per_group: u16) -> TestCluster {
+        let group = 1 + vpes_per_group;
+        let num_pes = kernels * group;
+        let mut cfg = MachineConfig::small();
+        cfg.num_pes = num_pes;
+        cfg.mesh_width = semper_base::config::mesh_width_for(num_pes);
+        cfg.kernels = kernels;
+        cfg.mode = semper_base::KernelMode::SemperOS;
+
+        let membership = MembershipTable::contiguous(num_pes, kernels);
+        let mut ks = Vec::new();
+        let mut vpe_of_pe = BTreeMap::new();
+        let mut pe_of_vpe = Vec::new();
+
+        for k in 0..kernels {
+            let mem = GlobalMemory::new((k as u64 + 1) << 32, 1 << 30);
+            ks.push(Kernel::new(KernelId(k), cfg.clone(), membership.clone(), mem));
+        }
+        let mut next_vpe = 0u16;
+        for k in 0..kernels {
+            for p in 1..group {
+                let pe = PeId(k * group + p);
+                let vpe = VpeId(next_vpe);
+                next_vpe += 1;
+                ks[k as usize].add_vpe(vpe, pe);
+                vpe_of_pe.insert(pe, vpe);
+                pe_of_vpe.push(pe);
+            }
+        }
+        let dir: Vec<PeId> = pe_of_vpe.clone();
+        for k in &mut ks {
+            k.set_vpe_dir(dir.clone());
+        }
+        TestCluster {
+            kernels: ks,
+            queue: VecDeque::new(),
+            vpe_of_pe,
+            pe_of_vpe,
+            deny: BTreeSet::new(),
+            dead: BTreeSet::new(),
+            replies: BTreeMap::new(),
+            next_session_ident: 1,
+            tag_counter: 0,
+        }
+    }
+
+    /// The PE of a VPE.
+    pub fn pe_of(&self, vpe: VpeId) -> PeId {
+        self.pe_of_vpe[vpe.idx()]
+    }
+
+    /// The kernel managing a VPE.
+    pub fn kernel_of(&self, vpe: VpeId) -> KernelId {
+        for k in &self.kernels {
+            if k.vpe_alive(vpe) || k.table(vpe).is_some() {
+                return k.id();
+            }
+        }
+        panic!("{vpe} not found in any kernel");
+    }
+
+    /// Makes `vpe` deny future exchange upcalls.
+    pub fn deny_exchanges(&mut self, vpe: VpeId) {
+        self.deny.insert(vpe);
+    }
+
+    /// Kills `vpe`: its kernel revokes everything; its stub stops
+    /// responding to in-flight upcalls.
+    pub fn kill(&mut self, vpe: VpeId) {
+        self.dead.insert(vpe);
+        let k = self.kernel_of(vpe);
+        let mut out = Outbox::new();
+        self.kernels[k.idx()].kill_vpe(vpe, &mut out);
+        for (m, _) in out.drain() {
+            self.queue.push_back(m);
+        }
+    }
+
+    /// Issues a system call from `vpe` without pumping; returns the tag.
+    pub fn syscall_async(&mut self, vpe: VpeId, call: Syscall) -> u64 {
+        self.tag_counter += 1;
+        let tag = self.tag_counter;
+        let k = self.kernel_of(vpe);
+        let dst = self.kernels[k.idx()].pe();
+        self.queue
+            .push_back(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
+        tag
+    }
+
+    /// Issues a system call that jumps the message queue (delivered
+    /// before anything already queued). Syscalls travel on a different
+    /// channel than inter-kernel traffic, so this reordering is legal
+    /// under the per-channel FIFO precondition — it is exactly how the
+    /// Table 2 races arise on real hardware.
+    pub fn syscall_front(&mut self, vpe: VpeId, call: Syscall) -> u64 {
+        self.tag_counter += 1;
+        let tag = self.tag_counter;
+        let k = self.kernel_of(vpe);
+        let dst = self.kernels[k.idx()].pe();
+        self.queue
+            .push_front(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
+        tag
+    }
+
+    /// Issues a system call and pumps to quiescence; returns the reply.
+    pub fn syscall(&mut self, vpe: VpeId, call: Syscall) -> SysReply {
+        let tag = self.syscall_async(vpe, call);
+        self.pump_all();
+        self.take_reply(vpe, tag).expect("syscall must produce a reply")
+    }
+
+    /// Removes and returns the reply with the given tag, if present.
+    pub fn take_reply(&mut self, vpe: VpeId, tag: u64) -> Option<SysReply> {
+        let list = self.replies.get_mut(&vpe)?;
+        let idx = list.iter().position(|r| r.tag == tag)?;
+        Some(list.remove(idx))
+    }
+
+    /// Processes a single queued message; returns false when idle.
+    pub fn step(&mut self) -> bool {
+        let Some(msg) = self.queue.pop_front() else {
+            return false;
+        };
+        self.dispatch(msg);
+        true
+    }
+
+    /// Pumps until no messages remain.
+    pub fn pump_all(&mut self) {
+        let mut steps = 0u64;
+        while self.step() {
+            steps += 1;
+            assert!(steps < 1_000_000, "message storm: protocol does not quiesce");
+        }
+    }
+
+    /// Pumps at most `n` messages (for constructing interleavings).
+    pub fn pump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Number of queued messages.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Checks invariants on every kernel.
+    pub fn check_invariants(&self) {
+        for k in &self.kernels {
+            k.check_invariants().unwrap_or_else(|e| panic!("kernel {}: {e}", k.id()));
+        }
+    }
+
+    /// Total capabilities across all mapping databases.
+    pub fn total_caps(&self) -> usize {
+        self.kernels.iter().map(|k| k.mapdb().len()).sum()
+    }
+
+    fn dispatch(&mut self, msg: Msg) {
+        // Kernel PE?
+        if let Some(kidx) = self.kernels.iter().position(|k| k.pe() == msg.dst) {
+            let mut out = Outbox::new();
+            self.kernels[kidx].handle(&msg, &mut out);
+            // DTU slot tracking: consuming an inter-kernel request frees
+            // the sender's credit (see Kernel::return_credit).
+            if matches!(msg.payload, Payload::Kcall(_)) {
+                let dst_kernel = self.kernels[kidx].id();
+                if let Some(src_idx) =
+                    self.kernels.iter().position(|k| k.pe() == msg.src)
+                {
+                    self.kernels[src_idx].return_credit(&mut out, dst_kernel);
+                }
+            }
+            for (m, _) in out.drain() {
+                self.queue.push_back(m);
+            }
+            return;
+        }
+        // VPE stub.
+        let Some(vpe) = self.vpe_of_pe.get(&msg.dst).copied() else {
+            panic!("message to unknown PE {}", msg.dst);
+        };
+        if self.dead.contains(&vpe) {
+            // Dead PEs drop traffic.
+            return;
+        }
+        match msg.payload {
+            Payload::SysReply(reply) => {
+                self.replies.entry(vpe).or_default().push(reply);
+            }
+            Payload::Upcall(Upcall::AcceptExchange { op, .. }) => {
+                let accept = !self.deny.contains(&vpe);
+                self.queue.push_back(Msg::new(
+                    msg.dst,
+                    msg.src,
+                    Payload::UpcallReply(UpcallReply::AcceptExchange { op, accept }),
+                ));
+            }
+            Payload::Upcall(Upcall::SessionOpen { op, .. }) => {
+                let ident = self.next_session_ident;
+                self.next_session_ident += 1;
+                self.queue.push_back(Msg::new(
+                    msg.dst,
+                    msg.src,
+                    Payload::UpcallReply(UpcallReply::SessionOpen { op, result: Ok(ident) }),
+                ));
+            }
+            other => panic!("stub VPE {vpe} got unexpected payload {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::msg::{ExchangeKind, Perms, SysReplyData};
+    use semper_base::CapSel;
+
+    #[test]
+    fn cluster_boots() {
+        let c = TestCluster::new(2, 2);
+        assert_eq!(c.kernels.len(), 2);
+        // Each VPE has its self-capability.
+        assert_eq!(c.total_caps(), 4);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn create_mem_gives_selector() {
+        let mut c = TestCluster::new(1, 2);
+        let r = c.syscall(
+            VpeId(0),
+            Syscall::CreateMem { size: 4096, perms: Perms::RW },
+        );
+        match r.result {
+            Ok(SysReplyData::Mem { sel, .. }) => assert_ne!(sel, CapSel::INVALID),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        c.check_invariants();
+    }
+
+    #[test]
+    fn local_obtain_roundtrip() {
+        let mut c = TestCluster::new(1, 2);
+        let r = c.syscall(VpeId(0), Syscall::CreateMem { size: 64, perms: Perms::RW });
+        let Ok(SysReplyData::Mem { sel, .. }) = r.result else { panic!() };
+        let r = c.syscall(
+            VpeId(1),
+            Syscall::Exchange {
+                other: VpeId(0),
+                own_sel: CapSel::INVALID,
+                other_sel: sel,
+                kind: ExchangeKind::Obtain,
+            },
+        );
+        assert!(matches!(r.result, Ok(SysReplyData::Sel(_))), "{:?}", r.result);
+        c.check_invariants();
+        assert_eq!(c.kernels[0].stats().exchanges_local, 1);
+    }
+
+    #[test]
+    fn spanning_obtain_roundtrip() {
+        let mut c = TestCluster::new(2, 1);
+        // VPE0 in group 0, VPE1 in group 1.
+        let r = c.syscall(VpeId(0), Syscall::CreateMem { size: 64, perms: Perms::RW });
+        let Ok(SysReplyData::Mem { sel, .. }) = r.result else { panic!() };
+        let r = c.syscall(
+            VpeId(1),
+            Syscall::Exchange {
+                other: VpeId(0),
+                own_sel: CapSel::INVALID,
+                other_sel: sel,
+                kind: ExchangeKind::Obtain,
+            },
+        );
+        assert!(matches!(r.result, Ok(SysReplyData::Sel(_))), "{:?}", r.result);
+        c.check_invariants();
+        assert_eq!(c.kernels[1].stats().exchanges_spanning, 1);
+    }
+}

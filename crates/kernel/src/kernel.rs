@@ -1,0 +1,589 @@
+//! The kernel actor: state, boot, and message dispatch.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use semper_base::config::{KernelMode, MachineConfig};
+use semper_base::msg::{Kcall, KReply, Payload, SysReply, SysReplyData, Syscall, UpcallReply};
+use semper_base::{Code, DdlKey, Error, KernelId, Msg, OpId, PeId, Result, VpeId};
+use semper_caps::{CapTable, Capability, KeyAllocator, MappingDb, MembershipTable};
+use semper_noc::GlobalMemory;
+
+use crate::outbox::Outbox;
+use crate::pending::PendingOp;
+use crate::registry::Registry;
+use crate::stats::KernelStats;
+use crate::vpes::{VpeLife, VpeState};
+
+/// Selector 0 of every VPE holds its own VPE capability.
+pub const SEL_VPE: u32 = 0;
+/// First selector available for general allocation.
+pub const FIRST_FREE_SEL: u32 = 2;
+
+/// One SemperOS kernel instance, managing one PE group.
+pub struct Kernel {
+    pub(crate) id: KernelId,
+    pub(crate) pe: PeId,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) membership: MembershipTable,
+    /// Global VPE → PE directory (static; set up at boot by the machine).
+    pub(crate) vpe_dir: Vec<PeId>,
+
+    pub(crate) mapdb: MappingDb,
+    pub(crate) tables: BTreeMap<VpeId, CapTable>,
+    pub(crate) vpes: BTreeMap<VpeId, VpeState>,
+    pub(crate) pe2vpe: BTreeMap<PeId, VpeId>,
+    pub(crate) keys: KeyAllocator,
+    pub(crate) registry: Registry,
+    pub(crate) mem: GlobalMemory,
+
+    pub(crate) pending: BTreeMap<OpId, PendingOp>,
+    pub(crate) next_op: u64,
+    /// Revokes waiting for a capability another operation is already
+    /// revoking: key → (op id, how to account the wakeup).
+    pub(crate) revoke_waiters: BTreeMap<DdlKey, Vec<OpId>>,
+
+    /// Send credits towards each peer kernel (bounds in-flight requests
+    /// to `M_inflight`, §4.1).
+    pub(crate) kcredits: BTreeMap<KernelId, u32>,
+    /// Requests waiting for a credit, per peer kernel.
+    pub(crate) kqueue: BTreeMap<KernelId, VecDeque<Kcall>>,
+    /// DTU endpoint configurations of the group's VPEs: which capability
+    /// each endpoint is activated for (see the `gates` module).
+    pub(crate) ep_configs: BTreeMap<(VpeId, semper_base::EpId), DdlKey>,
+
+    pub(crate) stats: KernelStats,
+}
+
+impl Kernel {
+    /// Creates a kernel for group `id` running on PE `pe`.
+    ///
+    /// `mem` is this kernel's partition of the global address space
+    /// (kernels allocate memory independently — state is kept where it
+    /// emerges, §3.1).
+    pub fn new(
+        id: KernelId,
+        cfg: MachineConfig,
+        membership: MembershipTable,
+        mem: GlobalMemory,
+    ) -> Kernel {
+        let pe = membership.kernel_pe(id);
+        let mut kcredits = BTreeMap::new();
+        for k in 0..membership.kernel_count() {
+            let k = KernelId(k as u16);
+            if k != id {
+                kcredits.insert(k, cfg.max_inflight);
+            }
+        }
+        Kernel {
+            id,
+            pe,
+            cfg,
+            membership,
+            vpe_dir: Vec::new(),
+            mapdb: MappingDb::new(),
+            tables: BTreeMap::new(),
+            vpes: BTreeMap::new(),
+            pe2vpe: BTreeMap::new(),
+            keys: KeyAllocator::new(),
+            registry: Registry::new(),
+            mem,
+            pending: BTreeMap::new(),
+            next_op: 1,
+            revoke_waiters: BTreeMap::new(),
+            kcredits,
+            kqueue: BTreeMap::new(),
+            ep_configs: BTreeMap::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// This kernel's id.
+    pub fn id(&self) -> KernelId {
+        self.id
+    }
+
+    /// The PE this kernel runs on.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The mapping database (read access for tests and verification).
+    pub fn mapdb(&self) -> &MappingDb {
+        &self.mapdb
+    }
+
+    /// The service registry (read access).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Number of in-flight (suspended) operations — logical kernel
+    /// threads in use (§4.2).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Installs the global VPE → PE directory (boot).
+    pub fn set_vpe_dir(&mut self, dir: Vec<PeId>) {
+        self.vpe_dir = dir;
+    }
+
+    /// Enables an optional protocol feature at runtime (ablation tests
+    /// and benchmarks).
+    pub fn enable_feature_for_test(&mut self, f: semper_base::Feature) {
+        if !self.cfg.features.contains(&f) {
+            self.cfg.features.push(f);
+        }
+    }
+
+    /// Registers a VPE running on `pe` in this kernel's group, giving it
+    /// a fresh capability table with its self-capability at selector 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not in this kernel's group or already hosts a
+    /// VPE.
+    pub fn add_vpe(&mut self, vpe: VpeId, pe: PeId) {
+        assert_eq!(self.membership.kernel_of(pe), self.id, "PE not in this group");
+        assert!(!self.pe2vpe.contains_key(&pe), "PE already hosts a VPE");
+        let mut table = CapTable::new(FIRST_FREE_SEL);
+        let key = self.keys.alloc(pe, vpe, semper_base::CapType::Vpe);
+        table
+            .insert(semper_base::CapSel(SEL_VPE), key)
+            .expect("fresh table has free selector 0");
+        self.mapdb.insert(Capability::root(
+            key,
+            semper_base::msg::CapKindDesc::Vpe { vpe },
+            vpe,
+            semper_base::CapSel(SEL_VPE),
+        ));
+        self.stats.caps_created += 1;
+        self.tables.insert(vpe, table);
+        self.vpes.insert(vpe, VpeState::new(vpe, pe));
+        self.pe2vpe.insert(pe, vpe);
+    }
+
+    /// The capability table of a VPE (tests and verification).
+    pub fn table(&self, vpe: VpeId) -> Option<&CapTable> {
+        self.tables.get(&vpe)
+    }
+
+    /// True if the VPE is registered here and alive.
+    pub fn vpe_alive(&self, vpe: VpeId) -> bool {
+        self.vpes.get(&vpe).map(|v| v.alive()).unwrap_or(false)
+    }
+
+    // ----- id helpers -------------------------------------------------
+
+    /// Allocates a fresh correlation id.
+    pub(crate) fn alloc_op(&mut self) -> OpId {
+        let op = OpId(self.next_op);
+        self.next_op += 1;
+        op
+    }
+
+    /// The kernel managing `vpe` (via the global directory and the
+    /// membership table).
+    pub(crate) fn kernel_of_vpe(&self, vpe: VpeId) -> Result<KernelId> {
+        let pe = self
+            .vpe_dir
+            .get(vpe.idx())
+            .copied()
+            .ok_or_else(|| Error::new(Code::NoSuchVpe))?;
+        Ok(self.membership.kernel_of(pe))
+    }
+
+    /// The PE of a VPE (any group).
+    pub(crate) fn pe_of_vpe(&self, vpe: VpeId) -> Result<PeId> {
+        self.vpe_dir
+            .get(vpe.idx())
+            .copied()
+            .ok_or_else(|| Error::new(Code::NoSuchVpe))
+    }
+
+    /// The VPE on a PE of this group.
+    pub(crate) fn vpe_on_pe(&self, pe: PeId) -> Result<VpeId> {
+        self.pe2vpe.get(&pe).copied().ok_or_else(|| Error::new(Code::NoSuchVpe))
+    }
+
+    /// Cost of following one capability reference: plain lookup in M3
+    /// mode, plus a DDL decode in SemperOS mode (the source of the
+    /// 10-40% local overhead in Table 3).
+    pub(crate) fn ref_cost(&self) -> u64 {
+        match self.cfg.mode {
+            KernelMode::M3 => self.cfg.cost.cap_lookup,
+            KernelMode::SemperOS => self.cfg.cost.cap_lookup + self.cfg.cost.ddl_decode,
+        }
+    }
+
+    /// Registers a pending operation, enforcing the thread-pool bound
+    /// (§4.2).
+    ///
+    /// Only operations that *park a cooperative thread* count against
+    /// the pool: syscall-initiated operations waiting for remote kernels
+    /// or upcall answers (at most one per VPE — each VPE has one
+    /// blocking syscall) and incoming requests waiting on a local VPE's
+    /// upcall (bounded by `K_max · M_inflight` consumed-but-unanswered
+    /// requests). Revocation state for *incoming* revoke requests is
+    /// explicitly thread-free in the paper's design (Algorithm 1's
+    /// handlers return without pausing; at most two threads process the
+    /// queue), so it is exempt.
+    pub(crate) fn park(&mut self, op: OpId, state: PendingOp) {
+        self.pending.insert(op, state);
+        let in_use = self.pending.values().filter(|p| p.holds_thread()).count() as u64;
+        if in_use > self.stats.max_pending_ops {
+            self.stats.max_pending_ops = in_use;
+        }
+        let pool = self.cfg.thread_pool_size(self.vpes.len() as u32) as u64;
+        debug_assert!(
+            in_use <= pool,
+            "kernel {id}: {in_use} thread-holding ops exceed pool {pool}",
+            id = self.id
+        );
+    }
+
+    // ----- messaging helpers -------------------------------------------
+
+    /// Sends a system-call reply to a VPE.
+    pub(crate) fn reply_sys(
+        &mut self,
+        out: &mut Outbox,
+        vpe: VpeId,
+        tag: u64,
+        result: Result<SysReplyData>,
+    ) {
+        if let Ok(pe) = self.pe_of_vpe(vpe) {
+            out.push(Msg::new(
+                self.pe,
+                pe,
+                Payload::SysReply(SysReply { tag, result }),
+            ));
+        }
+    }
+
+    /// Sends an inter-kernel request, honouring the credit budget: if no
+    /// credit is available towards `peer`, the request queues until a
+    /// reply returns a credit (prevents DTU message-slot overruns, §4.1).
+    pub(crate) fn send_kcall(&mut self, out: &mut Outbox, peer: KernelId, call: Kcall) {
+        debug_assert_ne!(peer, self.id, "kcall to self");
+        let credits = self.kcredits.entry(peer).or_insert(self.cfg.max_inflight);
+        if *credits > 0 {
+            *credits -= 1;
+            self.stats.kcalls_out += 1;
+            let dst = self.membership.kernel_pe(peer);
+            out.push(Msg::new(self.pe, dst, Payload::Kcall(call)));
+        } else {
+            self.stats.kcalls_credit_stalled += 1;
+            self.kqueue.entry(peer).or_default().push_back(call);
+        }
+    }
+
+    /// Like [`Kernel::send_kcall`], but if a credit is available the
+    /// message is injected `offset` cycles after the handler started
+    /// (pipelined send from within a loop).
+    pub(crate) fn send_kcall_pipelined(
+        &mut self,
+        out: &mut Outbox,
+        peer: KernelId,
+        call: Kcall,
+        offset: u64,
+    ) {
+        debug_assert_ne!(peer, self.id, "kcall to self");
+        let credits = self.kcredits.entry(peer).or_insert(self.cfg.max_inflight);
+        if *credits > 0 {
+            *credits -= 1;
+            self.stats.kcalls_out += 1;
+            let dst = self.membership.kernel_pe(peer);
+            out.push_after(Msg::new(self.pe, dst, Payload::Kcall(call)), offset);
+        } else {
+            self.stats.kcalls_credit_stalled += 1;
+            self.kqueue.entry(peer).or_default().push_back(call);
+        }
+    }
+
+    /// Sends an inter-kernel reply (replies are not credit-gated; they
+    /// use the dedicated reply slots of the request message).
+    pub(crate) fn send_kreply(&mut self, out: &mut Outbox, peer: KernelId, reply: KReply) {
+        let dst = self.membership.kernel_pe(peer);
+        out.push(Msg::new(self.pe, dst, Payload::KReply(reply)));
+    }
+
+    /// Returns one credit for `peer` and drains its queue if possible.
+    ///
+    /// Called by the machine layer when the peer's DTU *consumed* our
+    /// request (freeing its message slot) — the paper's slot tracking
+    /// (§4.1). Note credits return on consumption, not on the protocol
+    /// reply: replies can be arbitrarily delayed (e.g. deep revocation
+    /// chains), and the thread-pool formula `K_max · M_inflight`
+    /// accounts for requests that are consumed but not yet answered.
+    pub fn return_credit(&mut self, out: &mut Outbox, peer: KernelId) {
+        let credits = self.kcredits.entry(peer).or_insert(0);
+        *credits += 1;
+        let queued = self.kqueue.get_mut(&peer).and_then(|q| q.pop_front());
+        if let Some(call) = queued {
+            // Re-send through the credit gate (a credit is available now).
+            self.send_kcall(out, peer, call);
+        }
+    }
+
+    // ----- dispatch -----------------------------------------------------
+
+    /// Handles one incoming message; returns the modeled cycle cost of
+    /// the handler. Outgoing messages are pushed to `out` and should be
+    /// injected into the NoC when the handler completes.
+    pub fn handle(&mut self, msg: &Msg, out: &mut Outbox) -> u64 {
+        let cost = match &msg.payload {
+            Payload::Sys { tag, call } => {
+                self.stats.syscalls += 1;
+                self.handle_syscall(msg.src, *tag, call, out)
+            }
+            Payload::Kcall(call) => {
+                self.stats.kcalls_in += 1;
+                self.handle_kcall(msg.src, call, out)
+            }
+            Payload::KReply(reply) => self.handle_kreply(msg.src, reply, out),
+            Payload::UpcallReply(reply) => self.handle_upcall_reply(msg.src, reply, out),
+            other => {
+                debug_assert!(false, "kernel received unexpected payload {other:?}");
+                0
+            }
+        };
+        self.stats.busy_cycles += cost;
+        cost
+    }
+
+    fn handle_syscall(
+        &mut self,
+        src: PeId,
+        tag: u64,
+        call: &Syscall,
+        out: &mut Outbox,
+    ) -> u64 {
+        let entry = self.cfg.cost.syscall_entry;
+        let vpe = match self.vpe_on_pe(src) {
+            Ok(v) if self.vpe_alive(v) => v,
+            Ok(v) => {
+                self.reply_sys(out, v, tag, Err(Error::new(Code::NoSuchVpe)));
+                return entry + self.cfg.cost.syscall_exit;
+            }
+            Err(e) => {
+                // Unknown PE: nothing to reply to; charge decode cost.
+                debug_assert!(false, "syscall from unknown PE {src}: {e}");
+                return entry;
+            }
+        };
+        entry
+            + match call {
+                Syscall::Noop => {
+                    self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
+                    self.cfg.cost.syscall_exit
+                }
+                Syscall::CreateMem { size, perms } => self.sys_create_mem(vpe, tag, *size, *perms, out),
+                Syscall::DeriveMem { src, offset, size, perms } => {
+                    self.sys_derive_mem(vpe, tag, *src, *offset, *size, *perms, out)
+                }
+                Syscall::Exchange { other, own_sel, other_sel, kind } => {
+                    self.sys_exchange(vpe, tag, *other, *own_sel, *other_sel, *kind, out)
+                }
+                Syscall::Revoke { sel, own } => self.sys_revoke(vpe, tag, *sel, *own, out),
+                Syscall::CreateSrv { name } => self.sys_create_srv(vpe, tag, *name, out),
+                Syscall::OpenSession { name } => self.sys_open_session(vpe, tag, *name, out),
+                Syscall::Activate { sel, ep } => self.sys_activate(vpe, tag, *sel, *ep, out),
+                Syscall::Exit => self.sys_exit(vpe, out),
+            }
+    }
+
+    fn handle_kcall(&mut self, src: PeId, call: &Kcall, out: &mut Outbox) -> u64 {
+        let from = self.membership.kernel_of(src);
+        let entry = self.cfg.cost.kcall_entry;
+        entry
+            + match call {
+                Kcall::AnnounceService { id, name, owner, srv_key, srv_pe, srv_vpe } => {
+                    self.registry.add(crate::registry::ServiceInfo {
+                        id: *id,
+                        name: *name,
+                        owner: *owner,
+                        srv_key: *srv_key,
+                        srv_pe: *srv_pe,
+                        srv_vpe: *srv_vpe,
+                    });
+                    0
+                }
+                Kcall::ObtainReq { op, child_key, owner_vpe, owner_sel, requester_vpe } => self
+                    .kcall_obtain_req(
+                        from,
+                        *op,
+                        *child_key,
+                        *owner_vpe,
+                        *owner_sel,
+                        *requester_vpe,
+                        out,
+                    ),
+                Kcall::OrphanNotice { parent_key, child_key } => {
+                    self.kcall_orphan_notice(*parent_key, *child_key)
+                }
+                Kcall::DelegateReq { op, parent_key, desc, recv_vpe } => {
+                    self.kcall_delegate_req(from, *op, *parent_key, *desc, *recv_vpe, out)
+                }
+                Kcall::DelegateAck { op, reply_op, commit } => {
+                    self.kcall_delegate_ack(from, *op, *reply_op, *commit, out)
+                }
+                Kcall::RevokeReq { op, cap_key } => {
+                    self.kcall_revoke_req(from, *op, *cap_key, out)
+                }
+                Kcall::RevokeBatchReq { op, cap_keys } => {
+                    self.kcall_revoke_batch_req(from, *op, cap_keys, out)
+                }
+                Kcall::OpenSessReq { op, child_key, service, client_vpe } => {
+                    self.kcall_open_sess_req(from, *op, *child_key, *service, *client_vpe, out)
+                }
+            }
+    }
+
+    fn handle_kreply(&mut self, src: PeId, reply: &KReply, out: &mut Outbox) -> u64 {
+        let from = self.membership.kernel_of(src);
+        // Revoke completions are counter decrements (Algorithm 1's
+        // `receive_revoke_reply`), far cheaper to dispatch than the
+        // protocol replies that resume full continuations.
+        let entry = match reply {
+            KReply::Revoke { .. } | KReply::RevokeBatch { .. } => self.cfg.cost.thread_switch,
+            _ => self.cfg.cost.kcall_entry,
+        };
+        entry
+            + match reply {
+                KReply::Obtain { op, result } => self.kreply_obtain(*op, result, out),
+                KReply::Delegate { op, result } => self.kreply_delegate(from, *op, result, out),
+                KReply::DelegateDone { op, result } => {
+                    self.kreply_delegate_done(*op, *result, out)
+                }
+                KReply::Revoke { op, cap_key, deleted, result } => {
+                    self.kreply_revoke(*op, *cap_key, *deleted, *result, out)
+                }
+                KReply::RevokeBatch { op, cap_keys, deleted, result } => {
+                    self.kreply_revoke_batch(*op, cap_keys, *deleted, *result, out)
+                }
+                KReply::OpenSess { op, result } => self.kreply_open_sess(*op, *result, out),
+            }
+    }
+
+    fn handle_upcall_reply(
+        &mut self,
+        src: PeId,
+        reply: &UpcallReply,
+        out: &mut Outbox,
+    ) -> u64 {
+        match reply {
+            UpcallReply::AcceptExchange { op, accept } => {
+                self.upcall_accept_exchange(src, *op, *accept, out)
+            }
+            UpcallReply::SessionOpen { op, result } => {
+                self.upcall_session_open(src, *op, *result, out)
+            }
+        }
+    }
+
+    // ----- VPE lifecycle ------------------------------------------------
+
+    /// Voluntary exit: revoke everything, mark dead. No reply (the VPE is
+    /// gone).
+    pub(crate) fn sys_exit(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
+        self.terminate_vpe(vpe, out)
+    }
+
+    /// Kills a VPE (failure injection / machine control). Safe to call
+    /// for VPEs of other groups (no-op) or dead VPEs (no-op).
+    pub fn kill_vpe(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
+        if !self.vpe_alive(vpe) {
+            return 0;
+        }
+        let cost = self.terminate_vpe(vpe, out);
+        self.stats.busy_cycles += cost;
+        cost
+    }
+
+    fn terminate_vpe(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
+        if let Some(v) = self.vpes.get_mut(&vpe) {
+            v.life = VpeLife::Dead;
+        } else {
+            return 0;
+        }
+        // Cancel pending operations waiting on this VPE's upcalls; other
+        // protocol stages detect death via `vpe_alive` when their replies
+        // arrive (producing orphan cleanups per §4.3.2).
+        let cancelled: Vec<OpId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| match p {
+                PendingOp::ExchangeLocalAccept { peer, .. } => *peer == vpe,
+                PendingOp::ObtainAtOwnerAccept { owner, .. } => *owner == vpe,
+                PendingOp::DelegateAtRecvAccept { recv, .. } => *recv == vpe,
+                _ => false,
+            })
+            .map(|(op, _)| *op)
+            .collect();
+        for op in cancelled {
+            let p = self.pending.remove(&op).expect("collected above");
+            self.cancel_upcall_op(p, out);
+        }
+        // Revoke all capabilities still in the VPE's table, starting at
+        // the roots we own. Children in other groups are reached by the
+        // revocation protocol itself.
+        let roots: Vec<semper_base::CapSel> = self
+            .tables
+            .get(&vpe)
+            .map(|t| t.iter().map(|(s, _)| s).collect())
+            .unwrap_or_default();
+        let mut cost = 0;
+        for sel in roots {
+            cost += self.revoke_for_exit(vpe, sel, out);
+        }
+        cost + self.cfg.cost.revoke_finish
+    }
+
+    /// Resolution for pending upcall-waiting ops whose target VPE died.
+    fn cancel_upcall_op(&mut self, p: PendingOp, out: &mut Outbox) {
+        match p {
+            PendingOp::ExchangeLocalAccept { tag, initiator, .. } => {
+                self.reply_sys(out, initiator, tag, Err(Error::new(Code::VpeGone)));
+            }
+            PendingOp::ObtainAtOwnerAccept { caller_op, caller_kernel, .. } => {
+                self.send_kreply(
+                    out,
+                    caller_kernel,
+                    KReply::Obtain { op: caller_op, result: Err(Error::new(Code::VpeGone)) },
+                );
+            }
+            PendingOp::DelegateAtRecvAccept { caller_op, caller_kernel, .. } => {
+                self.send_kreply(
+                    out,
+                    caller_kernel,
+                    KReply::Delegate { op: caller_op, result: Err(Error::new(Code::VpeGone)) },
+                );
+            }
+            _ => unreachable!("only upcall-waiting ops are cancelled here"),
+        }
+    }
+
+    /// Structural self-check used by tests: mapping-database invariants
+    /// plus agreement between capability tables and the database.
+    pub fn check_invariants(&self) -> core::result::Result<(), String> {
+        self.mapdb.check_invariants()?;
+        for (vpe, table) in &self.tables {
+            for (sel, key) in table.iter() {
+                let cap = self
+                    .mapdb
+                    .get(key)
+                    .map_err(|_| format!("{vpe} {sel:?} points at missing cap {key:?}"))?;
+                if cap.owner != *vpe {
+                    return Err(format!("{key:?} owner mismatch: {} vs {vpe}", cap.owner));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,45 @@
+//! The SemperOS multikernel.
+//!
+//! Each kernel instance manages one PE group (§3.1): it owns the
+//! capabilities of all VPEs on its PEs, handles their system calls, and
+//! coordinates with other kernels through inter-kernel calls (§4.1) to
+//! implement the distributed capability protocol (§4.3):
+//!
+//! * [`exchange`] — obtain and delegate, including the two-way delegate
+//!   handshake that closes the *invalid-capability* window, and orphan
+//!   cleanup when a party dies mid-exchange.
+//! * [`revoke`] — the two-phase mark-and-sweep revocation (Algorithm 1)
+//!   with per-operation outstanding-reply counters, waiter queues for
+//!   concurrent overlapping revokes (no *incomplete* acks), and denial of
+//!   exchanges on marked capabilities (no *pointless* exchanges).
+//! * [`session`] — service registration and session establishment across
+//!   PE groups.
+//! * [`memops`] — group-local memory capability operations (create and
+//!   derive).
+//!
+//! The kernel is written as an event-driven actor: [`Kernel::handle`]
+//! consumes one message and returns the modeled cycle cost, pushing any
+//! outgoing messages into an [`Outbox`]. The paper implements the same
+//! logic with cooperative kernel threads and explicit preemption points
+//! (§4.2) and notes the two formulations are equivalent; we keep the
+//! thread-pool *accounting* (pool sized `V_group + K_max · M_inflight`,
+//! never exceeded) as a checked invariant.
+
+pub mod exchange;
+pub mod gates;
+pub mod harness;
+pub mod kernel;
+pub mod memops;
+pub mod outbox;
+pub mod pending;
+pub mod registry;
+pub mod revoke;
+pub mod session;
+pub mod stats;
+pub mod vpes;
+
+pub use kernel::Kernel;
+pub use outbox::Outbox;
+pub use registry::ServiceInfo;
+pub use stats::KernelStats;
+pub use vpes::VpeState;

@@ -1,0 +1,104 @@
+//! Group-local memory capability operations.
+//!
+//! `CreateMem` allocates fresh global memory and returns a root memory
+//! capability; `DeriveMem` creates a child capability covering a
+//! sub-range with (possibly narrowed) permissions. Derivation is the
+//! mechanism m3fs uses to hand out per-extent capabilities: the derived
+//! child is then *delegated* to the client, and revoking the child on
+//! close recursively removes the client's access (§2.2, "Services on
+//! M3").
+
+use semper_base::msg::{CapKindDesc, Perms, SysReplyData};
+use semper_base::{CapSel, CapType, Code, Error, Result, VpeId};
+use semper_caps::Capability;
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+
+impl Kernel {
+    /// Entry point for the `CreateMem` system call.
+    pub(crate) fn sys_create_mem(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        size: u64,
+        perms: Perms,
+        out: &mut Outbox,
+    ) -> u64 {
+        let result = (|| -> Result<SysReplyData> {
+            let addr = self.mem.alloc(size)?;
+            let pe = self.pe_of_vpe(vpe)?;
+            let key = self.keys.alloc(pe, vpe, CapType::Memory);
+            let table = self.tables.get_mut(&vpe).ok_or(Error::new(Code::NoSuchVpe))?;
+            let sel = table.insert_new(key);
+            self.mapdb.insert(Capability::root(
+                key,
+                CapKindDesc::Memory { addr, size, perms },
+                vpe,
+                sel,
+            ));
+            self.stats.caps_created += 1;
+            Ok(SysReplyData::Mem { sel, addr })
+        })();
+        self.reply_sys(out, vpe, tag, result);
+        self.cfg.cost.cap_create + self.cfg.cost.cap_insert + self.cfg.cost.syscall_exit
+    }
+
+    /// Entry point for the `DeriveMem` system call.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn sys_derive_mem(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        src: CapSel,
+        offset: u64,
+        size: u64,
+        perms: Perms,
+        out: &mut Outbox,
+    ) -> u64 {
+        let result = (|| -> Result<SysReplyData> {
+            let parent_key =
+                self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(src)?;
+            let parent = self.mapdb.get(parent_key)?;
+            if parent.revoking() {
+                return Err(Error::new(Code::RevokeInProgress));
+            }
+            let CapKindDesc::Memory { addr, size: psize, perms: pperms } = parent.kind else {
+                return Err(Error::new(Code::InvalidArgs));
+            };
+            // A derived capability must stay within the parent's range
+            // and permissions (monotone attenuation).
+            let end = offset.checked_add(size).ok_or(Error::new(Code::InvalidArgs))?;
+            if size == 0 || end > psize {
+                return Err(Error::new(Code::InvalidArgs));
+            }
+            if !pperms.contains(perms) {
+                return Err(Error::new(Code::NoPerm));
+            }
+            let pe = self.pe_of_vpe(vpe)?;
+            let key = self.keys.alloc(pe, vpe, CapType::Memory);
+            let table = self.tables.get_mut(&vpe).expect("checked above");
+            let sel = table.insert_new(key);
+            self.mapdb.insert(Capability::child(
+                key,
+                CapKindDesc::Memory { addr: addr + offset, size, perms },
+                vpe,
+                sel,
+                parent_key,
+            ));
+            self.mapdb.link_child(parent_key, key)?;
+            self.stats.caps_created += 1;
+            Ok(SysReplyData::Sel(sel))
+        })();
+        if let Err(e) = &result {
+            if e.code() == Code::RevokeInProgress {
+                self.stats.pointless_denied += 1;
+            }
+        }
+        self.reply_sys(out, vpe, tag, result);
+        self.ref_cost()
+            + self.cfg.cost.cap_create
+            + self.cfg.cost.cap_insert
+            + self.cfg.cost.syscall_exit
+    }
+}

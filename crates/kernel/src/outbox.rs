@@ -1,0 +1,6 @@
+//! Outgoing-message collection (re-exported from `semper-base`).
+//!
+//! The kernel, services, and application actors all share the same
+//! outbox type so the machine layer can treat them uniformly.
+
+pub use semper_base::msg::Outbox;

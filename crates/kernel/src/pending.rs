@@ -1,0 +1,280 @@
+//! In-flight operation state.
+//!
+//! The paper's kernel suspends cooperative threads at preemption points
+//! while waiting for other kernels or VPEs (§4.2). Our event-driven
+//! kernel stores the suspended continuation explicitly as a
+//! [`PendingOp`]; each occupies one logical kernel thread, and the
+//! thread-pool invariant (`pending ≤ V_group + K_max · M_inflight`) is
+//! asserted by the kernel.
+
+use semper_base::msg::CapKindDesc;
+use semper_base::{CapSel, DdlKey, ExchangeKind, KernelId, OpId, VpeId};
+use semper_caps::Capability;
+
+use crate::registry::ServiceInfo;
+
+/// Who started a revocation, and therefore who must be notified when it
+/// completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevokeInitiator {
+    /// A local VPE's revoke system call.
+    Syscall {
+        /// The calling VPE.
+        vpe: VpeId,
+        /// Tag to echo in the reply.
+        tag: u64,
+    },
+    /// Another kernel's [`semper_base::msg::Kcall::RevokeReq`].
+    Kcall {
+        /// The requester's correlation id, echoed in the reply.
+        op: OpId,
+        /// The requesting kernel.
+        from: KernelId,
+        /// The subtree root the request named.
+        cap_key: DdlKey,
+    },
+    /// Kernel-internal cleanup (VPE exit); nobody to notify.
+    Internal,
+    /// One entry of a batched revoke request; completion is reported to
+    /// the batch tracker op instead of a kernel.
+    Batch {
+        /// The local batch-tracker operation.
+        batch: OpId,
+    },
+}
+
+/// A revocation in progress (Algorithm 1 state).
+#[derive(Debug, Clone)]
+pub struct RevokeOp {
+    /// Who to notify on completion.
+    pub initiator: RevokeInitiator,
+    /// Outstanding completions: inter-kernel revoke replies plus
+    /// dependencies on concurrently running revokes we wait for.
+    pub outstanding: u32,
+    /// Roots of locally marked subtrees to sweep in phase 2.
+    pub local_roots: Vec<DdlKey>,
+    /// Capabilities deleted so far on behalf of this operation
+    /// (local sweep + reported by remote kernels).
+    pub deleted: u64,
+    /// True if any inter-kernel call was needed (statistics:
+    /// local vs spanning revoke).
+    pub spanning: bool,
+}
+
+/// A suspended kernel operation waiting for a message.
+#[derive(Debug, Clone)]
+pub enum PendingOp {
+    /// Group-local exchange: waiting for the peer VPE's accept upcall.
+    ExchangeLocalAccept {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The initiating VPE.
+        initiator: VpeId,
+        /// The peer VPE (same group).
+        peer: VpeId,
+        /// Obtain or delegate.
+        kind: ExchangeKind,
+        /// Delegate: the initiator's capability selector.
+        own_sel: CapSel,
+        /// Obtain: the peer's capability selector.
+        other_sel: CapSel,
+    },
+    /// Cross-kernel obtain at the requester's kernel: waiting for
+    /// `KReply::Obtain`.
+    ObtainRemote {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The obtaining VPE.
+        requester: VpeId,
+        /// Pre-allocated key of the new child capability.
+        child_key: DdlKey,
+        /// The owner's kernel.
+        peer_kernel: KernelId,
+    },
+    /// Cross-kernel obtain at the owner's kernel: waiting for the owner
+    /// VPE's accept upcall.
+    ObtainAtOwnerAccept {
+        /// The requester kernel's correlation id (echo in reply).
+        caller_op: OpId,
+        /// The requester's kernel.
+        caller_kernel: KernelId,
+        /// Key of the new child capability (allocated by the caller).
+        child_key: DdlKey,
+        /// Key of the parent capability (owned here).
+        parent_key: DdlKey,
+        /// The VPE owning the parent.
+        owner: VpeId,
+    },
+    /// Cross-kernel delegate at the delegator's kernel: waiting for
+    /// `KReply::Delegate` (first leg of the handshake).
+    DelegateRemote {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The delegating VPE.
+        delegator: VpeId,
+        /// Key of the capability being delegated.
+        parent_key: DdlKey,
+        /// The receiver's kernel.
+        peer_kernel: KernelId,
+    },
+    /// Cross-kernel delegate at the delegator's kernel: ack sent, waiting
+    /// for `KReply::DelegateDone` (second leg).
+    DelegateWaitDone {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The delegating VPE.
+        delegator: VpeId,
+        /// Key of the parent capability.
+        parent_key: DdlKey,
+        /// Key of the child capability at the receiver.
+        child_key: DdlKey,
+    },
+    /// Cross-kernel delegate at the receiver's kernel: waiting for the
+    /// receiving VPE's accept upcall.
+    DelegateAtRecvAccept {
+        /// The delegator kernel's correlation id (echo in reply).
+        caller_op: OpId,
+        /// The delegator's kernel.
+        caller_kernel: KernelId,
+        /// Key of the parent capability (owned by the caller).
+        parent_key: DdlKey,
+        /// Resource description for the new capability.
+        desc: CapKindDesc,
+        /// The receiving VPE.
+        recv: VpeId,
+    },
+    /// Cross-kernel delegate at the receiver's kernel: capability created
+    /// but *not inserted*, waiting for `Kcall::DelegateAck` (§4.3.2's
+    /// two-way handshake; prevents *invalid* capabilities).
+    DelegatePendingInsert {
+        /// The delegator's kernel (to report insertion failure).
+        caller_kernel: KernelId,
+        /// The fully built but uninserted capability.
+        cap: Box<Capability>,
+    },
+    /// Session open at the client's kernel for a remote service: waiting
+    /// for `KReply::OpenSess`.
+    OpenSessRemote {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The connecting client VPE.
+        client: VpeId,
+        /// Pre-allocated key of the session capability.
+        child_key: DdlKey,
+        /// The chosen service instance.
+        srv: ServiceInfo,
+    },
+    /// Session open at the service's kernel on behalf of a remote
+    /// client: waiting for the service VPE's upcall reply.
+    SessionAtService {
+        /// The client kernel's correlation id (echo in reply).
+        caller_op: OpId,
+        /// The client's kernel.
+        caller_kernel: KernelId,
+        /// Key of the session capability (allocated by the caller).
+        child_key: DdlKey,
+        /// The service instance.
+        srv: ServiceInfo,
+    },
+    /// Session open, client and service in the same group: waiting for
+    /// the service VPE's upcall reply.
+    SessionLocalAccept {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The connecting client VPE.
+        client: VpeId,
+        /// Pre-allocated key of the session capability.
+        child_key: DdlKey,
+        /// The service instance.
+        srv: ServiceInfo,
+    },
+    /// Cross-kernel delegate at the delegator's kernel: parent turned out
+    /// invalid after the first leg; abort ack sent, waiting for the
+    /// `DelegateDone` confirmation before failing the system call.
+    DelegateAborted {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The delegating VPE.
+        delegator: VpeId,
+        /// Why the delegate was aborted.
+        reason: semper_base::Error,
+    },
+    /// A revocation (Algorithm 1) awaiting remote completions.
+    Revoke(RevokeOp),
+    /// Tracker for an incoming batched revoke request: replies to the
+    /// requesting kernel once every key in the batch is fully revoked.
+    RevokeBatch {
+        /// The requester's correlation id.
+        caller_op: OpId,
+        /// The requesting kernel.
+        caller_kernel: KernelId,
+        /// Keys from the request (echoed in the reply).
+        cap_keys: Vec<DdlKey>,
+        /// Sub-revokes still running.
+        outstanding: u32,
+        /// Capabilities deleted so far across the batch.
+        deleted: u64,
+    },
+}
+
+impl PendingOp {
+    /// True if this suspended operation parks a cooperative kernel
+    /// thread (§4.2). Syscall-initiated waits and upcall waits do;
+    /// revocation bookkeeping for incoming requests does not (the
+    /// paper's revoke handlers return without pausing).
+    pub fn holds_thread(&self) -> bool {
+        match self {
+            PendingOp::ExchangeLocalAccept { .. }
+            | PendingOp::ObtainRemote { .. }
+            | PendingOp::DelegateRemote { .. }
+            | PendingOp::DelegateWaitDone { .. }
+            | PendingOp::DelegateAborted { .. }
+            | PendingOp::OpenSessRemote { .. }
+            | PendingOp::SessionLocalAccept { .. }
+            | PendingOp::ObtainAtOwnerAccept { .. }
+            | PendingOp::DelegateAtRecvAccept { .. }
+            | PendingOp::SessionAtService { .. } => true,
+            PendingOp::DelegatePendingInsert { .. } | PendingOp::RevokeBatch { .. } => false,
+            PendingOp::Revoke(op) => matches!(
+                op.initiator,
+                RevokeInitiator::Syscall { .. } | RevokeInitiator::Internal
+            ),
+        }
+    }
+
+    /// Short operation-class label for logs and statistics.
+    pub fn class(&self) -> &'static str {
+        match self {
+            PendingOp::ExchangeLocalAccept { .. } => "exchange-local",
+            PendingOp::ObtainRemote { .. } => "obtain-remote",
+            PendingOp::ObtainAtOwnerAccept { .. } => "obtain-at-owner",
+            PendingOp::DelegateRemote { .. } => "delegate-remote",
+            PendingOp::DelegateWaitDone { .. } => "delegate-wait-done",
+            PendingOp::DelegateAtRecvAccept { .. } => "delegate-at-recv",
+            PendingOp::DelegatePendingInsert { .. } => "delegate-pending-insert",
+            PendingOp::OpenSessRemote { .. } => "open-sess-remote",
+            PendingOp::SessionAtService { .. } => "session-at-service",
+            PendingOp::SessionLocalAccept { .. } => "session-local",
+            PendingOp::DelegateAborted { .. } => "delegate-aborted",
+            PendingOp::Revoke(_) => "revoke",
+            PendingOp::RevokeBatch { .. } => "revoke-batch",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_distinct_for_key_ops() {
+        let a = PendingOp::Revoke(RevokeOp {
+            initiator: RevokeInitiator::Internal,
+            outstanding: 0,
+            local_roots: Vec::new(),
+            deleted: 0,
+            spanning: false,
+        });
+        assert_eq!(a.class(), "revoke");
+    }
+}

@@ -1,0 +1,164 @@
+//! The service registry.
+//!
+//! Services (like m3fs instances) register at their group's kernel, which
+//! announces them to all other kernels (inter-kernel call group 1, §4.1).
+//! Every kernel thus holds the full registry and can connect clients to
+//! services in any group — preferring instances in its *own* group, as
+//! the paper's evaluation setup does (§5.3.2: "Kernels which host a
+//! service in their PE group prefer to connect their applications to the
+//! service in their PE group").
+
+use semper_base::{DdlKey, KernelId, PeId, ServiceId, VpeId};
+use std::collections::BTreeMap;
+
+/// Registry entry for one service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceInfo {
+    /// Global service id.
+    pub id: ServiceId,
+    /// Registered name (shared by all instances of the same service).
+    pub name: u64,
+    /// Kernel managing the service's group.
+    pub owner: KernelId,
+    /// DDL key of the service capability (parent of all session caps).
+    pub srv_key: DdlKey,
+    /// PE the service VPE runs on.
+    pub srv_pe: PeId,
+    /// The service VPE.
+    pub srv_vpe: VpeId,
+}
+
+/// All service instances known to a kernel.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    services: BTreeMap<ServiceId, ServiceInfo>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds (or refreshes) a service entry.
+    pub fn add(&mut self, info: ServiceInfo) {
+        self.services.insert(info.id, info);
+    }
+
+    /// Looks up a service by id.
+    pub fn get(&self, id: ServiceId) -> Option<&ServiceInfo> {
+        self.services.get(&id)
+    }
+
+    /// Number of registered instances.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True if no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Picks an instance of service `name` for a client managed by
+    /// kernel `local`, preferring instances in the local group and
+    /// spreading choices deterministically by a hash of the client's id.
+    ///
+    /// Hashing matters: client VPE ids are strided by the group layout,
+    /// so `idx % len` would alias whole groups onto one instance.
+    pub fn pick(&self, name: u64, local: KernelId, client: VpeId) -> Option<&ServiceInfo> {
+        let h = splitmix64(client.idx() as u64) as usize;
+        let locals: Vec<&ServiceInfo> = self
+            .services
+            .values()
+            .filter(|s| s.name == name && s.owner == local)
+            .collect();
+        if !locals.is_empty() {
+            return Some(locals[h % locals.len()]);
+        }
+        let all: Vec<&ServiceInfo> =
+            self.services.values().filter(|s| s.name == name).collect();
+        if all.is_empty() {
+            return None;
+        }
+        Some(all[h % all.len()])
+    }
+
+    /// Iterates over all instances in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServiceInfo> {
+        self.services.values()
+    }
+}
+
+
+/// SplitMix64 finaliser used for deterministic spreading.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::CapType;
+
+    fn info(id: u16, name: u64, owner: u16) -> ServiceInfo {
+        ServiceInfo {
+            id: ServiceId(id),
+            name,
+            owner: KernelId(owner),
+            srv_key: DdlKey::new(PeId(id), VpeId(id), CapType::Service, 0),
+            srv_pe: PeId(id),
+            srv_vpe: VpeId(id),
+        }
+    }
+
+    #[test]
+    fn prefers_local_instances() {
+        let mut r = Registry::new();
+        r.add(info(0, 1, 0));
+        r.add(info(1, 1, 1));
+        let picked = r.pick(1, KernelId(1), VpeId(10)).unwrap();
+        assert_eq!(picked.owner, KernelId(1));
+    }
+
+    #[test]
+    fn falls_back_to_remote() {
+        let mut r = Registry::new();
+        r.add(info(0, 1, 0));
+        let picked = r.pick(1, KernelId(3), VpeId(10)).unwrap();
+        assert_eq!(picked.id, ServiceId(0));
+    }
+
+    #[test]
+    fn spreads_by_client_id() {
+        let mut r = Registry::new();
+        r.add(info(0, 1, 0));
+        r.add(info(1, 1, 0));
+        // Over many clients, both instances are used — including clients
+        // whose ids share a residue class (the stride-aliasing case).
+        let mut seen = std::collections::BTreeSet::new();
+        for c in (0..64u16).step_by(8) {
+            seen.insert(r.pick(1, KernelId(5), VpeId(c)).unwrap().id);
+        }
+        assert_eq!(seen.len(), 2, "strided clients must spread over both instances");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let mut r = Registry::new();
+        r.add(info(0, 1, 0));
+        assert!(r.pick(2, KernelId(0), VpeId(0)).is_none());
+    }
+
+    #[test]
+    fn name_filtering() {
+        let mut r = Registry::new();
+        r.add(info(0, 1, 0));
+        r.add(info(1, 2, 0));
+        assert_eq!(r.pick(2, KernelId(0), VpeId(0)).unwrap().id, ServiceId(1));
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,447 @@
+//! Capability revocation: two-phase mark-and-sweep (§4.3.3, Algorithm 1).
+//!
+//! Phase 1 (*mark*) walks the local part of the capability subtree,
+//! marking every capability `Revoking` and firing one inter-kernel
+//! revoke request per remote child. Phase 2 (*sweep*) runs when all
+//! outstanding completions have drained: the marked subtrees are deleted,
+//! and only then is the initiator notified — a revoke is never
+//! acknowledged while any part of its subtree survives (ruling out the
+//! *incomplete* case of Table 2).
+//!
+//! Two kinds of outstanding completions are counted:
+//!
+//! * replies to inter-kernel revoke requests for remote children, and
+//! * *dependencies* on concurrently running revocations: when the mark
+//!   phase encounters a capability that is already `Revoking`, the
+//!   running operation owns that subtree; the new operation registers as
+//!   a waiter and completes only after the capability is actually
+//!   deleted. This is how overlapping revokes serialize without ever
+//!   acknowledging early. The dependency graph follows tree edges, so it
+//!   is acyclic — no deadlock (the property the paper's multithreading
+//!   design establishes; our event-driven kernel inherits it).
+//!
+//! Revocations triggered by applications can bounce between kernels (the
+//! adversarial cross-kernel *chain* of §5.2); each bounce is a fresh
+//! request handled without blocking, so kernels stay responsive — the
+//! analogue of the paper's two-revocation-threads bound.
+
+use semper_base::config::Feature;
+use semper_base::msg::{Kcall, KReply, SysReplyData};
+use semper_base::{CapSel, Code, DdlKey, Error, KernelId, OpId, Result, VpeId};
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+use crate::pending::{PendingOp, RevokeInitiator, RevokeOp};
+
+impl Kernel {
+    /// Entry point for the `Revoke` system call.
+    pub(crate) fn sys_revoke(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        sel: CapSel,
+        own: bool,
+        out: &mut Outbox,
+    ) -> u64 {
+        // Target resolution is folded into the per-capability reference
+        // costs charged by the mark phase.
+        let resolve = 0;
+        let roots = match self.revoke_roots(vpe, sel, own) {
+            Ok(r) => r,
+            Err(e) => {
+                self.reply_sys(out, vpe, tag, Err(e));
+                return resolve + self.cfg.cost.syscall_exit;
+            }
+        };
+        if roots.is_empty() {
+            // Revoking the children of a childless capability: done.
+            self.stats.revokes_local += 1;
+            self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
+            return resolve + self.cfg.cost.syscall_exit;
+        }
+        resolve + self.start_revoke(roots, RevokeInitiator::Syscall { vpe, tag }, out)
+    }
+
+    /// Resolves the subtree roots of a revoke call: the capability itself
+    /// (`own = true`) or each of its children (`own = false`).
+    fn revoke_roots(&self, vpe: VpeId, sel: CapSel, own: bool) -> Result<Vec<DdlKey>> {
+        let key = self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(sel)?;
+        if own {
+            return Ok(vec![key]);
+        }
+        Ok(self.mapdb.get(key)?.children.clone())
+    }
+
+    /// Revocation for VPE exit: one root at a time; the table entry may
+    /// already be gone if an earlier root's subtree covered it.
+    pub(crate) fn revoke_for_exit(&mut self, vpe: VpeId, sel: CapSel, out: &mut Outbox) -> u64 {
+        let Some(table) = self.tables.get(&vpe) else { return 0 };
+        let Ok(key) = table.get(sel) else { return 0 };
+        if !self.mapdb.contains(key) {
+            // Deleted by a previous root's sweep; drop the stale binding.
+            if let Some(t) = self.tables.get_mut(&vpe) {
+                t.remove(sel);
+            }
+            return 0;
+        }
+        self.start_revoke(vec![key], RevokeInitiator::Internal, out)
+    }
+
+    /// Phase 1 for a set of subtree roots; completes immediately if no
+    /// remote children or dependencies are found.
+    pub(crate) fn start_revoke(
+        &mut self,
+        roots: Vec<DdlKey>,
+        initiator: RevokeInitiator,
+        out: &mut Outbox,
+    ) -> u64 {
+        let op_id = self.alloc_op();
+        let mut op = RevokeOp {
+            initiator,
+            outstanding: 0,
+            local_roots: Vec::new(),
+            deleted: 0,
+            spanning: false,
+        };
+        let mut cost = 0;
+        // Remote children grouped by owning kernel, for optional batching.
+        let mut remote: Vec<(KernelId, DdlKey)> = Vec::new();
+
+        for root in roots {
+            if !self.mapdb.contains(root) {
+                // Already revoked and deleted — vacuously complete.
+                continue;
+            }
+            if self.mapdb.get(root).expect("checked").revoking() {
+                // A running revocation owns this subtree: wait for the
+                // capability to be deleted.
+                self.revoke_waiters.entry(root).or_default().push(op_id);
+                op.outstanding += 1;
+                continue;
+            }
+            cost += self.mark_subtree(root, op_id, &mut op, &mut remote);
+            op.local_roots.push(root);
+        }
+
+        if !remote.is_empty() {
+            op.spanning = true;
+            cost += self.send_revoke_requests(op_id, &mut op, remote, out);
+        }
+
+        if op.outstanding == 0 {
+            cost + self.complete_revoke(op_id, op, out)
+        } else {
+            self.park(op_id, PendingOp::Revoke(op));
+            cost + self.cfg.cost.thread_switch
+        }
+    }
+
+    /// Depth-first mark of the local subtree under `root` (which must be
+    /// present and not yet revoking). Remote children are collected;
+    /// already-revoking capabilities become dependencies.
+    fn mark_subtree(
+        &mut self,
+        root: DdlKey,
+        op_id: OpId,
+        op: &mut RevokeOp,
+        remote: &mut Vec<(KernelId, DdlKey)>,
+    ) -> u64 {
+        let mut cost = 0;
+        let mut stack = vec![root];
+        while let Some(key) = stack.pop() {
+            let Ok(cap) = self.mapdb.get(key) else {
+                // Not ours: a remote child — one reference to classify it.
+                cost += self.ref_cost();
+                remote.push((self.membership.kernel_of_key(key), key));
+                continue;
+            };
+            // Following the parent link and scanning the child list are
+            // two capability references per visited local node.
+            cost += 2 * self.ref_cost();
+            if cap.revoking() {
+                debug_assert_ne!(key, root, "caller checked the root");
+                // Another operation owns this subtree; depend on it.
+                self.revoke_waiters.entry(key).or_default().push(op_id);
+                op.outstanding += 1;
+                continue;
+            }
+            for child in cap.children.iter().rev() {
+                stack.push(*child);
+            }
+            self.mapdb.mark_revoking(key).expect("present");
+            cost += self.cfg.cost.revoke_mark;
+        }
+        cost
+    }
+
+    /// Sends revoke requests for remote children — one message per child,
+    /// or one batch per kernel when [`Feature::RevokeBatching`] is on
+    /// (the optimisation §5.2 proposes).
+    fn send_revoke_requests(
+        &mut self,
+        op_id: OpId,
+        op: &mut RevokeOp,
+        remote: Vec<(KernelId, DdlKey)>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let mut cost = 0;
+        if self.cfg.has_feature(Feature::RevokeBatching) {
+            let mut by_kernel: std::collections::BTreeMap<KernelId, Vec<DdlKey>> =
+                std::collections::BTreeMap::new();
+            for (k, key) in remote {
+                by_kernel.entry(k).or_default().push(key);
+            }
+            for (k, cap_keys) in by_kernel {
+                op.outstanding += 1;
+                cost += self.cfg.cost.kcall_exit;
+                self.send_kcall(out, k, Kcall::RevokeBatchReq { op: op_id, cap_keys });
+            }
+        } else {
+            for (k, cap_key) in remote {
+                op.outstanding += 1;
+                // Marshalling one revoke request: compose the message,
+                // inject it through the DTU, and record the outstanding
+                // entry. Requests are pipelined: each leaves as the loop
+                // reaches it, so remote kernels overlap with the rest of
+                // the fan-out.
+                cost += self.cfg.cost.kcall_exit
+                    + self.cfg.cost.revoke_mark
+                    + self.cfg.cost.dtu_send;
+                self.send_kcall_pipelined(out, k, Kcall::RevokeReq { op: op_id, cap_key }, cost);
+            }
+        }
+        cost
+    }
+
+    /// Phase 2: sweep the marked local subtrees, fire waiters, notify the
+    /// initiator. Completion of waiters can cascade; a worklist keeps the
+    /// recursion bounded.
+    fn complete_revoke(&mut self, op_id: OpId, op: RevokeOp, out: &mut Outbox) -> u64 {
+        let mut cost = 0;
+        let mut completions: Vec<(OpId, RevokeOp)> = vec![(op_id, op)];
+
+        while let Some((_id, mut op)) = completions.pop() {
+            let mut woken: Vec<OpId> = Vec::new();
+            for root in std::mem::take(&mut op.local_roots) {
+                for cap in self.mapdb.delete_local_subtree(root) {
+                    op.deleted += 1;
+                    self.stats.caps_deleted += 1;
+                    // Each deletion resolves the owner's table binding
+                    // and the parent unlink through DDL keys, and
+                    // deconfigures any DTU endpoint activated for the
+                    // capability — the step that severs hardware access.
+                    cost += self.cfg.cost.revoke_delete + 2 * self.ref_cost();
+                    cost += self.invalidate_eps_for(cap.key);
+                    // Remove the owner's table binding.
+                    if let Some(t) = self.tables.get_mut(&cap.owner) {
+                        t.remove_key(cap.key);
+                    }
+                    // Wake operations waiting for this capability.
+                    if let Some(ws) = self.revoke_waiters.remove(&cap.key) {
+                        woken.extend(ws);
+                    }
+                }
+            }
+            cost += self.cfg.cost.revoke_finish;
+            self.notify_revoke_done(&op, out);
+
+            for waiter in woken {
+                if let Some(PendingOp::Revoke(wop)) = self.pending.get_mut(&waiter) {
+                    wop.outstanding -= 1;
+                    if wop.outstanding == 0 {
+                        let Some(PendingOp::Revoke(wop)) = self.pending.remove(&waiter) else {
+                            unreachable!("checked above");
+                        };
+                        completions.push((waiter, wop));
+                    }
+                } else {
+                    debug_assert!(false, "waiter {waiter} is not a pending revoke");
+                }
+            }
+        }
+        cost
+    }
+
+    /// Notifies whoever started the revocation (Algorithm 1, lines
+    /// 19-23).
+    fn notify_revoke_done(&mut self, op: &RevokeOp, out: &mut Outbox) {
+        // Only top-level revocations count as capability operations;
+        // kcall- and batch-initiated sub-revokes are part of a revoke
+        // already counted at the initiating kernel.
+        match op.initiator {
+            RevokeInitiator::Syscall { .. } | RevokeInitiator::Internal => {
+                if op.spanning {
+                    self.stats.revokes_spanning += 1;
+                } else {
+                    self.stats.revokes_local += 1;
+                }
+            }
+            RevokeInitiator::Kcall { .. } | RevokeInitiator::Batch { .. } => {}
+        }
+        match op.initiator {
+            RevokeInitiator::Syscall { vpe, tag } => {
+                self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
+            }
+            RevokeInitiator::Kcall { op: caller_op, from, cap_key } => {
+                self.send_kreply(
+                    out,
+                    from,
+                    KReply::Revoke {
+                        op: caller_op,
+                        cap_key,
+                        deleted: op.deleted,
+                        result: Ok(()),
+                    },
+                );
+            }
+            RevokeInitiator::Internal => {}
+            RevokeInitiator::Batch { batch } => {
+                self.batch_entry_done(batch, op.deleted, out);
+            }
+        }
+    }
+
+    /// Accounts one completed entry of an incoming revoke batch; replies
+    /// to the requesting kernel when the whole batch is done.
+    fn batch_entry_done(&mut self, batch: OpId, deleted: u64, out: &mut Outbox) {
+        let Some(PendingOp::RevokeBatch {
+            caller_op,
+            caller_kernel,
+            cap_keys,
+            outstanding,
+            deleted: total,
+        }) = self.pending.get_mut(&batch)
+        else {
+            debug_assert!(false, "batch tracker {batch} missing");
+            return;
+        };
+        *total += deleted;
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            let (caller_op, caller_kernel, cap_keys, total) =
+                (*caller_op, *caller_kernel, std::mem::take(cap_keys), *total);
+            self.pending.remove(&batch);
+            self.send_kreply(
+                out,
+                caller_kernel,
+                KReply::RevokeBatch {
+                    op: caller_op,
+                    cap_keys,
+                    deleted: total,
+                    result: Ok(()),
+                },
+            );
+        }
+    }
+
+    // ----- incoming inter-kernel revokes ---------------------------------
+
+    /// Handles a revoke request for one subtree root owned by this
+    /// kernel (Algorithm 1, `receive_revoke_request`).
+    pub(crate) fn kcall_revoke_req(
+        &mut self,
+        from: KernelId,
+        op: OpId,
+        cap_key: DdlKey,
+        out: &mut Outbox,
+    ) -> u64 {
+        if !self.mapdb.contains(cap_key) {
+            // Already gone (e.g. revoked by a concurrent operation that
+            // completed): vacuously done.
+            self.send_kreply(
+                out,
+                from,
+                KReply::Revoke { op, cap_key, deleted: 0, result: Ok(()) },
+            );
+            return self.cfg.cost.kcall_exit;
+        }
+        // Validating the foreign key against the membership table and
+        // setting up the remote-initiated operation costs one descriptor
+        // validation plus a reference.
+        self.cfg.cost.xfer_desc
+            + self.ref_cost()
+            + self.start_revoke(
+                vec![cap_key],
+                RevokeInitiator::Kcall { op, from, cap_key },
+                out,
+            )
+    }
+
+    /// Handles a batched revoke request: runs one sub-revocation per key
+    /// and replies once all of them completed.
+    pub(crate) fn kcall_revoke_batch_req(
+        &mut self,
+        from: KernelId,
+        op: OpId,
+        cap_keys: &[DdlKey],
+        out: &mut Outbox,
+    ) -> u64 {
+        let batch = self.alloc_op();
+        self.park(
+            batch,
+            PendingOp::RevokeBatch {
+                caller_op: op,
+                caller_kernel: from,
+                cap_keys: cap_keys.to_vec(),
+                // Every key gets a sub-revoke; each reports exactly once.
+                outstanding: cap_keys.len() as u32,
+                deleted: 0,
+            },
+        );
+        let mut cost = 0;
+        for key in cap_keys {
+            if !self.mapdb.contains(*key) {
+                self.batch_entry_done(batch, 0, out);
+                continue;
+            }
+            cost += self.start_revoke(vec![*key], RevokeInitiator::Batch { batch }, out);
+        }
+        cost
+    }
+
+    /// Handles the completion reply for one remote child (Algorithm 1,
+    /// `receive_revoke_reply`).
+    pub(crate) fn kreply_revoke(
+        &mut self,
+        op: OpId,
+        _cap_key: DdlKey,
+        deleted: u64,
+        result: Result<()>,
+        out: &mut Outbox,
+    ) -> u64 {
+        debug_assert!(result.is_ok(), "revoke replies always succeed");
+        self.revoke_reply_arrived(op, deleted, out)
+    }
+
+    /// Handles the completion reply for a batch of remote children.
+    pub(crate) fn kreply_revoke_batch(
+        &mut self,
+        op: OpId,
+        _cap_keys: &[DdlKey],
+        deleted: u64,
+        result: Result<()>,
+        out: &mut Outbox,
+    ) -> u64 {
+        debug_assert!(result.is_ok(), "revoke replies always succeed");
+        self.revoke_reply_arrived(op, deleted, out)
+    }
+
+    fn revoke_reply_arrived(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
+        let Some(PendingOp::Revoke(rop)) = self.pending.get_mut(&op) else {
+            debug_assert!(false, "revoke reply for unknown op {op}");
+            return 0;
+        };
+        rop.deleted += deleted;
+        rop.outstanding -= 1;
+        if rop.outstanding == 0 {
+            let Some(PendingOp::Revoke(rop)) = self.pending.remove(&op) else {
+                unreachable!("checked above");
+            };
+            self.complete_revoke(op, rop, out)
+        } else {
+            // Decrementing the outstanding counter (Algorithm 1's
+            // `receive_revoke_reply` fast path) is essentially free.
+            0
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Service registration and session establishment.
+//!
+//! Services register with `CreateSrv`; their kernel announces the
+//! instance to every other kernel (inter-kernel call group 1/2, §4.1).
+//! A client's `OpenSession` creates a **session capability as a child of
+//! the service capability** — the paper's running example of a
+//! cross-kernel capability relation (§3.4): the session capability is
+//! owned by the *client's* kernel while its parent (the service
+//! capability) may live at another kernel. Exactly one kernel owns each
+//! resource; the child/parent link crosses the boundary via DDL keys.
+
+use semper_base::msg::{CapKindDesc, Kcall, KReply, Payload, SysReplyData, Upcall};
+use semper_base::{
+    CapType, Code, DdlKey, Error, KernelId, Msg, OpId, PeId, Result, ServiceId, VpeId,
+};
+use semper_caps::Capability;
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+use crate::pending::PendingOp;
+use crate::registry::ServiceInfo;
+
+impl Kernel {
+    /// Entry point for the `CreateSrv` system call.
+    pub(crate) fn sys_create_srv(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        name: u64,
+        out: &mut Outbox,
+    ) -> u64 {
+        let pe = self.pe_of_vpe(vpe).expect("caller is local");
+        let srv_key = self.keys.alloc(pe, vpe, CapType::Service);
+        // Service ids are globally unique without coordination: the
+        // owning kernel's id in the high bits, a local count below.
+        let local_count = self.registry.iter().filter(|s| s.owner == self.id).count() as u16;
+        let id = ServiceId((self.id.0 << 8) | local_count);
+
+        let table = self.tables.get_mut(&vpe).expect("caller is local");
+        let sel = table.insert_new(srv_key);
+        self.mapdb.insert(Capability::root(
+            srv_key,
+            CapKindDesc::Service { id },
+            vpe,
+            sel,
+        ));
+        self.stats.caps_created += 1;
+        if let Some(v) = self.vpes.get_mut(&vpe) {
+            v.is_service = true;
+        }
+
+        let info = ServiceInfo { id, name, owner: self.id, srv_key, srv_pe: pe, srv_vpe: vpe };
+        self.registry.add(info);
+
+        // Announce to all other kernels. Announcements are startup
+        // traffic with no reply; they bypass the request credit budget
+        // (they use the boot channel, not the capability-protocol one).
+        for k in 0..self.membership.kernel_count() {
+            let k = KernelId(k as u16);
+            if k == self.id {
+                continue;
+            }
+            let dst = self.membership.kernel_pe(k);
+            self.stats.kcalls_out += 1;
+            out.push(Msg::new(
+                self.pe,
+                dst,
+                Payload::Kcall(Kcall::AnnounceService {
+                    id,
+                    name,
+                    owner: self.id,
+                    srv_key,
+                    srv_pe: pe,
+                    srv_vpe: vpe,
+                }),
+            ));
+        }
+
+        self.reply_sys(out, vpe, tag, Ok(SysReplyData::Sel(sel)));
+        self.cfg.cost.cap_create + self.cfg.cost.cap_insert + self.cfg.cost.syscall_exit
+    }
+
+    /// Entry point for the `OpenSession` system call.
+    pub(crate) fn sys_open_session(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        name: u64,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(srv) = self.registry.pick(name, self.id, vpe).copied() else {
+            self.reply_sys(out, vpe, tag, Err(Error::new(Code::NoSuchService)));
+            return self.cfg.cost.syscall_exit;
+        };
+        let client_pe = self.pe_of_vpe(vpe).expect("caller is local");
+        // The session capability is created by the client's kernel; its
+        // DDL key names the client as creator so ownership stays here.
+        let child_key = self.keys.alloc(client_pe, vpe, CapType::Session);
+
+        if srv.owner == self.id {
+            // Service in our group: ask the service VPE directly.
+            let op = self.alloc_op();
+            out.push(Msg::new(
+                self.pe,
+                srv.srv_pe,
+                Payload::Upcall(Upcall::SessionOpen { op, client_vpe: vpe, client_pe }),
+            ));
+            self.park(op, PendingOp::SessionLocalAccept { tag, client: vpe, child_key, srv });
+            self.ref_cost()
+        } else {
+            let op = self.alloc_op();
+            self.send_kcall(
+                out,
+                srv.owner,
+                Kcall::OpenSessReq { op, child_key, service: srv.id, client_vpe: vpe },
+            );
+            self.park(op, PendingOp::OpenSessRemote { tag, client: vpe, child_key, srv });
+            self.ref_cost()
+        }
+    }
+
+    /// Service-side handling of a remote client's session request.
+    pub(crate) fn kcall_open_sess_req(
+        &mut self,
+        from: KernelId,
+        op: OpId,
+        child_key: DdlKey,
+        service: ServiceId,
+        client_vpe: VpeId,
+        out: &mut Outbox,
+    ) -> u64 {
+        let check = (|| -> Result<ServiceInfo> {
+            let srv = *self.registry.get(service).ok_or(Error::new(Code::NoSuchService))?;
+            if srv.owner != self.id || !self.vpe_alive(srv.srv_vpe) {
+                return Err(Error::new(Code::NoSuchService));
+            }
+            if self.mapdb.get(srv.srv_key)?.revoking() {
+                return Err(Error::new(Code::RevokeInProgress));
+            }
+            Ok(srv)
+        })();
+        match check {
+            Err(e) => {
+                self.send_kreply(out, from, KReply::OpenSess { op, result: Err(e) });
+                self.cfg.cost.kcall_exit
+            }
+            Ok(srv) => {
+                let my_op = self.alloc_op();
+                let client_pe = self.pe_of_vpe(client_vpe).unwrap_or(PeId(0));
+                out.push(Msg::new(
+                    self.pe,
+                    srv.srv_pe,
+                    Payload::Upcall(Upcall::SessionOpen { op: my_op, client_vpe, client_pe }),
+                ));
+                self.park(
+                    my_op,
+                    PendingOp::SessionAtService {
+                        caller_op: op,
+                        caller_kernel: from,
+                        child_key,
+                        srv,
+                    },
+                );
+                self.ref_cost()
+            }
+        }
+    }
+
+    /// A service VPE answered a session-open upcall.
+    pub(crate) fn upcall_session_open(
+        &mut self,
+        _src: PeId,
+        op: OpId,
+        result: Result<u64>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(state) = self.pending.remove(&op) else {
+            return 0;
+        };
+        match state {
+            PendingOp::SessionLocalAccept { tag, client, child_key, srv } => match result {
+                Err(e) => {
+                    self.reply_sys(out, client, tag, Err(e));
+                    self.cfg.cost.syscall_exit
+                }
+                Ok(ident) => {
+                    if !self.vpe_alive(client) {
+                        // Client died while the service was deciding;
+                        // nothing inserted yet.
+                        return 0;
+                    }
+                    let sel = self.insert_session(client, child_key, srv, ident, true);
+                    self.stats.sessions_opened += 1;
+                    self.reply_sys(
+                        out,
+                        client,
+                        tag,
+                        Ok(SysReplyData::Session { sel, srv_pe: srv.srv_pe, ident }),
+                    );
+                    self.cfg.cost.cap_create
+                        + self.cfg.cost.cap_insert
+                        + self.cfg.cost.session_accept
+                        + self.cfg.cost.syscall_exit
+                }
+            },
+            PendingOp::SessionAtService { caller_op, caller_kernel, child_key, srv } => {
+                let reply = match result {
+                    Err(e) => Err(e),
+                    Ok(ident) => {
+                        // Link the (remote) session capability under the
+                        // service capability before replying — the same
+                        // ordering obtain uses.
+                        self.mapdb
+                            .link_child(srv.srv_key, child_key)
+                            .expect("service capability checked at request time");
+                        Ok(ident)
+                    }
+                };
+                self.send_kreply(out, caller_kernel, KReply::OpenSess { op: caller_op, result: reply });
+                self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
+            }
+            other => {
+                debug_assert!(false, "session-open reply for {:?}", other.class());
+                self.pending.insert(op, other);
+                0
+            }
+        }
+    }
+
+    /// Client-side completion of a remote session open.
+    pub(crate) fn kreply_open_sess(
+        &mut self,
+        op: OpId,
+        result: Result<u64>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(PendingOp::OpenSessRemote { tag, client, child_key, srv }) =
+            self.pending.remove(&op)
+        else {
+            debug_assert!(false, "open-sess reply without pending op");
+            return 0;
+        };
+        match result {
+            Err(e) => {
+                self.reply_sys(out, client, tag, Err(e));
+                self.cfg.cost.syscall_exit
+            }
+            Ok(ident) => {
+                if !self.vpe_alive(client) {
+                    // Orphaned session: unlink at the service's kernel.
+                    self.send_kcall(
+                        out,
+                        srv.owner,
+                        Kcall::OrphanNotice { parent_key: srv.srv_key, child_key },
+                    );
+                    return self.cfg.cost.kcall_exit;
+                }
+                let sel = self.insert_session(client, child_key, srv, ident, false);
+                self.stats.sessions_opened += 1;
+                self.stats.exchanges_spanning += 1;
+                self.reply_sys(
+                    out,
+                    client,
+                    tag,
+                    Ok(SysReplyData::Session { sel, srv_pe: srv.srv_pe, ident }),
+                );
+                self.cfg.cost.cap_create + self.cfg.cost.cap_insert + self.cfg.cost.syscall_exit
+            }
+        }
+    }
+
+    /// Builds and inserts a session capability for `client`. For local
+    /// services the parent link is registered immediately; for remote
+    /// services the owning kernel linked it before replying.
+    fn insert_session(
+        &mut self,
+        client: VpeId,
+        child_key: DdlKey,
+        srv: ServiceInfo,
+        ident: u64,
+        link_local_parent: bool,
+    ) -> semper_base::CapSel {
+        let table = self.tables.get_mut(&client).expect("alive client has table");
+        let sel = table.insert_new(child_key);
+        self.mapdb.insert(Capability::child(
+            child_key,
+            CapKindDesc::Session { service: srv.id, ident },
+            client,
+            sel,
+            srv.srv_key,
+        ));
+        self.stats.caps_created += 1;
+        if link_local_parent {
+            self.mapdb
+                .link_child(srv.srv_key, child_key)
+                .expect("local service capability exists");
+        }
+        sel
+    }
+}

@@ -1,0 +1,387 @@
+//! The in-memory filesystem image.
+//!
+//! Files are backed by fixed-size *extents* allocated from the service's
+//! memory region (the region behind its filesystem-image capability).
+//! Only metadata is modeled — contents live in the simulated global
+//! memory whose accesses cost cycles but carry no data, matching the
+//! paper's methodology (§5.3.1).
+
+use semper_base::msg::FileStat;
+use semper_base::{Code, Error, Result};
+use std::collections::BTreeMap;
+
+/// Size of one extent in bytes (the range granularity at which m3fs
+/// hands out memory capabilities).
+///
+/// 1 MiB reproduces the paper's Table 4 capability-operation counts for
+/// the trace mixes in `semper-apps` (e.g. tar: 10 extents delegated +
+/// 10 revoked + 1 session = 21 cap ops).
+pub const EXTENT_BYTES: u64 = 1024 * 1024;
+
+/// One extent: an offset into the service's memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Offset of this extent within the FS image region.
+    pub region_offset: u64,
+}
+
+/// An inode: a file or directory.
+#[derive(Debug, Clone)]
+pub struct Inode {
+    /// Logical size in bytes (files only).
+    pub size: u64,
+    /// Backing extents, in file order.
+    pub extents: Vec<Extent>,
+    /// True for directories.
+    pub is_dir: bool,
+}
+
+/// Specification of a filesystem image's initial contents.
+///
+/// The evaluation pre-populates every m3fs instance with its own copy of
+/// the image (§5.3.1: "each having its own copy of the filesystem image
+/// in memory").
+#[derive(Debug, Clone, Default)]
+pub struct FsSpec {
+    /// Directories to create (parents are created implicitly).
+    pub dirs: Vec<String>,
+    /// Files to create: (path, size in bytes).
+    pub files: Vec<(String, u64)>,
+}
+
+impl FsSpec {
+    /// An empty filesystem.
+    pub fn empty() -> FsSpec {
+        FsSpec::default()
+    }
+
+    /// Adds a directory (builder style).
+    pub fn dir(mut self, path: &str) -> FsSpec {
+        self.dirs.push(path.to_string());
+        self
+    }
+
+    /// Adds a file of the given size (builder style).
+    pub fn file(mut self, path: &str, size: u64) -> FsSpec {
+        self.files.push((path.to_string(), size));
+        self
+    }
+
+    /// Total bytes of extent storage this spec needs, plus headroom for
+    /// runtime growth.
+    pub fn region_size(&self, headroom: u64) -> u64 {
+        let used: u64 = self
+            .files
+            .iter()
+            .map(|(_, size)| size.div_ceil(EXTENT_BYTES) * EXTENT_BYTES)
+            .sum();
+        used + headroom
+    }
+}
+
+/// The filesystem image: metadata plus extent allocation.
+#[derive(Debug, Clone)]
+pub struct FsImage {
+    inodes: BTreeMap<String, Inode>,
+    region_size: u64,
+    next_extent: u64,
+}
+
+impl FsImage {
+    /// Builds an image from a spec, allocating extents for all files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec does not fit into `region_size` bytes.
+    pub fn build(spec: &FsSpec, region_size: u64) -> FsImage {
+        let mut img = FsImage {
+            inodes: BTreeMap::new(),
+            region_size,
+            next_extent: 0,
+        };
+        img.inodes.insert(
+            "/".to_string(),
+            Inode { size: 0, extents: Vec::new(), is_dir: true },
+        );
+        for d in &spec.dirs {
+            img.mkdir_all(d);
+        }
+        for (path, size) in &spec.files {
+            img.create_file(path).expect("spec paths are valid");
+            img.grow_to(path, *size).expect("spec fits in region");
+        }
+        img
+    }
+
+    fn mkdir_all(&mut self, path: &str) {
+        let norm = normalize(path);
+        let mut cur = String::new();
+        for part in norm.split('/').filter(|p| !p.is_empty()) {
+            cur.push('/');
+            cur.push_str(part);
+            self.inodes.entry(cur.clone()).or_insert(Inode {
+                size: 0,
+                extents: Vec::new(),
+                is_dir: true,
+            });
+        }
+    }
+
+    /// Creates an empty file; fails if the path exists.
+    pub fn create_file(&mut self, path: &str) -> Result<()> {
+        let norm = normalize(path);
+        if self.inodes.contains_key(&norm) {
+            return Err(Error::new(Code::FileExists));
+        }
+        if let Some(parent) = parent_of(&norm) {
+            self.mkdir_all(&parent);
+        }
+        self.inodes.insert(norm, Inode { size: 0, extents: Vec::new(), is_dir: false });
+        Ok(())
+    }
+
+    /// Grows a file to at least `size` bytes, allocating extents.
+    pub fn grow_to(&mut self, path: &str, size: u64) -> Result<()> {
+        let norm = normalize(path);
+        let needed = size.div_ceil(EXTENT_BYTES);
+        // Check capacity before touching the inode.
+        let have = {
+            let inode = self.inodes.get(&norm).ok_or(Error::new(Code::NoSuchFile))?;
+            if inode.is_dir {
+                return Err(Error::new(Code::IsDir));
+            }
+            inode.extents.len() as u64
+        };
+        let extra = needed.saturating_sub(have);
+        if self.next_extent + extra * EXTENT_BYTES > self.region_size {
+            return Err(Error::new(Code::NoSpace));
+        }
+        let mut new_extents = Vec::new();
+        for _ in 0..extra {
+            new_extents.push(Extent { region_offset: self.next_extent });
+            self.next_extent += EXTENT_BYTES;
+        }
+        let inode = self.inodes.get_mut(&norm).expect("checked above");
+        inode.extents.extend(new_extents);
+        inode.size = inode.size.max(size);
+        Ok(())
+    }
+
+    /// Looks up an inode.
+    pub fn stat(&self, path: &str) -> Result<FileStat> {
+        let inode = self.inodes.get(&normalize(path)).ok_or(Error::new(Code::NoSuchFile))?;
+        Ok(FileStat {
+            size: inode.size,
+            is_dir: inode.is_dir,
+            extents: inode.extents.len() as u32,
+        })
+    }
+
+    /// True if the path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inodes.contains_key(&normalize(path))
+    }
+
+    /// The extent covering byte `offset` of the file, with the file
+    /// offset the extent starts at.
+    pub fn extent_at(&self, path: &str, offset: u64) -> Result<(Extent, u64, u64)> {
+        let inode = self.inodes.get(&normalize(path)).ok_or(Error::new(Code::NoSuchFile))?;
+        if inode.is_dir {
+            return Err(Error::new(Code::IsDir));
+        }
+        if offset >= inode.size {
+            return Err(Error::new(Code::EndOfFile));
+        }
+        let idx = (offset / EXTENT_BYTES) as usize;
+        let ext = inode.extents.get(idx).copied().ok_or(Error::new(Code::InternalError))?;
+        let start = idx as u64 * EXTENT_BYTES;
+        let len = EXTENT_BYTES.min(inode.size - start);
+        Ok((ext, start, len))
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &str) -> Result<()> {
+        let norm = normalize(path);
+        let inode = self.inodes.get(&norm).ok_or(Error::new(Code::NoSuchFile))?;
+        if inode.is_dir {
+            return Err(Error::new(Code::IsDir));
+        }
+        // Extent storage is not reclaimed (bump allocation) — the
+        // workloads' churn fits the headroom; see FsSpec::region_size.
+        self.inodes.remove(&norm);
+        Ok(())
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<()> {
+        let norm = normalize(path);
+        if self.inodes.contains_key(&norm) {
+            return Err(Error::new(Code::FileExists));
+        }
+        self.mkdir_all(&norm);
+        Ok(())
+    }
+
+    /// Names of entries directly inside a directory.
+    pub fn read_dir(&self, path: &str) -> Result<Vec<String>> {
+        let norm = normalize(path);
+        let dir = self.inodes.get(&norm).ok_or(Error::new(Code::NoSuchFile))?;
+        if !dir.is_dir {
+            return Err(Error::new(Code::InvalidArgs));
+        }
+        let prefix = if norm == "/" { "/".to_string() } else { format!("{norm}/") };
+        let mut names = Vec::new();
+        for key in self.inodes.keys() {
+            if let Some(rest) = key.strip_prefix(&prefix) {
+                if !rest.is_empty() && !rest.contains('/') {
+                    names.push(rest.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// Number of inodes (including the root).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.len()
+    }
+
+    /// Bytes of extent storage allocated so far.
+    pub fn bytes_allocated(&self) -> u64 {
+        self.next_extent
+    }
+}
+
+fn normalize(path: &str) -> String {
+    let norm = if path.starts_with('/') {
+        path.trim_end_matches('/').to_string()
+    } else {
+        format!("/{}", path.trim_end_matches('/'))
+    }
+    .replace("//", "/");
+    if norm.is_empty() {
+        "/".to_string()
+    } else {
+        norm
+    }
+}
+
+fn parent_of(norm: &str) -> Option<String> {
+    let idx = norm.rfind('/')?;
+    if idx == 0 {
+        None
+    } else {
+        Some(norm[..idx].to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// b.txt spans three extents; a.txt fits in one.
+    const B_SIZE: u64 = 2 * EXTENT_BYTES + 100_000;
+
+    fn img() -> FsImage {
+        let spec = FsSpec::empty()
+            .dir("/data")
+            .file("/data/a.txt", 100_000)
+            .file("/data/b.txt", B_SIZE);
+        FsImage::build(&spec, 64 << 20)
+    }
+
+    #[test]
+    fn build_creates_inodes_and_extents() {
+        let i = img();
+        let a = i.stat("/data/a.txt").unwrap();
+        assert_eq!(a.size, 100_000);
+        assert_eq!(a.extents, 1);
+        let b = i.stat("/data/b.txt").unwrap();
+        assert_eq!(b.extents, 3); // B_SIZE spans three extents
+        assert!(i.stat("/data").unwrap().is_dir);
+    }
+
+    #[test]
+    fn extent_lookup_covers_offsets() {
+        let i = img();
+        let (e0, start0, len0) = i.extent_at("/data/b.txt", 0).unwrap();
+        assert_eq!(start0, 0);
+        assert_eq!(len0, EXTENT_BYTES);
+        let (e2, start2, len2) = i.extent_at("/data/b.txt", 2 * EXTENT_BYTES + 5).unwrap();
+        assert_ne!(e0.region_offset, e2.region_offset);
+        assert_eq!(start2, 2 * EXTENT_BYTES);
+        assert_eq!(len2, B_SIZE - 2 * EXTENT_BYTES);
+    }
+
+    #[test]
+    fn read_past_eof_fails() {
+        let i = img();
+        assert_eq!(
+            i.extent_at("/data/a.txt", 200_000).unwrap_err().code(),
+            Code::EndOfFile
+        );
+    }
+
+    #[test]
+    fn grow_allocates_new_extents() {
+        let mut i = img();
+        i.grow_to("/data/a.txt", EXTENT_BYTES + 300_000).unwrap();
+        assert_eq!(i.stat("/data/a.txt").unwrap().extents, 2);
+        assert_eq!(i.stat("/data/a.txt").unwrap().size, EXTENT_BYTES + 300_000);
+    }
+
+    #[test]
+    fn grow_beyond_region_fails() {
+        let spec = FsSpec::empty().file("/x", 1);
+        let mut i = FsImage::build(&spec, EXTENT_BYTES);
+        assert_eq!(i.grow_to("/x", 10 << 20).unwrap_err().code(), Code::NoSpace);
+    }
+
+    #[test]
+    fn create_unlink_roundtrip() {
+        let mut i = img();
+        i.create_file("/new.txt").unwrap();
+        assert!(i.exists("/new.txt"));
+        assert_eq!(i.create_file("/new.txt").unwrap_err().code(), Code::FileExists);
+        i.unlink("/new.txt").unwrap();
+        assert!(!i.exists("/new.txt"));
+        assert_eq!(i.unlink("/new.txt").unwrap_err().code(), Code::NoSuchFile);
+    }
+
+    #[test]
+    fn unlink_dir_rejected() {
+        let mut i = img();
+        assert_eq!(i.unlink("/data").unwrap_err().code(), Code::IsDir);
+    }
+
+    #[test]
+    fn read_dir_lists_children() {
+        let i = img();
+        let mut names = i.read_dir("/data").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a.txt", "b.txt"]);
+        assert_eq!(i.read_dir("/").unwrap(), vec!["data"]);
+    }
+
+    #[test]
+    fn mkdir_nested() {
+        let mut i = img();
+        i.mkdir("/a/b/c").unwrap();
+        assert!(i.stat("/a/b").unwrap().is_dir);
+        assert!(i.stat("/a/b/c").unwrap().is_dir);
+        assert_eq!(i.mkdir("/a/b/c").unwrap_err().code(), Code::FileExists);
+    }
+
+    #[test]
+    fn normalize_accepts_relative_paths() {
+        let i = img();
+        assert!(i.exists("data/a.txt"));
+        assert!(i.exists("/data/a.txt"));
+    }
+
+    #[test]
+    fn region_size_accounts_rounding() {
+        let spec = FsSpec::empty().file("/a", 1).file("/b", EXTENT_BYTES + 1);
+        assert_eq!(spec.region_size(0), 3 * EXTENT_BYTES);
+    }
+}

@@ -1,0 +1,25 @@
+//! m3fs: the in-memory, extent-based filesystem service.
+//!
+//! m3fs is the OS service the paper's application benchmarks exercise
+//! (§2.2, §5.3.1): it implements file access *by handing out memory
+//! capabilities*. A client opens a session, opens a file, and requests
+//! extents; the service derives a memory capability covering the extent
+//! from its filesystem-image capability and **delegates** it to the
+//! client, which then accesses the data through its DTU without any
+//! further OS involvement. Closing the file **revokes** the delegated
+//! capabilities. Every file access thus turns into capability-system
+//! load — which is exactly why these workloads stress SemperOS.
+//!
+//! * [`image`] — the filesystem image: directory tree, inodes, extents,
+//!   and the specs used to pre-populate instances for the benchmarks.
+//! * [`service`] — the service actor: session handling, the FS protocol,
+//!   and the derive → delegate → revoke capability lifecycle.
+
+pub mod image;
+pub mod service;
+
+pub use image::{FsImage, FsSpec};
+pub use service::{FsService, FsServiceStats};
+
+/// The well-known service name m3fs instances register under.
+pub const M3FS_NAME: u64 = 0x6D33_6673; // "m3fs"

@@ -1,0 +1,283 @@
+//! The data transfer unit (DTU).
+//!
+//! Each PE's DTU provides [`semper_base::config::EP_COUNT`] endpoints.
+//! An endpoint can be configured as:
+//!
+//! * a **send endpoint** — the right to send to one remote receive
+//!   endpoint, with a credit budget bounding in-flight messages;
+//! * a **receive endpoint** — a buffer of
+//!   [`semper_base::config::MSG_SLOTS`] message slots; if all slots are
+//!   occupied further messages would be *lost* (§4.1), which is why the
+//!   kernels bound their in-flight traffic with credits;
+//! * a **memory endpoint** — byte-granular access to a region of global
+//!   memory (the enforcement half of a memory capability).
+//!
+//! Initially all DTUs are privileged; the kernel deprivileges every user
+//! PE at boot, keeping configuration authority to itself (§2.2).
+
+use semper_base::config::{EP_COUNT, MSG_SLOTS};
+use semper_base::msg::Perms;
+use semper_base::{Code, EpId, Error, PeId, Result};
+
+/// Configuration of one DTU endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpConfig {
+    /// Unconfigured.
+    Invalid,
+    /// Send endpoint targeting a remote receive endpoint.
+    Send {
+        /// Destination PE.
+        dst: PeId,
+        /// Destination receive endpoint.
+        dst_ep: EpId,
+        /// Remaining credits (one credit = one in-flight message).
+        credits: u32,
+        /// Credit budget to restore on reply.
+        max_credits: u32,
+    },
+    /// Receive endpoint with a message buffer.
+    Receive {
+        /// Occupied message slots.
+        occupied: u32,
+        /// Total message slots.
+        slots: u32,
+    },
+    /// Memory endpoint granting access to `[addr, addr + size)`.
+    Memory {
+        /// Region start in global memory.
+        addr: u64,
+        /// Region size in bytes.
+        size: u64,
+        /// Permitted access.
+        perms: Perms,
+    },
+}
+
+/// One PE's data transfer unit.
+#[derive(Debug, Clone)]
+pub struct Dtu {
+    pe: PeId,
+    eps: [EpConfig; EP_COUNT as usize],
+    privileged: bool,
+}
+
+impl Dtu {
+    /// Creates the DTU of `pe`. DTUs start privileged (§2.2) and are
+    /// deprivileged by the kernel during boot.
+    pub fn new(pe: PeId) -> Dtu {
+        Dtu { pe, eps: [EpConfig::Invalid; EP_COUNT as usize], privileged: true }
+    }
+
+    /// The PE this DTU belongs to.
+    pub fn pe(&self) -> PeId {
+        self.pe
+    }
+
+    /// Whether this DTU may configure endpoints (kernel PEs only, after
+    /// boot).
+    pub fn privileged(&self) -> bool {
+        self.privileged
+    }
+
+    /// Removes configuration authority (done by the kernel at boot for
+    /// all user PEs).
+    pub fn deprivilege(&mut self) {
+        self.privileged = false;
+    }
+
+    /// Returns an endpoint's configuration.
+    pub fn ep(&self, ep: EpId) -> Result<&EpConfig> {
+        self.eps.get(ep.0 as usize).ok_or_else(|| Error::new(Code::InvalidArgs))
+    }
+
+    /// Configures an endpoint. Unprivileged DTUs can only be configured
+    /// *by* the kernel, which the kernel model expresses by calling this
+    /// directly; user code never holds `&mut Dtu`.
+    pub fn configure(&mut self, ep: EpId, cfg: EpConfig) -> Result<()> {
+        let slot =
+            self.eps.get_mut(ep.0 as usize).ok_or_else(|| Error::new(Code::InvalidArgs))?;
+        *slot = cfg;
+        Ok(())
+    }
+
+    /// Configures a receive endpoint with the default slot count.
+    pub fn configure_recv(&mut self, ep: EpId) -> Result<()> {
+        self.configure(ep, EpConfig::Receive { occupied: 0, slots: MSG_SLOTS })
+    }
+
+    /// Configures a send endpoint with a credit budget.
+    pub fn configure_send(&mut self, ep: EpId, dst: PeId, dst_ep: EpId, credits: u32) -> Result<()> {
+        self.configure(ep, EpConfig::Send { dst, dst_ep, credits, max_credits: credits })
+    }
+
+    /// Consumes one send credit; fails with [`Code::ChannelFull`] when
+    /// the budget is exhausted.
+    pub fn take_credit(&mut self, ep: EpId) -> Result<()> {
+        match self.eps.get_mut(ep.0 as usize) {
+            Some(EpConfig::Send { credits, .. }) => {
+                if *credits == 0 {
+                    return Err(Error::new(Code::ChannelFull));
+                }
+                *credits -= 1;
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvalidArgs)),
+        }
+    }
+
+    /// Restores one send credit (the receiver processed a message).
+    pub fn return_credit(&mut self, ep: EpId) -> Result<()> {
+        match self.eps.get_mut(ep.0 as usize) {
+            Some(EpConfig::Send { credits, max_credits, .. }) => {
+                if *credits < *max_credits {
+                    *credits += 1;
+                }
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvalidArgs)),
+        }
+    }
+
+    /// Deposits a message into a receive endpoint's buffer; fails with
+    /// [`Code::NoSpace`] when all slots are occupied (the hardware would
+    /// drop the message — §4.1).
+    pub fn deposit(&mut self, ep: EpId) -> Result<()> {
+        match self.eps.get_mut(ep.0 as usize) {
+            Some(EpConfig::Receive { occupied, slots }) => {
+                if occupied >= slots {
+                    return Err(Error::new(Code::NoSpace));
+                }
+                *occupied += 1;
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvalidArgs)),
+        }
+    }
+
+    /// Frees a message slot (the PE consumed a message).
+    pub fn consume(&mut self, ep: EpId) -> Result<()> {
+        match self.eps.get_mut(ep.0 as usize) {
+            Some(EpConfig::Receive { occupied, .. }) => {
+                if *occupied == 0 {
+                    return Err(Error::new(Code::InvalidArgs));
+                }
+                *occupied -= 1;
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvalidArgs)),
+        }
+    }
+
+    /// Validates an access of `[addr, addr + len)` with permissions
+    /// `want` through a memory endpoint.
+    pub fn check_mem_access(&self, ep: EpId, addr: u64, len: u64, want: Perms) -> Result<()> {
+        match self.ep(ep)? {
+            EpConfig::Memory { addr: base, size, perms } => {
+                if !perms.contains(want) {
+                    return Err(Error::new(Code::NoPerm));
+                }
+                let end = addr.checked_add(len).ok_or_else(|| Error::new(Code::InvalidArgs))?;
+                if addr < *base || end > base + size {
+                    return Err(Error::new(Code::NoPerm));
+                }
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InvalidArgs)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_privileged_with_invalid_eps() {
+        let d = Dtu::new(PeId(3));
+        assert!(d.privileged());
+        assert_eq!(d.ep(EpId(0)).unwrap(), &EpConfig::Invalid);
+        assert_eq!(d.pe(), PeId(3));
+    }
+
+    #[test]
+    fn deprivilege_is_sticky() {
+        let mut d = Dtu::new(PeId(0));
+        d.deprivilege();
+        assert!(!d.privileged());
+    }
+
+    #[test]
+    fn credits_bound_inflight() {
+        let mut d = Dtu::new(PeId(0));
+        d.configure_send(EpId(1), PeId(5), EpId(2), 2).unwrap();
+        d.take_credit(EpId(1)).unwrap();
+        d.take_credit(EpId(1)).unwrap();
+        assert_eq!(d.take_credit(EpId(1)).unwrap_err().code(), Code::ChannelFull);
+        d.return_credit(EpId(1)).unwrap();
+        d.take_credit(EpId(1)).unwrap();
+    }
+
+    #[test]
+    fn return_credit_never_exceeds_budget() {
+        let mut d = Dtu::new(PeId(0));
+        d.configure_send(EpId(0), PeId(1), EpId(0), 1).unwrap();
+        d.return_credit(EpId(0)).unwrap();
+        d.take_credit(EpId(0)).unwrap();
+        assert!(d.take_credit(EpId(0)).is_err());
+    }
+
+    #[test]
+    fn receive_slots_fill_and_drain() {
+        let mut d = Dtu::new(PeId(0));
+        d.configure(EpId(0), EpConfig::Receive { occupied: 0, slots: 2 }).unwrap();
+        d.deposit(EpId(0)).unwrap();
+        d.deposit(EpId(0)).unwrap();
+        assert_eq!(d.deposit(EpId(0)).unwrap_err().code(), Code::NoSpace);
+        d.consume(EpId(0)).unwrap();
+        d.deposit(EpId(0)).unwrap();
+    }
+
+    #[test]
+    fn consume_empty_is_error() {
+        let mut d = Dtu::new(PeId(0));
+        d.configure_recv(EpId(0)).unwrap();
+        assert!(d.consume(EpId(0)).is_err());
+    }
+
+    #[test]
+    fn memory_endpoint_bounds_and_perms() {
+        let mut d = Dtu::new(PeId(0));
+        d.configure(EpId(3), EpConfig::Memory { addr: 0x1000, size: 0x100, perms: Perms::R })
+            .unwrap();
+        d.check_mem_access(EpId(3), 0x1000, 0x100, Perms::R).unwrap();
+        assert_eq!(
+            d.check_mem_access(EpId(3), 0x1000, 0x101, Perms::R).unwrap_err().code(),
+            Code::NoPerm
+        );
+        assert_eq!(
+            d.check_mem_access(EpId(3), 0x1000, 4, Perms::W).unwrap_err().code(),
+            Code::NoPerm
+        );
+        assert_eq!(
+            d.check_mem_access(EpId(3), 0xFFF, 4, Perms::R).unwrap_err().code(),
+            Code::NoPerm
+        );
+    }
+
+    #[test]
+    fn wrong_ep_kind_is_invalid_args() {
+        let mut d = Dtu::new(PeId(0));
+        d.configure_recv(EpId(0)).unwrap();
+        assert_eq!(d.take_credit(EpId(0)).unwrap_err().code(), Code::InvalidArgs);
+        assert_eq!(
+            d.check_mem_access(EpId(0), 0, 1, Perms::R).unwrap_err().code(),
+            Code::InvalidArgs
+        );
+    }
+
+    #[test]
+    fn out_of_range_ep_rejected() {
+        let d = Dtu::new(PeId(0));
+        assert!(d.ep(EpId(EP_COUNT)).is_err());
+    }
+}

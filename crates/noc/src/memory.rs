@@ -1,0 +1,107 @@
+//! The global physical address space.
+//!
+//! Memory capabilities in M3/SemperOS reference byte-granular regions of
+//! a machine-wide address space (off-chip DRAM or PE-local memories).
+//! Following the paper's methodology (§5.3.1), we model *allocation and
+//! access timing* but not contents: data accesses cost cycles, and the
+//! access-control checks are performed against capability ranges.
+
+use semper_base::{Code, Error, Result};
+
+/// A bump allocator over the global physical address space.
+///
+/// Regions are never reclaimed: the workloads in the evaluation allocate
+/// a bounded amount (filesystem images plus scratch buffers), and keeping
+/// allocation monotone makes address assignment deterministic.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    base: u64,
+    next: u64,
+    limit: u64,
+}
+
+/// Alignment of all allocations (a DRAM burst).
+pub const ALLOC_ALIGN: u64 = 64;
+
+impl GlobalMemory {
+    /// Creates an address space of `size` bytes starting at `base`.
+    pub fn new(base: u64, size: u64) -> GlobalMemory {
+        GlobalMemory { base: align_up(base), next: align_up(base), limit: base + size }
+    }
+
+    /// A machine-scale default: 64 GiB starting at 4 GiB.
+    pub fn machine_default() -> GlobalMemory {
+        GlobalMemory::new(4 << 30, 64 << 30)
+    }
+
+    /// Allocates `size` bytes; returns the region's base address.
+    pub fn alloc(&mut self, size: u64) -> Result<u64> {
+        if size == 0 {
+            return Err(Error::new(Code::InvalidArgs));
+        }
+        let base = self.next;
+        let end = base.checked_add(align_up(size)).ok_or_else(|| Error::new(Code::NoSpace))?;
+        if end > self.limit {
+            return Err(Error::new(Code::NoSpace));
+        }
+        self.next = end;
+        Ok(base)
+    }
+
+    /// Bytes still allocatable.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.next
+    }
+
+    /// Bytes allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next - self.base
+    }
+}
+
+fn align_up(v: u64) -> u64 {
+    (v + ALLOC_ALIGN - 1) & !(ALLOC_ALIGN - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint_and_aligned() {
+        let mut m = GlobalMemory::new(0, 1 << 20);
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
+        assert_eq!(a % ALLOC_ALIGN, 0);
+        assert_eq!(b % ALLOC_ALIGN, 0);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let mut m = GlobalMemory::new(0, 1024);
+        assert_eq!(m.alloc(0).unwrap_err().code(), Code::InvalidArgs);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut m = GlobalMemory::new(0, 128);
+        m.alloc(64).unwrap();
+        m.alloc(64).unwrap();
+        assert_eq!(m.alloc(1).unwrap_err().code(), Code::NoSpace);
+    }
+
+    #[test]
+    fn remaining_decreases() {
+        let mut m = GlobalMemory::new(0, 1024);
+        let r0 = m.remaining();
+        m.alloc(64).unwrap();
+        assert_eq!(m.remaining(), r0 - 64);
+    }
+
+    #[test]
+    fn machine_default_is_large() {
+        let m = GlobalMemory::machine_default();
+        assert!(m.remaining() >= 60 << 30);
+    }
+}

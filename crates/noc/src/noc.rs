@@ -1,0 +1,135 @@
+//! Message routing with per-channel FIFO ordering.
+//!
+//! The distributed capability protocol requires (§4.3.1) that if kernel
+//! K1 sends M1 then M2 to kernel K2, K2 receives M1 before M2. Physical
+//! NoCs with deterministic routing provide this per (src, dst) pair; the
+//! [`Noc`] model enforces it explicitly: a message's delivery time is at
+//! least one cycle after the previous delivery on the same channel.
+
+use crate::mesh::Mesh;
+use semper_base::{CostModel, Msg, PeId};
+use semper_sim::Cycles;
+use std::collections::BTreeMap;
+
+/// The network-on-chip: computes delivery times for messages.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    mesh: Mesh,
+    cost: CostModel,
+    last_delivery: BTreeMap<(PeId, PeId), Cycles>,
+    messages_routed: u64,
+    bytes_routed: u64,
+}
+
+impl Noc {
+    /// Creates a NoC over the given mesh with the given cost model.
+    pub fn new(mesh: Mesh, cost: CostModel) -> Noc {
+        Noc {
+            mesh,
+            cost,
+            last_delivery: BTreeMap::new(),
+            messages_routed: 0,
+            bytes_routed: 0,
+        }
+    }
+
+    /// The mesh underlying this NoC.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Routes `msg` injected at time `now`; returns its delivery time.
+    ///
+    /// Delivery time is `now + dtu_send + wire latency + dtu_recv`,
+    /// bumped if necessary to preserve FIFO ordering on the
+    /// `(src, dst)` channel.
+    pub fn route(&mut self, msg: &Msg, now: Cycles) -> Cycles {
+        let hops = self.mesh.hops(msg.src, msg.dst);
+        let bytes = msg.wire_size() as u64;
+        let wire = self.cost.noc_latency(hops, bytes);
+        let arrival = now + self.cost.dtu_send + wire + self.cost.dtu_recv;
+
+        let chan = (msg.src, msg.dst);
+        let fifo_floor = self
+            .last_delivery
+            .get(&chan)
+            .map(|t| *t + 1u64)
+            .unwrap_or(Cycles::ZERO);
+        let delivery = arrival.max(fifo_floor);
+        self.last_delivery.insert(chan, delivery);
+
+        self.messages_routed += 1;
+        self.bytes_routed += bytes;
+        delivery
+    }
+
+    /// Total messages routed (statistics).
+    pub fn messages_routed(&self) -> u64 {
+        self.messages_routed
+    }
+
+    /// Total payload bytes routed (statistics).
+    pub fn bytes_routed(&self) -> u64 {
+        self.bytes_routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::msg::{Payload, Syscall};
+
+    fn noop_msg(src: u16, dst: u16) -> Msg {
+        Msg::new(PeId(src), PeId(dst), Payload::Sys { tag: 0, call: Syscall::Noop })
+    }
+
+    fn mk_noc() -> Noc {
+        Noc::new(Mesh::new(4), CostModel::calibrated())
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let mut noc = mk_noc();
+        let near = noc.route(&noop_msg(0, 1), Cycles::ZERO);
+        let far = noc.route(&noop_msg(0, 15), Cycles::ZERO);
+        assert!(far > near, "{far} !> {near}");
+    }
+
+    #[test]
+    fn fifo_per_channel() {
+        let mut noc = mk_noc();
+        // Inject M2 "faster" (same time) — it must still arrive after M1.
+        let d1 = noc.route(&noop_msg(0, 5), Cycles(100));
+        let d2 = noc.route(&noop_msg(0, 5), Cycles(100));
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn fifo_does_not_couple_channels() {
+        let mut noc = mk_noc();
+        let d1 = noc.route(&noop_msg(0, 5), Cycles(100));
+        let d2 = noc.route(&noop_msg(1, 5), Cycles(100));
+        // Different source: no FIFO constraint, same distance-based time
+        // modulo the different hop count.
+        assert!(d2 <= d1 + 1000u64);
+    }
+
+    #[test]
+    fn fifo_ordering_holds_under_out_of_order_injection() {
+        let mut noc = mk_noc();
+        let d1 = noc.route(&noop_msg(0, 15), Cycles(0));
+        // Second message injected later but on a now-"warm" channel still
+        // arrives after the first.
+        let d2 = noc.route(&noop_msg(0, 15), Cycles(1));
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut noc = mk_noc();
+        noc.route(&noop_msg(0, 1), Cycles::ZERO);
+        noc.route(&noop_msg(1, 2), Cycles::ZERO);
+        assert_eq!(noc.messages_routed(), 2);
+        assert!(noc.bytes_routed() > 0);
+    }
+}

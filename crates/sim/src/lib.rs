@@ -1,0 +1,25 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the reproduction's substitute for gem5 (§5.1 of the
+//! paper): a cycle-granular event queue driving actor state machines. It
+//! is intentionally micro-architecture-free — all timing comes from the
+//! cost model in `semper-base` — but it is *strictly deterministic*: two
+//! runs with the same configuration produce bit-identical schedules.
+//!
+//! Determinism rests on two rules enforced here and honoured by all
+//! users:
+//!
+//! 1. Events at equal timestamps are ordered by insertion sequence
+//!    number ([`EventQueue`] is a stable priority queue).
+//! 2. No randomness outside [`rng::DetRng`], which is seeded from the
+//!    machine configuration.
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use stats::{Counter, Summary};
+pub use time::Cycles;

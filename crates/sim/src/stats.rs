@@ -1,0 +1,160 @@
+//! Lightweight statistics collection for experiments.
+
+use crate::time::Cycles;
+
+/// A streaming summary of a series of samples: count, mean, min, max, and
+/// exact percentiles (samples are retained; experiment scales here are
+/// modest).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary::default()
+    }
+
+    /// Adds a raw sample.
+    pub fn add(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Adds a duration sample.
+    pub fn add_cycles(&mut self, c: Cycles) {
+        self.add(c.0);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Exact percentile (nearest-rank), or `None` when empty.
+    ///
+    /// `p` is in `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// Population standard deviation, or 0.0 when fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - m;
+                d * d
+            })
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// A named monotone counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let mut s = Summary::new();
+        for v in [4, 1, 3, 2, 5] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(5));
+        assert_eq!(s.percentile(0.0), Some(1));
+        assert_eq!(s.percentile(50.0), Some(3));
+        assert_eq!(s.percentile(100.0), Some(5));
+    }
+
+    #[test]
+    fn summary_empty() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stddev_constant_series_is_zero() {
+        let mut s = Summary::new();
+        for _ in 0..10 {
+            s.add(7);
+        }
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn counter() {
+        let mut c = Counter::default();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn add_cycles_records_raw_value() {
+        let mut s = Summary::new();
+        s.add_cycles(Cycles(123));
+        assert_eq!(s.max(), Some(123));
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulated time in CPU cycles.
+
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, measured in cycles of the
+/// modeled 2 GHz clock.
+///
+/// `Cycles` is used both as an instant and as a duration; the arithmetic
+/// below covers the combinations the simulation needs. Saturating
+/// subtraction keeps statistics code panic-free on empty intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+/// The modeled core clock in Hz (paper §5.1: 2 GHz).
+pub const CLOCK_HZ: u64 = 2_000_000_000;
+
+impl Cycles {
+    /// Time zero.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Largest representable time (used as "never" sentinel).
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Converts to microseconds at the modeled clock.
+    pub fn as_micros(self) -> f64 {
+        self.0 as f64 / (CLOCK_HZ as f64 / 1e6)
+    }
+
+    /// Converts to milliseconds at the modeled clock.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / (CLOCK_HZ as f64 / 1e3)
+    }
+
+    /// Converts to seconds at the modeled clock.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / CLOCK_HZ as f64
+    }
+
+    /// Saturating difference (`self - other`, clamped at zero).
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: u64) -> Cycles {
+        Cycles(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycles {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl core::fmt::Display for Cycles {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(3) + 4u64, Cycles(7));
+        assert_eq!(Cycles(7) - Cycles(4), Cycles(3));
+        let mut c = Cycles(1);
+        c += 2;
+        c += Cycles(3);
+        assert_eq!(c, Cycles(6));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Cycles(3).saturating_sub(Cycles(5)), Cycles::ZERO);
+        assert_eq!(Cycles(5).saturating_sub(Cycles(3)), Cycles(2));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        // 2000 cycles at 2 GHz = 1 µs.
+        assert!((Cycles(2000).as_micros() - 1.0).abs() < 1e-9);
+        assert!((Cycles(2_000_000).as_millis() - 1.0).abs() < 1e-9);
+        assert!((Cycles(CLOCK_HZ).as_secs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Cycles(3).max(Cycles(5)), Cycles(5));
+        assert_eq!(Cycles(3).min(Cycles(5)), Cycles(3));
+    }
+}

@@ -1,0 +1,17 @@
+//! Internal calibration probe: prints Table 3 measurements.
+use semper_base::KernelMode;
+use semperos::experiment::MicroMachine;
+
+fn main() {
+    let mut s = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    println!("exchange local   (target 3597): {}", s.measure_exchange_local());
+    println!("exchange spanning(target 6484): {}", s.measure_exchange_spanning());
+    let mut s2 = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    println!("revoke local     (target 1997): {}", s2.measure_revoke_local());
+    let mut s3 = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    println!("revoke spanning  (target 3876): {}", s3.measure_revoke_spanning());
+    let mut m = MicroMachine::new(1, 2, KernelMode::M3);
+    println!("M3 exchange local(target 3250): {}", m.measure_exchange_local());
+    let mut m2 = MicroMachine::new(1, 2, KernelMode::M3);
+    println!("M3 revoke local  (target 1423): {}", m2.measure_revoke_local());
+}

@@ -1,0 +1,13 @@
+//! Root crate of the SemperOS reproduction workspace.
+//!
+//! Hosts the workspace-level integration tests (`tests/`) and runnable
+//! examples (`examples/`); re-exports the public crates for convenience.
+
+pub use semper_apps as apps;
+pub use semper_base as base;
+pub use semper_caps as caps;
+pub use semper_kernel as kernel;
+pub use semper_m3fs as m3fs;
+pub use semper_noc as noc;
+pub use semper_sim as sim;
+pub use semperos as os;

@@ -1,0 +1,191 @@
+//! Property-based tests over the distributed capability protocol.
+//!
+//! Random sequences of capability-modifying operations (exchanges,
+//! revokes, kills, exits) are executed against a multi-kernel cluster
+//! with randomly interleaved message processing; afterwards every
+//! structural invariant must hold and the system must quiesce with no
+//! suspended operations.
+
+use proptest::prelude::*;
+use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
+use semper_base::{CapSel, DdlKey, PeId, VpeId};
+use semper_base::{CapType, ExchangeKind as EK};
+use semper_kernel::harness::TestCluster;
+
+/// One randomly generated action.
+#[derive(Debug, Clone)]
+enum Action {
+    CreateMem { vpe: u16 },
+    Delegate { from: u16, to: u16 },
+    Obtain { by: u16, from: u16 },
+    RevokeNewest { vpe: u16 },
+    Derive { vpe: u16 },
+    PumpSome { n: usize },
+    Kill { vpe: u16 },
+}
+
+fn action_strategy(vpes: u16) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0..vpes).prop_map(|vpe| Action::CreateMem { vpe }),
+        4 => (0..vpes, 0..vpes).prop_map(|(from, to)| Action::Delegate { from, to }),
+        4 => (0..vpes, 0..vpes).prop_map(|(by, from)| Action::Obtain { by, from }),
+        4 => (0..vpes).prop_map(|vpe| Action::RevokeNewest { vpe }),
+        4 => (0..vpes).prop_map(|vpe| Action::Derive { vpe }),
+        4 => (1usize..12).prop_map(|n| Action::PumpSome { n }),
+        // Kills are rare relative to the other actions.
+        1 => (0..vpes).prop_map(|vpe| Action::Kill { vpe }),
+    ]
+}
+
+/// The newest capability selector a VPE holds, if any (scans the kernel
+/// state; works because the harness exposes the tables).
+fn newest_sel(c: &TestCluster, vpe: VpeId) -> Option<CapSel> {
+    let k = c.kernel_of(vpe);
+    let table = c.kernels[k.idx()].table(vpe)?;
+    table.iter().map(|(sel, _)| sel).filter(|s| s.0 >= 2).max()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random CMO interleavings never violate the capability-tree
+    /// invariants, never deadlock, and always quiesce.
+    #[test]
+    fn random_cmo_interleavings_preserve_invariants(
+        actions in proptest::collection::vec(action_strategy(6), 1..40)
+    ) {
+        // 3 kernels x 2 VPEs; VPE v lives in group v / 2.
+        let mut c = TestCluster::new(3, 2);
+        let mut dead = std::collections::BTreeSet::new();
+        for action in actions {
+            match action {
+                Action::CreateMem { vpe } => {
+                    if dead.contains(&vpe) { continue; }
+                    c.syscall_async(
+                        VpeId(vpe),
+                        Syscall::CreateMem { size: 4096, perms: Perms::RW },
+                    );
+                }
+                Action::Delegate { from, to } => {
+                    if from == to || dead.contains(&from) || dead.contains(&to) { continue; }
+                    let Some(sel) = newest_sel(&c, VpeId(from)) else { continue };
+                    c.syscall_async(
+                        VpeId(from),
+                        Syscall::Exchange {
+                            other: VpeId(to),
+                            own_sel: sel,
+                            other_sel: CapSel::INVALID,
+                            kind: ExchangeKind::Delegate,
+                        },
+                    );
+                }
+                Action::Obtain { by, from } => {
+                    if by == from || dead.contains(&by) || dead.contains(&from) { continue; }
+                    let Some(sel) = newest_sel(&c, VpeId(from)) else { continue };
+                    c.syscall_async(
+                        VpeId(by),
+                        Syscall::Exchange {
+                            other: VpeId(from),
+                            own_sel: CapSel::INVALID,
+                            other_sel: sel,
+                            kind: EK::Obtain,
+                        },
+                    );
+                }
+                Action::RevokeNewest { vpe } => {
+                    if dead.contains(&vpe) { continue; }
+                    let Some(sel) = newest_sel(&c, VpeId(vpe)) else { continue };
+                    c.syscall_async(VpeId(vpe), Syscall::Revoke { sel, own: true });
+                }
+                Action::Derive { vpe } => {
+                    if dead.contains(&vpe) { continue; }
+                    let Some(sel) = newest_sel(&c, VpeId(vpe)) else { continue };
+                    c.syscall_async(
+                        VpeId(vpe),
+                        Syscall::DeriveMem { src: sel, offset: 0, size: 64, perms: Perms::R },
+                    );
+                }
+                Action::PumpSome { n } => c.pump_n(n),
+                Action::Kill { vpe } => {
+                    if dead.insert(vpe) {
+                        c.kill(VpeId(vpe));
+                    }
+                }
+            }
+        }
+        c.pump_all();
+        c.check_invariants();
+        // Quiescence: nothing suspended anywhere.
+        for k in &c.kernels {
+            prop_assert_eq!(
+                k.pending_ops(), 0,
+                "kernel {} left {} suspended ops", k.id(), k.pending_ops()
+            );
+        }
+        // Capabilities of dead VPEs are fully gone.
+        for vpe in &dead {
+            for k in &c.kernels {
+                if let Some(t) = k.table(VpeId(*vpe)) {
+                    prop_assert_eq!(t.len(), 0, "dead VPE{} still holds capabilities", vpe);
+                }
+            }
+        }
+    }
+
+    /// Revoking the root of any randomly built delegation structure
+    /// removes exactly the descendants, across any number of kernels.
+    #[test]
+    fn revoke_removes_exactly_the_subtree(
+        edges in proptest::collection::vec((0u16..8, 0u16..8), 1..24)
+    ) {
+        let mut c = TestCluster::new(4, 2);
+        let root_sel = match c
+            .syscall(VpeId(0), Syscall::CreateMem { size: 4096, perms: Perms::RW })
+            .result
+        {
+            Ok(SysReplyData::Mem { sel, .. }) => sel,
+            other => panic!("create_mem failed: {other:?}"),
+        };
+        // Holders of copies: vpe -> selectors (starting from the root).
+        let mut sels: Vec<(VpeId, CapSel)> = vec![(VpeId(0), root_sel)];
+        for (src_idx, to) in edges {
+            let (from, from_sel) = sels[src_idx as usize % sels.len()];
+            let to = VpeId(to);
+            if to == from { continue; }
+            let r = c.syscall(
+                from,
+                Syscall::Exchange {
+                    other: to,
+                    own_sel: from_sel,
+                    other_sel: CapSel::INVALID,
+                    kind: ExchangeKind::Delegate,
+                },
+            );
+            if let Ok(SysReplyData::Delegated { recv_sel }) = r.result {
+                sels.push((to, recv_sel));
+            }
+        }
+        let before = c.total_caps();
+        let r = c.syscall(VpeId(0), Syscall::Revoke { sel: root_sel, own: true });
+        prop_assert!(r.result.is_ok());
+        // Exactly the tree (root + all successful delegations) vanished.
+        prop_assert_eq!(c.total_caps(), before - sels.len());
+        c.check_invariants();
+        for (vpe, sel) in sels {
+            let k = c.kernel_of(vpe);
+            prop_assert!(c.kernels[k.idx()].table(vpe).unwrap().get(sel).is_err());
+        }
+    }
+
+    /// DDL keys pack and unpack losslessly for every field combination.
+    #[test]
+    fn ddl_key_roundtrip(pe in any::<u16>(), vpe in any::<u16>(), ty in 1u8..=7, obj in 0u32..(1 << 24)) {
+        let ty = CapType::from_u8(ty).unwrap();
+        let k = DdlKey::new(PeId(pe), VpeId(vpe), ty, obj);
+        prop_assert_eq!(k.pe(), PeId(pe));
+        prop_assert_eq!(k.vpe(), VpeId(vpe));
+        prop_assert_eq!(k.cap_type(), Some(ty));
+        prop_assert_eq!(k.object_id(), obj);
+        prop_assert_eq!(DdlKey::from_raw(k.raw()), k);
+    }
+}
