@@ -274,8 +274,7 @@ impl Replayer {
                 self.ip += 1;
                 return false;
             }
-            let (offset, end, write, path) =
-                (io.offset, io.end, io.write, io.path.clone());
+            let (offset, end, write, path) = (io.offset, io.end, io.write, io.path.clone());
             let Some(f) = self.files.get(&path) else {
                 self.fail(Error::new(Code::InvalidArgs));
                 return false;
@@ -380,10 +379,7 @@ impl Replayer {
                     self.fail(Error::new(Code::InternalError));
                     return (cost, false);
                 };
-                self.files.insert(
-                    path,
-                    FileState { fid: *fid, size: *size, cached: Vec::new() },
-                );
+                self.files.insert(path, FileState { fid: *fid, size: *size, cached: Vec::new() });
                 self.ip += 1;
             }
             Ok(FsReplyData::Extent { sel: _, addr: _, offset, len }) => {
@@ -407,7 +403,9 @@ impl Replayer {
             Ok(FsReplyData::Stat(_)) | Ok(FsReplyData::Dir { .. }) | Ok(FsReplyData::Ok) => {
                 self.ip += 1;
             }
-            Err(e) if e.code() == Code::EndOfFile && self.io.as_ref().is_some_and(|io| !io.write) => {
+            Err(e)
+                if e.code() == Code::EndOfFile && self.io.as_ref().is_some_and(|io| !io.write) =>
+            {
                 // Reading past the end: treat as a short read.
                 self.io = None;
                 self.ip += 1;
@@ -563,10 +561,7 @@ mod tests {
         let reply = Msg::new(
             PeId(0),
             PeId(1),
-            Payload::SysReply(SysReply {
-                tag: 0,
-                result: Err(Error::new(Code::NoSuchService)),
-            }),
+            Payload::SysReply(SysReply { tag: 0, result: Err(Error::new(Code::NoSuchService)) }),
         );
         c.handle(&reply, &mut out);
         assert!(matches!(c.phase(), ClientPhase::Failed(_)));

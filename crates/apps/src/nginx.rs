@@ -158,11 +158,7 @@ impl LoadGen {
     fn send_request(&mut self, server: PeId, out: &mut Outbox) {
         let id = self.next_id;
         self.next_id += 1;
-        out.push(Msg::new(
-            self.pe,
-            server,
-            Payload::Http(HttpReq { id, uri: (id % 8) as u32 }),
-        ));
+        out.push(Msg::new(self.pe, server, Payload::Http(HttpReq { id, uri: (id % 8) as u32 })));
     }
 
     /// Handles one response; immediately issues the next request

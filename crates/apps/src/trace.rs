@@ -178,7 +178,6 @@ impl AppKind {
             AppKind::PostMark => 405,
         }
     }
-
 }
 
 /// The static filesystem contents every m3fs image must be pre-populated

@@ -158,8 +158,8 @@ impl MachineConfig {
                 "a kernel would manage {per_kernel} PEs, max is {MAX_PES_PER_KERNEL}"
             ));
         }
-        if self.mesh_width == 0 || (self.mesh_width as u32 * self.mesh_width as u32)
-            < self.num_pes as u32 / 2
+        if self.mesh_width == 0
+            || (self.mesh_width as u32 * self.mesh_width as u32) < self.num_pes as u32 / 2
         {
             return Err("mesh too small for PE count".into());
         }

@@ -73,10 +73,7 @@ impl DdlKey {
     pub fn new(pe: PeId, vpe: VpeId, ty: CapType, object_id: u32) -> DdlKey {
         assert!(object_id <= MAX_OBJECT_ID, "object id overflows DDL key field");
         DdlKey(
-            ((pe.0 as u64) << 48)
-                | ((vpe.0 as u64) << 32)
-                | ((ty as u64) << 24)
-                | object_id as u64,
+            ((pe.0 as u64) << 48) | ((vpe.0 as u64) << 32) | ((ty as u64) << 24) | object_id as u64,
         )
     }
 
@@ -116,14 +113,7 @@ impl DdlKey {
 
 impl core::fmt::Debug for DdlKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "DdlKey({}/{}/{:?}/{})",
-            self.pe(),
-            self.vpe(),
-            self.cap_type(),
-            self.object_id()
-        )
+        write!(f, "DdlKey({}/{}/{:?}/{})", self.pe(), self.vpe(), self.cap_type(), self.object_id())
     }
 }
 

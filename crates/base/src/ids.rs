@@ -42,6 +42,15 @@ pub struct OpId(pub u64);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServiceId(pub u16);
 
+/// The packed 64-bit representation of a [`crate::ddl::DdlKey`].
+///
+/// This is the form DDL keys take on the wire and — since the O(1)
+/// bookkeeping refactor — the form the kernel's hash maps key on: one
+/// `u64` holding `(PE id, VPE id, type, object id)` exactly as laid out
+/// in [`crate::ddl`]. Obtained via [`crate::ddl::DdlKey::raw`] and
+/// turned back with [`crate::ddl::DdlKey::from_raw`].
+pub type RawDdlKey = u64;
+
 macro_rules! impl_display {
     ($($ty:ident => $prefix:literal),* $(,)?) => {
         $(impl core::fmt::Display for $ty {

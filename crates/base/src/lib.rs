@@ -9,6 +9,9 @@
 //! * [`ddl`] — the Distributed Data Lookup key format (§3.2 of the paper):
 //!   a globally valid capability address packing
 //!   `(PE id, VPE id, type, object id)`.
+//! * [`hash`] — deterministic fast hashing; backs the O(1) bookkeeping
+//!   maps on the kernel hot paths without sacrificing run-to-run
+//!   reproducibility.
 //! * [`msg`] — the wire protocol: system calls, inter-kernel calls, the
 //!   m3fs IPC protocol, and application-level messages.
 //! * [`cost`] — the calibrated cycle-cost model that stands in for gem5's
@@ -24,6 +27,7 @@ pub mod config;
 pub mod cost;
 pub mod ddl;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod msg;
 
@@ -31,5 +35,6 @@ pub use config::{Feature, KernelMode, MachineConfig};
 pub use cost::CostModel;
 pub use ddl::{CapType, DdlKey};
 pub use error::{Code, Error, Result};
-pub use ids::{CapSel, EpId, KernelId, OpId, PeId, ServiceId, VpeId};
+pub use hash::{DetHashMap, DetHashSet, DetState};
+pub use ids::{CapSel, EpId, KernelId, OpId, PeId, RawDdlKey, ServiceId, VpeId};
 pub use msg::{CapDesc, CapKindDesc, ExchangeKind, Msg, Payload, Perms};

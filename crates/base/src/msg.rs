@@ -748,20 +748,15 @@ mod tests {
             op: OpId(1),
             cap_key: DdlKey::new(PeId(0), VpeId(0), CapType::Memory, 1),
         });
-        let keys = (0..10)
-            .map(|i| DdlKey::new(PeId(0), VpeId(0), CapType::Memory, i))
-            .collect::<Vec<_>>();
+        let keys =
+            (0..10).map(|i| DdlKey::new(PeId(0), VpeId(0), CapType::Memory, i)).collect::<Vec<_>>();
         let big = Payload::Kcall(Kcall::RevokeBatchReq { op: OpId(1), cap_keys: keys });
         assert!(big.wire_size() > small.wire_size());
     }
 
     #[test]
     fn fs_paths_count_into_wire_size() {
-        let short = Payload::Fs(FsReq {
-            session: 0,
-            tag: 0,
-            op: FsOp::Stat { path: "a".into() },
-        });
+        let short = Payload::Fs(FsReq { session: 0, tag: 0, op: FsOp::Stat { path: "a".into() } });
         let long = Payload::Fs(FsReq {
             session: 0,
             tag: 0,
@@ -811,9 +806,19 @@ impl Outbox {
     }
 
     /// Drains the collected messages in push order, with their optional
-    /// pipelined-injection offsets.
+    /// pipelined-injection offsets. Takes the backing buffer; prefer
+    /// [`Outbox::drain_iter`] on hot paths so a long-lived outbox keeps
+    /// its capacity.
     pub fn drain(&mut self) -> Vec<(Msg, Option<u64>)> {
         std::mem::take(&mut self.msgs)
+    }
+
+    /// Drains the collected messages in push order without giving up the
+    /// backing buffer — a long-lived outbox reused across handler
+    /// invocations stops allocating once warm (the machine's event loop
+    /// ran one allocation/free per delivered message before this).
+    pub fn drain_iter(&mut self) -> impl Iterator<Item = (Msg, Option<u64>)> + '_ {
+        self.msgs.drain(..)
     }
 
     /// Number of queued messages.

@@ -19,10 +19,9 @@ fn main() {
         "Length", "Local (cycles)", "Spanning (cycles)", "M3 (cycles)"
     );
     for len in [1u32, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
-        let local = MicroMachine::new(2, 2, KernelMode::SemperOS)
-            .measure_chain_revoke(len, false);
-        let spanning = MicroMachine::new(2, 2, KernelMode::SemperOS)
-            .measure_chain_revoke(len, true);
+        let local = MicroMachine::new(2, 2, KernelMode::SemperOS).measure_chain_revoke(len, false);
+        let spanning =
+            MicroMachine::new(2, 2, KernelMode::SemperOS).measure_chain_revoke(len, true);
         let m3 = MicroMachine::new(1, 2, KernelMode::M3).measure_chain_revoke(len, false);
         println!("{len:<8} {local:>16} {spanning:>20} {m3:>14}");
     }

@@ -1,0 +1,323 @@
+//! scale_capops: capability bookkeeping on the kernel hot paths, at
+//! 10–100× the paper's evaluation scale.
+//!
+//! The paper's revocation experiments (Figures 4 and 5) stop at chains
+//! and trees of ~100 capabilities. This harness pushes the same shapes
+//! to thousands of capabilities — where per-capability bookkeeping cost
+//! inside one kernel dominates — and records host wall-clock, simulated
+//! cycles, events/second, and capabilities deleted/second:
+//!
+//! * **deep chain** — a delegation chain ping-ponging between two VPEs of
+//!   one group, then one revoke of the root (Figure 4 at 40×);
+//! * **spanning chain** — the adversarial cross-kernel chain of §5.2;
+//! * **wide tree** — one capability delegated to thousands of holders,
+//!   then one revoke of the root (Figure 5 at 100×);
+//! * **dense table** — an nginx-like VPE holding a dense capability
+//!   table, torn down one revoke at a time (the per-close revoke pattern
+//!   of §5.3.3);
+//! * a **data-structure A/B**: the owner-table reverse removal
+//!   (`CapTable::remove_key`) against a re-implementation of the naive
+//!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
+//!
+//! Results land in `BENCH_PR1.json` at the workspace root (override with
+//! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
+//! scenario timings are embedded under `"baseline"` and per-scenario
+//! speedups are computed — this is how the PR 1 report compares the
+//! O(1)-bookkeeping refactor against the pre-refactor commit.
+//! `SCALE_CAPOPS_SMOKE=1` shrinks every scenario (~1 min total) for CI.
+
+use std::time::Instant;
+
+use semper_base::{CapSel, CapType, DdlKey, KernelMode, PeId, VpeId};
+use semper_bench::report::{render, Val};
+use semper_caps::CapTable;
+use semperos::experiment::MicroMachine;
+use semperos::machine::Machine;
+
+/// One scenario measurement.
+struct Scenario {
+    name: &'static str,
+    size: u32,
+    build_ms: f64,
+    revoke_ms: f64,
+    revoke_cycles: u64,
+    events: u64,
+    caps_deleted: u64,
+}
+
+impl Scenario {
+    fn caps_per_sec(&self) -> f64 {
+        if self.revoke_ms <= 0.0 {
+            return 0.0;
+        }
+        self.caps_deleted as f64 / (self.revoke_ms / 1e3)
+    }
+
+    fn to_val(&self) -> Val {
+        Val::obj(vec![
+            ("name", Val::S(self.name.into())),
+            ("size", Val::U(self.size as u64)),
+            ("build_ms", Val::F(self.build_ms)),
+            ("revoke_ms", Val::F(self.revoke_ms)),
+            ("revoke_sim_cycles", Val::U(self.revoke_cycles)),
+            ("events", Val::U(self.events)),
+            ("caps_deleted", Val::U(self.caps_deleted)),
+            ("caps_deleted_per_sec", Val::F(self.caps_per_sec())),
+        ])
+    }
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn total_caps_deleted(m: &Machine) -> u64 {
+    m.kernel_stats().iter().map(|s| s.caps_deleted).sum()
+}
+
+/// Deep local chain: delegate root down `len` times, revoke once.
+fn chain_revoke(len: u32, spanning: bool) -> Scenario {
+    let mut m = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    let a = m.vpe(0, 0);
+    let b = if spanning { m.vpe(1, 0) } else { m.vpe(0, 1) };
+
+    let t = Instant::now();
+    let root = m.create_mem(a);
+    let mut holder = a;
+    let mut sel = root;
+    for _ in 0..len {
+        let next = if holder == a { b } else { a };
+        let (nsel, _) = m.delegate(holder, next, sel);
+        holder = next;
+        sel = nsel;
+    }
+    let build_ms = ms(t);
+
+    let t = Instant::now();
+    let revoke_cycles = m.revoke(a, root);
+    let revoke_ms = ms(t);
+    Scenario {
+        name: if spanning { "chain_revoke_spanning" } else { "chain_revoke_local" },
+        size: len + 1,
+        build_ms,
+        revoke_ms,
+        revoke_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+    }
+}
+
+/// Wide tree: delegate the root to `children` copies held by one VPE
+/// whose table already holds `prefill` unrelated long-lived capabilities
+/// (the dense-table shape of a service or nginx worker, §5.3.3). The
+/// prefill is what exposes linear owner-table sweeps: every deletion of a
+/// subtree capability has to get past the unrelated entries.
+fn tree_revoke(children: u32, prefill: u32) -> Scenario {
+    let mut m = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    let a = m.vpe(0, 0);
+    let b = m.vpe(0, 1);
+
+    let t = Instant::now();
+    for _ in 0..prefill {
+        let _ = m.create_mem(b);
+    }
+    let root = m.create_mem(a);
+    for _ in 0..children {
+        let _ = m.delegate(a, b, root);
+    }
+    let build_ms = ms(t);
+
+    let t = Instant::now();
+    let revoke_cycles = m.revoke(a, root);
+    let revoke_ms = ms(t);
+    Scenario {
+        name: "tree_revoke_wide",
+        size: children + 1,
+        build_ms,
+        revoke_ms,
+        revoke_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+    }
+}
+
+/// Dense table: one VPE holds `caps` capabilities, torn down one revoke
+/// at a time in reverse allocation order (LIFO, the nested open/close
+/// pattern) — every revoke sweeps against the still-dense owner table.
+fn dense_table_teardown(caps: u32) -> Scenario {
+    let mut m = MicroMachine::new(1, 2, KernelMode::SemperOS);
+    let a = m.vpe(0, 0);
+
+    let t = Instant::now();
+    let sels: Vec<CapSel> = (0..caps).map(|_| m.create_mem(a)).collect();
+    let build_ms = ms(t);
+
+    let t = Instant::now();
+    let mut revoke_cycles = 0;
+    for sel in sels.into_iter().rev() {
+        revoke_cycles += m.revoke(a, sel);
+    }
+    let revoke_ms = ms(t);
+    Scenario {
+        name: "dense_table_teardown",
+        size: caps,
+        build_ms,
+        revoke_ms,
+        revoke_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+    }
+}
+
+/// In-binary A/B of the owner-table reverse removal: the seed's linear
+/// scan (re-implemented here over the same `BTreeMap` shape it used)
+/// against `CapTable::remove_key`, sweeping a `n`-entry table to empty.
+fn table_sweep_ab(n: u32) -> (f64, f64, f64) {
+    let key = |i: u32| DdlKey::new(PeId(0), VpeId(0), CapType::Memory, i);
+
+    // Naive: the pre-refactor implementation of remove_key —
+    // `slots.iter().find(|(_, k)| **k == key)` then remove. Removal runs
+    // in reverse insertion order so the scan cannot luck into an early
+    // exit (the general case: deletions uncorrelated with table order).
+    let mut naive: std::collections::BTreeMap<CapSel, DdlKey> =
+        (0..n).map(|i| (CapSel(i), key(i))).collect();
+    let t = Instant::now();
+    for i in (0..n).rev() {
+        let k = key(i);
+        let sel = naive.iter().find(|(_, kk)| **kk == k).map(|(s, _)| *s).expect("present");
+        naive.remove(&sel);
+    }
+    let naive_ms = ms(t);
+    assert!(naive.is_empty());
+
+    let mut table = CapTable::new(0);
+    for i in 0..n {
+        table.insert(CapSel(i), key(i)).expect("fresh selector");
+    }
+    let t = Instant::now();
+    for i in (0..n).rev() {
+        assert!(table.remove_key(key(i)).is_some());
+    }
+    let optimized_ms = ms(t);
+    assert!(table.is_empty());
+
+    let speedup = if optimized_ms > 0.0 { naive_ms / optimized_ms } else { f64::INFINITY };
+    (naive_ms, optimized_ms, speedup)
+}
+
+/// Reads a previously written report and extracts `(name, revoke_ms)`
+/// pairs from its `"scenarios"` array. A full JSON parser would be
+/// overkill for a file this harness wrote itself; a line scan suffices.
+/// Relative paths resolve against the workspace root (cargo runs bench
+/// binaries from the package directory).
+fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
+    let workspace_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(path)
+        .or_else(|_| std::fs::read_to_string(format!("{workspace_root}/{path}")))
+        .ok()?;
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            current = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"revoke_ms\": ") {
+            if let (Some(name), Ok(v)) = (current.take(), rest.trim_end_matches(',').parse::<f64>())
+            {
+                out.push((name, v));
+            }
+        }
+    }
+    Some(out)
+}
+
+fn main() {
+    let smoke = std::env::var("SCALE_CAPOPS_SMOKE").is_ok();
+    let scale = if smoke { 16 } else { 1 };
+    semper_bench::banner(
+        "scale_capops: kernel hot-path bookkeeping at 10-100x paper scale",
+        "Figures 4/5 and Table 3 methodology",
+    );
+
+    let scenarios = vec![
+        chain_revoke(4096 / scale, false),
+        chain_revoke(1024 / scale, true),
+        tree_revoke(10_000 / scale, 10_000 / scale),
+        dense_table_teardown(10_000 / scale),
+    ];
+
+    println!(
+        "{:<24} {:>7} {:>12} {:>12} {:>16} {:>14}",
+        "Scenario", "Size", "Build (ms)", "Revoke (ms)", "Caps deleted/s", "Sim cycles"
+    );
+    for s in &scenarios {
+        println!(
+            "{:<24} {:>7} {:>12.1} {:>12.1} {:>16.0} {:>14}",
+            s.name,
+            s.size,
+            s.build_ms,
+            s.revoke_ms,
+            s.caps_per_sec(),
+            s.revoke_cycles
+        );
+    }
+
+    let ab_n = 10_000 / scale;
+    let (naive_ms, optimized_ms, speedup) = table_sweep_ab(ab_n);
+    println!();
+    println!(
+        "owner-table sweep A/B ({ab_n} entries): naive {naive_ms:.1} ms, \
+         current {optimized_ms:.1} ms, speedup {speedup:.1}x"
+    );
+
+    let mut fields = vec![
+        ("pr", Val::U(1)),
+        ("bench", Val::S("scale_capops".into())),
+        ("smoke", Val::U(u64::from(smoke))),
+        ("scenarios", Val::Arr(scenarios.iter().map(Scenario::to_val).collect())),
+        (
+            "table_sweep_ab",
+            Val::obj(vec![
+                ("entries", Val::U(ab_n as u64)),
+                ("naive_ms", Val::F(naive_ms)),
+                ("optimized_ms", Val::F(optimized_ms)),
+                ("speedup", Val::F(speedup)),
+            ]),
+        ),
+    ];
+
+    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
+        if let Some(base) = read_baseline(&baseline_path) {
+            let mut cmp = Vec::new();
+            for s in &scenarios {
+                if let Some((_, base_ms)) = base.iter().find(|(n, _)| n == s.name) {
+                    let speedup = if s.revoke_ms > 0.0 { base_ms / s.revoke_ms } else { 0.0 };
+                    cmp.push(Val::obj(vec![
+                        ("name", Val::S(s.name.into())),
+                        ("baseline_revoke_ms", Val::F(*base_ms)),
+                        ("revoke_ms", Val::F(s.revoke_ms)),
+                        ("speedup", Val::F(speedup)),
+                    ]));
+                    println!(
+                        "vs baseline {:<24} {:>8.1} ms -> {:>8.1} ms  ({:.1}x)",
+                        s.name,
+                        base_ms,
+                        s.revoke_ms,
+                        base_ms / s.revoke_ms.max(1e-9)
+                    );
+                }
+            }
+            fields.push(("baseline", Val::S(baseline_path)));
+            fields.push(("vs_baseline", Val::Arr(cmp)));
+        } else {
+            eprintln!("warning: BENCH_BASELINE set but unreadable; skipping comparison");
+        }
+    }
+
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    let json = render(&Val::obj(fields));
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!();
+    println!("report written to {out_path}");
+}

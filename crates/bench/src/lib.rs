@@ -40,3 +40,5 @@ pub fn dev(measured: f64, paper: f64) -> String {
     }
     format!("{:+5.1}%", 100.0 * (measured - paper) / paper)
 }
+
+pub mod report;

@@ -1,0 +1,143 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! Every PR records a perf-trajectory entry: the `scale_capops` harness
+//! measures the kernel hot paths at 10–100× paper scale and writes a
+//! `BENCH_PR<n>.json` at the workspace root so later PRs can diff
+//! against it. The writer here is a deliberately tiny JSON builder — the
+//! offline build environment has no serde_json — that covers exactly the
+//! value shapes the reports need.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Val {
+    /// A float, rendered with enough precision for timings.
+    F(f64),
+    /// An unsigned integer.
+    U(u64),
+    /// A string.
+    S(String),
+    /// An array.
+    Arr(Vec<Val>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: Vec<(&str, Val)>) -> Val {
+        Val::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+}
+
+/// Renders a value as pretty-printed JSON.
+pub fn render(v: &Val) -> String {
+    let mut out = String::new();
+    write_val(&mut out, v, 0);
+    out.push('\n');
+    out
+}
+
+fn write_val(out: &mut String, v: &Val, indent: usize) {
+    match v {
+        Val::F(f) => {
+            if f.is_finite() {
+                let _ = write!(out, "{f:.3}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Val::U(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Val::S(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Val::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                pad(out, indent + 1);
+                write_val(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Val::Obj(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                pad(out, indent + 1);
+                let _ = write!(out, "\"{k}\": ");
+                write_val(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_objects() {
+        let v = Val::obj(vec![
+            ("name", Val::S("tree_revoke".into())),
+            ("wall_ms", Val::F(12.5)),
+            ("events", Val::U(80_000)),
+            ("tags", Val::Arr(vec![Val::S("a".into()), Val::S("b".into())])),
+        ]);
+        let s = render(&v);
+        assert!(s.contains("\"name\": \"tree_revoke\""));
+        assert!(s.contains("\"wall_ms\": 12.500"));
+        assert!(s.contains("\"events\": 80000"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = render(&Val::S("a\"b\\c\nd".into()));
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(render(&Val::Arr(vec![])), "[]\n");
+        assert_eq!(render(&Val::Obj(vec![])), "{}\n");
+    }
+}

@@ -5,13 +5,15 @@
 //! VPE; uniqueness of keys then follows from uniqueness of the counter,
 //! with no cross-kernel coordination — the point of the DDL scheme.
 
-use semper_base::{CapType, DdlKey, PeId, VpeId};
-use std::collections::BTreeMap;
+use semper_base::{CapType, DdlKey, DetHashMap, PeId, VpeId};
 
 /// Allocates fresh DDL keys for objects created on behalf of local VPEs.
+///
+/// The counter map is hash-backed (never iterated): key allocation sits
+/// on the capability-creation hot path.
 #[derive(Debug, Default, Clone)]
 pub struct KeyAllocator {
-    next_id: BTreeMap<VpeId, u32>,
+    next_id: DetHashMap<VpeId, u32>,
 }
 
 impl KeyAllocator {

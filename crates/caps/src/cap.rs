@@ -6,9 +6,19 @@
 //! references are DDL keys so they can cross kernel boundaries; in M3
 //! baseline mode the same structure is used but lookups skip the DDL
 //! decode cost.
+//!
+//! # Child-list determinism contract
+//!
+//! The child list is an insertion-ordered `Vec`: children appear in
+//! creation order, and revocation walks them in that order — this is
+//! protocol-visible (it fixes the order of inter-kernel revoke messages)
+//! and must never be replaced by hash-ordered iteration. A companion
+//! hash set ([`semper_base::RawDdlKey`]-keyed) backs O(1) membership so
+//! building wide trees is linear; the pre-refactor `Vec::contains` scan
+//! made a 10k-child tree quadratic to build.
 
 use semper_base::msg::CapKindDesc;
-use semper_base::{CapSel, DdlKey, VpeId};
+use semper_base::{CapSel, DdlKey, DetHashSet, RawDdlKey, VpeId};
 
 /// Lifecycle state of a capability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,8 +44,12 @@ pub struct Capability {
     pub sel: CapSel,
     /// Parent in the capability tree (`None` for root capabilities).
     pub parent: Option<DdlKey>,
-    /// Children in the capability tree, in creation order (deterministic).
-    pub children: Vec<DdlKey>,
+    /// Children in the capability tree, in creation order (the
+    /// protocol-visible order; see the module docs). Kept in sync with
+    /// `child_set` by [`Capability::add_child`] / [`Capability::remove_child`].
+    children: Vec<DdlKey>,
+    /// O(1) membership index over `children`.
+    child_set: DetHashSet<RawDdlKey>,
     /// Lifecycle state.
     pub state: CapState,
     /// Outstanding inter-kernel revoke replies for this capability
@@ -53,6 +67,7 @@ impl Capability {
             sel,
             parent: None,
             children: Vec::new(),
+            child_set: DetHashSet::default(),
             state: CapState::Usable,
             outstanding: 0,
         }
@@ -69,27 +84,42 @@ impl Capability {
         Capability { parent: Some(parent), ..Capability::root(key, kind, owner, sel) }
     }
 
+    /// Returns this capability rebound to a different owner selector
+    /// (used when a parked capability is finally inserted).
+    pub fn with_sel(self, sel: CapSel) -> Capability {
+        Capability { sel, ..self }
+    }
+
     /// True if the capability is marked for revocation.
     pub fn revoking(&self) -> bool {
         self.state == CapState::Revoking
     }
 
+    /// The children in creation order.
+    pub fn children(&self) -> &[DdlKey] {
+        &self.children
+    }
+
+    /// True if `child` is registered.
+    pub fn has_child(&self, child: DdlKey) -> bool {
+        self.child_set.contains(&child.raw())
+    }
+
     /// Registers a child reference (idempotent).
     pub fn add_child(&mut self, child: DdlKey) {
-        if !self.children.contains(&child) {
+        if self.child_set.insert(child.raw()) {
             self.children.push(child);
         }
     }
 
     /// Removes a child reference; returns true if it was present.
     pub fn remove_child(&mut self, child: DdlKey) -> bool {
-        match self.children.iter().position(|c| *c == child) {
-            Some(i) => {
-                self.children.remove(i);
-                true
-            }
-            None => false,
+        if !self.child_set.remove(&child.raw()) {
+            return false;
         }
+        let i = self.children.iter().position(|c| *c == child).expect("child set and list in sync");
+        self.children.remove(i);
+        true
     }
 }
 
@@ -126,7 +156,8 @@ mod tests {
         let mut c = Capability::root(key(0), mem_desc(), VpeId(1), CapSel(2));
         c.add_child(key(1));
         c.add_child(key(1));
-        assert_eq!(c.children, vec![key(1)]);
+        assert_eq!(c.children(), &[key(1)]);
+        assert!(c.has_child(key(1)));
     }
 
     #[test]
@@ -135,7 +166,8 @@ mod tests {
         c.add_child(key(1));
         assert!(c.remove_child(key(1)));
         assert!(!c.remove_child(key(1)));
-        assert!(c.children.is_empty());
+        assert!(c.children().is_empty());
+        assert!(!c.has_child(key(1)));
     }
 
     #[test]
@@ -144,6 +176,15 @@ mod tests {
         c.add_child(key(3));
         c.add_child(key(1));
         c.add_child(key(2));
-        assert_eq!(c.children, vec![key(3), key(1), key(2)]);
+        assert_eq!(c.children(), &[key(3), key(1), key(2)]);
+    }
+
+    #[test]
+    fn with_sel_rebinds_selector_only() {
+        let c = Capability::child(key(1), mem_desc(), VpeId(1), CapSel::INVALID, key(0));
+        let c = c.with_sel(CapSel(9));
+        assert_eq!(c.sel, CapSel(9));
+        assert_eq!(c.parent, Some(key(0)));
+        assert_eq!(c.key, key(1));
     }
 }

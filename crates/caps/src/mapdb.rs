@@ -6,17 +6,28 @@
 //! parent/child links, because links may point at capabilities owned by
 //! *other* kernels — a local pointer structure cannot represent that.
 //!
-//! All iteration is over `BTreeMap`, keeping protocol behaviour
-//! deterministic.
+//! # Determinism contract
+//!
+//! Since the O(1)-bookkeeping refactor the flat map is a hash map keyed
+//! on the packed 64-bit key form ([`semper_base::RawDdlKey`]) with the
+//! fixed-seed hasher from [`semper_base::hash`] — every lookup, insert,
+//! and delete on the revocation hot path is O(1). The map's iteration
+//! order is *not* part of the protocol: all protocol-visible orderings
+//! come from the explicitly ordered structures — capability child lists
+//! (creation order) drive subtree walks, so [`MappingDb::local_subtree`]
+//! and [`MappingDb::delete_local_subtree`] yield the same preorder the
+//! `BTreeMap`-backed implementation produced. The only whole-map
+//! iterations are [`MappingDb::iter`] (diagnostics; unspecified order)
+//! and [`MappingDb::check_invariants`] (sorted explicitly so failure
+//! reports are stable).
 
 use crate::cap::{CapState, Capability};
-use semper_base::{Code, DdlKey, Error, Result};
-use std::collections::BTreeMap;
+use semper_base::{Code, DdlKey, DetHashMap, Error, RawDdlKey, Result};
 
-/// All capabilities owned by one kernel, indexed by DDL key.
+/// All capabilities owned by one kernel, indexed by packed DDL key.
 #[derive(Debug, Default, Clone)]
 pub struct MappingDb {
-    caps: BTreeMap<DdlKey, Capability>,
+    caps: DetHashMap<RawDdlKey, Capability>,
 }
 
 impl MappingDb {
@@ -32,28 +43,28 @@ impl MappingDb {
     /// Panics if the key is already present — keys are globally unique by
     /// construction, so a duplicate indicates a kernel bug.
     pub fn insert(&mut self, cap: Capability) {
-        let prev = self.caps.insert(cap.key, cap);
+        let prev = self.caps.insert(cap.key.raw(), cap);
         assert!(prev.is_none(), "duplicate DDL key in mapping database");
     }
 
     /// Looks up a capability.
     pub fn get(&self, key: DdlKey) -> Result<&Capability> {
-        self.caps.get(&key).ok_or_else(|| Error::new(Code::NoSuchCap))
+        self.caps.get(&key.raw()).ok_or_else(|| Error::new(Code::NoSuchCap))
     }
 
     /// Looks up a capability mutably.
     pub fn get_mut(&mut self, key: DdlKey) -> Result<&mut Capability> {
-        self.caps.get_mut(&key).ok_or_else(|| Error::new(Code::NoSuchCap))
+        self.caps.get_mut(&key.raw()).ok_or_else(|| Error::new(Code::NoSuchCap))
     }
 
     /// True if the key is present.
     pub fn contains(&self, key: DdlKey) -> bool {
-        self.caps.contains_key(&key)
+        self.caps.contains_key(&key.raw())
     }
 
     /// Removes a capability, returning it.
     pub fn remove(&mut self, key: DdlKey) -> Option<Capability> {
-        self.caps.remove(&key)
+        self.caps.remove(&key.raw())
     }
 
     /// Number of capabilities in the database.
@@ -66,7 +77,9 @@ impl MappingDb {
         self.caps.is_empty()
     }
 
-    /// Iterates over all capabilities in key order.
+    /// Iterates over all capabilities in unspecified (but per-run
+    /// deterministic) order. Diagnostics only — protocol code must walk
+    /// the tree via child lists instead.
     pub fn iter(&self) -> impl Iterator<Item = &Capability> {
         self.caps.values()
     }
@@ -81,7 +94,7 @@ impl MappingDb {
     /// Drops `child` from `parent`'s child list, if the parent still
     /// exists locally. Returns whether the link existed.
     pub fn unlink_child(&mut self, parent: DdlKey, child: DdlKey) -> bool {
-        match self.caps.get_mut(&parent) {
+        match self.caps.get_mut(&parent.raw()) {
             Some(p) => p.remove_child(child),
             None => false,
         }
@@ -107,11 +120,11 @@ impl MappingDb {
         let mut remote = Vec::new();
         let mut stack = vec![key];
         while let Some(k) = stack.pop() {
-            match self.caps.get(&k) {
+            match self.caps.get(&k.raw()) {
                 Some(cap) => {
                     local.push(k);
                     // Reverse keeps preorder left-to-right after pop().
-                    for child in cap.children.iter().rev() {
+                    for child in cap.children().iter().rev() {
                         stack.push(*child);
                     }
                 }
@@ -126,14 +139,14 @@ impl MappingDb {
     /// capabilities in deletion order.
     pub fn delete_local_subtree(&mut self, key: DdlKey) -> Vec<Capability> {
         let (local, _) = self.local_subtree(key);
-        if let Some(root) = self.caps.get(&key) {
+        if let Some(root) = self.caps.get(&key.raw()) {
             if let Some(parent) = root.parent {
                 self.unlink_child(parent, key);
             }
         }
         let mut deleted = Vec::with_capacity(local.len());
         for k in local {
-            if let Some(cap) = self.caps.remove(&k) {
+            if let Some(cap) = self.caps.remove(&k.raw()) {
                 deleted.push(cap);
             }
         }
@@ -141,7 +154,8 @@ impl MappingDb {
     }
 
     /// Checks structural invariants; returns a description of the first
-    /// violation. Test-and-debug aid used by the property tests:
+    /// violation (in ascending key order, so reports are stable).
+    /// Test-and-debug aid used by the property tests:
     ///
     /// 1. Every local child reference of a local capability points back
     ///    via `parent`.
@@ -149,9 +163,12 @@ impl MappingDb {
     ///    child list.
     /// 3. No capability is its own ancestor (tree, not graph).
     pub fn check_invariants(&self) -> core::result::Result<(), String> {
-        for cap in self.caps.values() {
-            for child in &cap.children {
-                if let Some(c) = self.caps.get(child) {
+        let mut raws: Vec<RawDdlKey> = self.caps.keys().copied().collect();
+        raws.sort_unstable();
+        for raw in raws {
+            let cap = &self.caps[&raw];
+            for child in cap.children() {
+                if let Some(c) = self.caps.get(&child.raw()) {
                     if c.parent != Some(cap.key) {
                         return Err(format!(
                             "child {child:?} of {key:?} has parent {parent:?}",
@@ -162,8 +179,8 @@ impl MappingDb {
                 }
             }
             if let Some(parent) = cap.parent {
-                if let Some(p) = self.caps.get(&parent) {
-                    if !p.children.contains(&cap.key) {
+                if let Some(p) = self.caps.get(&parent.raw()) {
+                    if !p.has_child(cap.key) {
                         return Err(format!(
                             "{key:?} not in parent {parent:?} child list",
                             key = cap.key
@@ -179,7 +196,7 @@ impl MappingDb {
                     return Err(format!("cycle through {k:?}"));
                 }
                 seen.push(k);
-                cur = self.caps.get(&k).and_then(|c| c.parent);
+                cur = self.caps.get(&k.raw()).and_then(|c| c.parent);
             }
         }
         Ok(())
@@ -265,7 +282,7 @@ mod tests {
         assert!(db.contains(key(0)));
         assert!(!db.contains(key(1)));
         assert!(!db.contains(key(2)));
-        assert!(db.get(key(0)).unwrap().children.is_empty());
+        assert!(db.get(key(0)).unwrap().children().is_empty());
         db.check_invariants().unwrap();
     }
 
@@ -298,5 +315,27 @@ mod tests {
     fn unlink_missing_parent_is_noop() {
         let mut db = MappingDb::new();
         assert!(!db.unlink_child(key(0), key(1)));
+    }
+
+    #[test]
+    fn preorder_is_stable_at_scale() {
+        // The subtree walk must not depend on map order: build a two-level
+        // tree and check the preorder twice, including after unrelated
+        // insert/remove churn that would perturb a hash map's iteration.
+        let mut db = MappingDb::new();
+        root(&mut db, key(0));
+        for i in 1..=50 {
+            child(&mut db, key(i), key(0));
+        }
+        let (before, _) = db.local_subtree(key(0));
+        for i in 100..200 {
+            root(&mut db, key(i));
+        }
+        for i in 100..200 {
+            db.remove(key(i));
+        }
+        let (after, _) = db.local_subtree(key(0));
+        assert_eq!(before, after);
+        assert_eq!(before.len(), 51);
     }
 }

@@ -22,10 +22,7 @@ impl MembershipTable {
     pub fn new(kernel_of_pe: Vec<KernelId>, kernel_pes: Vec<PeId>) -> MembershipTable {
         assert!(!kernel_pes.is_empty(), "at least one kernel required");
         for k in &kernel_of_pe {
-            assert!(
-                k.idx() < kernel_pes.len(),
-                "PE assigned to nonexistent kernel {k}"
-            );
+            assert!(k.idx() < kernel_pes.len(), "PE assigned to nonexistent kernel {k}");
         }
         MembershipTable { kernel_of_pe, kernel_pes }
     }

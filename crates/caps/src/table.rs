@@ -3,14 +3,34 @@
 //! Each VPE has its own capability space (§2.2): a mapping from selectors
 //! (small VPE-local integers) to DDL keys. The kernel owns these tables;
 //! VPEs only ever see selectors.
+//!
+//! # Performance and determinism
+//!
+//! The table is the owner-side bottleneck of revocation sweeps: every
+//! capability deleted by a sweep must drop its owner's selector binding,
+//! addressed *by DDL key*. The forward map (`selector → key`) stays a
+//! `BTreeMap` because selector-ordered iteration is protocol-visible
+//! (VPE teardown revokes in selector order); a reverse index
+//! (`packed key → selector`, [`semper_base::RawDdlKey`]) makes
+//! [`CapTable::remove_key`] O(log n) instead of a linear scan — the
+//! pre-refactor scan made large revocations quadratic in table size.
+//! Freed selectors go to a LIFO free list so long-running workloads
+//! (nginx churning per-request capabilities) no longer leak selector
+//! space.
 
-use semper_base::{CapSel, Code, DdlKey, Error, Result};
+use semper_base::{CapSel, Code, DdlKey, DetHashMap, Error, RawDdlKey, Result};
 use std::collections::BTreeMap;
 
 /// One VPE's capability space.
 #[derive(Debug, Default, Clone)]
 pub struct CapTable {
     slots: BTreeMap<CapSel, DdlKey>,
+    /// Reverse index for O(1) key → selector resolution during sweeps.
+    by_key: DetHashMap<RawDdlKey, CapSel>,
+    /// Selectors freed by removals, reused LIFO. Never contains
+    /// selectors below `first_free` (those are reserved).
+    free: Vec<u32>,
+    first_free: u32,
     next_sel: u32,
 }
 
@@ -21,11 +41,25 @@ impl CapTable {
     /// capabilities (the VPE's own cap, its syscall gate, ...), mirroring
     /// M3's convention.
     pub fn new(first_free: u32) -> CapTable {
-        CapTable { slots: BTreeMap::new(), next_sel: first_free }
+        CapTable {
+            slots: BTreeMap::new(),
+            by_key: DetHashMap::default(),
+            free: Vec::new(),
+            first_free,
+            next_sel: first_free,
+        }
     }
 
-    /// Allocates the next free selector.
+    /// Allocates the next free selector: the most recently freed one if
+    /// any (LIFO reuse keeps tables dense), else a fresh one.
     pub fn alloc_sel(&mut self) -> CapSel {
+        while let Some(sel) = self.free.pop() {
+            // A freed selector can have been re-occupied by an explicit
+            // `insert` in the meantime; skip those.
+            if !self.slots.contains_key(&CapSel(sel)) {
+                return CapSel(sel);
+            }
+        }
         loop {
             let sel = CapSel(self.next_sel);
             self.next_sel += 1;
@@ -42,6 +76,8 @@ impl CapTable {
         if self.slots.contains_key(&sel) {
             return Err(Error::new(Code::Exists));
         }
+        let prev = self.by_key.insert(key.raw(), sel);
+        debug_assert!(prev.is_none(), "DDL key bound to two selectors in one table");
         self.slots.insert(sel, key);
         Ok(())
     }
@@ -49,7 +85,7 @@ impl CapTable {
     /// Allocates a selector and binds it to `key` in one step.
     pub fn insert_new(&mut self, key: DdlKey) -> CapSel {
         let sel = self.alloc_sel();
-        self.slots.insert(sel, key);
+        self.insert(sel, key).expect("alloc_sel returned a free selector");
         sel
     }
 
@@ -60,15 +96,28 @@ impl CapTable {
 
     /// Removes the binding for `sel`; returns the key if it existed.
     pub fn remove(&mut self, sel: CapSel) -> Option<DdlKey> {
-        self.slots.remove(&sel)
+        let key = self.slots.remove(&sel)?;
+        self.by_key.remove(&key.raw());
+        self.release(sel);
+        Some(key)
     }
 
     /// Removes the binding pointing at `key` (reverse removal used when a
-    /// revoke deletes by DDL key).
+    /// revoke deletes by DDL key). O(log n) via the reverse index; the
+    /// pre-refactor implementation scanned the whole table.
     pub fn remove_key(&mut self, key: DdlKey) -> Option<CapSel> {
-        let sel = self.slots.iter().find(|(_, k)| **k == key).map(|(s, _)| *s)?;
-        self.slots.remove(&sel);
+        let sel = self.by_key.remove(&key.raw())?;
+        let bound = self.slots.remove(&sel);
+        debug_assert_eq!(bound, Some(key), "reverse index out of sync");
+        self.release(sel);
         Some(sel)
+    }
+
+    /// Returns a selector to the free list (reserved ones stay reserved).
+    fn release(&mut self, sel: CapSel) {
+        if sel.0 >= self.first_free {
+            self.free.push(sel.0);
+        }
     }
 
     /// Number of occupied selectors.
@@ -84,6 +133,13 @@ impl CapTable {
     /// Iterates over `(selector, key)` pairs in selector order.
     pub fn iter(&self) -> impl Iterator<Item = (CapSel, DdlKey)> + '_ {
         self.slots.iter().map(|(s, k)| (*s, *k))
+    }
+
+    /// Highest selector ever handed out plus one — the size of the
+    /// selector space consumed so far (diagnostics; bounded even under
+    /// churn thanks to the free list).
+    pub fn selector_space(&self) -> u32 {
+        self.next_sel
     }
 }
 
@@ -153,5 +209,59 @@ mod tests {
         assert_eq!(t.len(), 2);
         t.remove(CapSel(0));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn freed_selectors_are_reused() {
+        // Regression test for unbounded selector growth: before the free
+        // list, every alloc consumed a fresh selector even when the
+        // table kept a constant size (long-running nginx churn).
+        let mut t = CapTable::new(2);
+        for i in 0..10_000u32 {
+            let sel = t.insert_new(key(i));
+            assert!(t.remove_key(key(i)).is_some(), "remove {i}");
+            assert!(sel.0 < 3, "selector space leaked: {sel}");
+        }
+        assert_eq!(t.selector_space(), 3);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reuse_is_lifo() {
+        let mut t = CapTable::new(0);
+        let a = t.insert_new(key(1));
+        let b = t.insert_new(key(2));
+        t.remove(a);
+        t.remove(b);
+        // Most recently freed first.
+        assert_eq!(t.alloc_sel(), b);
+        assert_eq!(t.alloc_sel(), a);
+    }
+
+    #[test]
+    fn reserved_selectors_never_reused() {
+        let mut t = CapTable::new(2);
+        t.insert(CapSel(0), key(0)).unwrap();
+        t.remove(CapSel(0));
+        // Selector 0 is reserved; allocation starts at 2.
+        assert_eq!(t.alloc_sel(), CapSel(2));
+    }
+
+    #[test]
+    fn manual_insert_into_freed_selector() {
+        let mut t = CapTable::new(0);
+        let a = t.insert_new(key(1));
+        t.remove(a);
+        // Explicitly re-occupy the freed selector; alloc must skip it.
+        t.insert(a, key(2)).unwrap();
+        assert_ne!(t.alloc_sel(), a);
+    }
+
+    #[test]
+    fn remove_returns_key_and_clears_reverse_index() {
+        let mut t = CapTable::new(0);
+        let s = t.insert_new(key(7));
+        assert_eq!(t.remove(s), Some(key(7)));
+        assert_eq!(t.remove_key(key(7)), None);
     }
 }

@@ -54,9 +54,8 @@ impl MicroMachine {
 
     /// Creates a memory capability at `vpe`; returns its selector.
     pub fn create_mem(&mut self, vpe: VpeId) -> CapSel {
-        let (r, _) = self
-            .machine
-            .syscall_blocking(vpe, Syscall::CreateMem { size: 4096, perms: Perms::RW });
+        let (r, _) =
+            self.machine.syscall_blocking(vpe, Syscall::CreateMem { size: 4096, perms: Perms::RW });
         match r.result {
             Ok(SysReplyData::Mem { sel, .. }) => sel,
             other => panic!("create_mem failed: {other:?}"),
@@ -101,8 +100,7 @@ impl MicroMachine {
 
     /// Revokes `vpe`'s capability at `sel`; returns cycles.
     pub fn revoke(&mut self, vpe: VpeId, sel: CapSel) -> u64 {
-        let (r, cycles) =
-            self.machine.syscall_blocking(vpe, Syscall::Revoke { sel, own: true });
+        let (r, cycles) = self.machine.syscall_blocking(vpe, Syscall::Revoke { sel, own: true });
         assert!(r.result.is_ok(), "revoke failed: {:?}", r.result);
         cycles
     }
@@ -238,12 +236,7 @@ pub fn run_app_instances(cfg: &MachineConfig, app: AppKind, instances: u32) -> A
     }
     let kernel_stats = m.kernel_stats();
     let cap_ops: u64 = kernel_stats.iter().map(|s| s.cap_ops() + s.sessions_opened).sum();
-    AppRunResult {
-        durations,
-        makespan: (m.now() - base).0,
-        cap_ops,
-        kernel_stats,
-    }
+    AppRunResult { durations, makespan: (m.now() - base).0, cap_ops, kernel_stats }
 }
 
 /// Parallel efficiency (§5.3.1): mean single-instance runtime divided by

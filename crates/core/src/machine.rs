@@ -78,6 +78,13 @@ pub struct Machine {
     /// Per-client (start, finish) times.
     client_times: BTreeMap<u32, (Cycles, Option<Cycles>)>,
     booted_os: bool,
+    /// Reusable outbox for handler output (capacity persists across
+    /// events; see [`Outbox::drain_iter`]).
+    scratch: Outbox,
+    /// Reusable outbox for credit-return traffic, kept separate so the
+    /// injection order (credits first, handler output second) is
+    /// preserved exactly.
+    credit_scratch: Outbox,
 }
 
 impl Machine {
@@ -181,6 +188,8 @@ impl Machine {
             busy_until,
             client_times: BTreeMap::new(),
             booted_os: false,
+            scratch: Outbox::new(),
+            credit_scratch: Outbox::new(),
         };
         if let Some(depth) = nginx_depth {
             m.assign_loadgen_targets(depth);
@@ -262,14 +271,14 @@ impl Machine {
             self.queue.schedule(at, msg);
             return true;
         }
-        let mut out = Outbox::new();
+        debug_assert!(self.scratch.is_empty() && self.credit_scratch.is_empty());
         let cost = match &mut self.nodes[pe] {
-            Node::Kernel(k) => k.handle(&msg, &mut out),
-            Node::Service(s) => s.handle(&msg, &mut out),
-            Node::Client(c) => c.handle(&msg, &mut out),
-            Node::Server(s) => s.handle(&msg, &mut out),
-            Node::LoadGen(l) => l.handle(&msg, &mut out),
-            Node::Stub(stub) => handle_stub(stub, &msg, &mut out, t, &self.cfg.cost),
+            Node::Kernel(k) => k.handle(&msg, &mut self.scratch),
+            Node::Service(s) => s.handle(&msg, &mut self.scratch),
+            Node::Client(c) => c.handle(&msg, &mut self.scratch),
+            Node::Server(s) => s.handle(&msg, &mut self.scratch),
+            Node::LoadGen(l) => l.handle(&msg, &mut self.scratch),
+            Node::Stub(stub) => handle_stub(stub, &msg, &mut self.scratch, t, &self.cfg.cost),
             Node::Idle => 0,
         };
         let end = t + cost;
@@ -277,20 +286,21 @@ impl Machine {
         // DTU slot tracking (§4.1): consuming an inter-kernel request
         // frees the slot, returning the sender's credit. This is a
         // hardware-level exchange, so it does not occupy the sender's
-        // kernel CPU.
+        // kernel CPU. Credit traffic is injected before the handler's
+        // output, as it was when each used a throwaway outbox.
         if matches!(msg.payload, Payload::Kcall(_)) {
             let dst_kernel = self.topo.kernel_of(msg.dst);
             let src_pe = msg.src.idx();
-            let mut credit_out = Outbox::new();
             if let Node::Kernel(k) = &mut self.nodes[src_pe] {
-                k.return_credit(&mut credit_out, dst_kernel);
+                k.return_credit(&mut self.credit_scratch, dst_kernel);
             }
-            self.send_at(credit_out.drain(), t);
+            for (m, _) in self.credit_scratch.drain_iter() {
+                let delivery = self.noc.route(&m, t);
+                self.queue.schedule(delivery, m);
+            }
         }
         // Record client completion.
-        if let (Role::Client(c), Node::Client(client)) =
-            (self.topo.roles[pe], &self.nodes[pe])
-        {
+        if let (Role::Client(c), Node::Client(client)) = (self.topo.roles[pe], &self.nodes[pe]) {
             match client.phase() {
                 ClientPhase::Done => {
                     if let Some(entry) = self.client_times.get_mut(&c) {
@@ -303,7 +313,14 @@ impl Machine {
                 _ => {}
             }
         }
-        self.send_batch(out.drain(), t, end);
+        for (m, off) in self.scratch.drain_iter() {
+            let at = match off {
+                None => end,
+                Some(o) => (t + o).min(end),
+            };
+            let delivery = self.noc.route(&m, at);
+            self.queue.schedule(delivery, m);
+        }
         true
     }
 
@@ -462,8 +479,7 @@ impl Machine {
     pub fn check_invariants(&self) {
         for pe in 0..self.cfg.num_pes {
             if let Node::Kernel(k) = &self.nodes[pe as usize] {
-                k.check_invariants()
-                    .unwrap_or_else(|e| panic!("kernel {}: {e}", k.id()));
+                k.check_invariants().unwrap_or_else(|e| panic!("kernel {}: {e}", k.id()));
             }
         }
     }
@@ -569,10 +585,8 @@ mod tests {
     fn create_and_obtain_across_groups_timed() {
         let mut m = micro(2, 4);
         // Client 0 → group 0, client 1 → group 1 (round-robin).
-        let (r, _) = m.syscall_blocking(
-            VpeId(0),
-            Syscall::CreateMem { size: 4096, perms: Perms::RW },
-        );
+        let (r, _) =
+            m.syscall_blocking(VpeId(0), Syscall::CreateMem { size: 4096, perms: Perms::RW });
         let Ok(SysReplyData::Mem { sel, .. }) = r.result else { panic!("{r:?}") };
         let (r, spanning_cycles) = m.syscall_blocking(
             VpeId(1),

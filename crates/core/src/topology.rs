@@ -186,8 +186,7 @@ mod tests {
     #[test]
     fn services_spread_across_groups() {
         let t = Topology::build(&cfg(4, 8), 0, 0, 0);
-        let groups: Vec<KernelId> =
-            t.service_pes.iter().map(|pe| t.kernel_of(*pe)).collect();
+        let groups: Vec<KernelId> = t.service_pes.iter().map(|pe| t.kernel_of(*pe)).collect();
         // 8 services over 4 kernels → 2 per group.
         for k in 0..4u16 {
             assert_eq!(groups.iter().filter(|g| **g == KernelId(k)).count() as u16, 2);

@@ -1,0 +1,122 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no registry access, so the real criterion
+//! cannot be fetched. This shim implements the small API surface the
+//! workspace's benches use — [`Criterion::bench_function`],
+//! [`Bencher::iter`], [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! warmup-then-measure wall-clock loop. It reports the per-iteration
+//! median of several samples, which is plenty to catch order-of-magnitude
+//! regressions in the data-structure microbenchmarks. Swap the workspace
+//! dependency back to the real criterion for statistically rigorous
+//! numbers.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; the shim treats all variants the
+/// same (one setup per routine invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Collected per-iteration sample durations, in nanoseconds.
+    samples: Vec<f64>,
+}
+
+const SAMPLES: usize = 15;
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    /// Measures `f` in a warmup-then-sample loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and calibration: find an iteration count that fills the
+        // per-sample time budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        b.samples.sort_by(|a, x| a.partial_cmp(x).expect("sample times are finite"));
+        let median = if b.samples.is_empty() { 0.0 } else { b.samples[b.samples.len() / 2] };
+        println!("{name:<40} median {median:>12.1} ns/iter ({} samples)", b.samples.len());
+        self
+    }
+}
+
+/// Declares a benchmark group runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -22,7 +22,7 @@
 //!   exactly that window.
 
 use semper_base::config::Feature;
-use semper_base::msg::{CapDesc, CapKindDesc, Kcall, KReply, Payload, SysReplyData, Upcall};
+use semper_base::msg::{CapDesc, CapKindDesc, KReply, Kcall, Payload, SysReplyData, Upcall};
 use semper_base::{
     CapSel, CapType, Code, DdlKey, Error, ExchangeKind, Msg, OpId, PeId, Result, VpeId,
 };
@@ -153,12 +153,7 @@ impl Kernel {
                     );
                     self.park(
                         op,
-                        PendingOp::DelegateRemote {
-                            tag,
-                            delegator: vpe,
-                            parent_key,
-                            peer_kernel,
-                        },
+                        PendingOp::DelegateRemote { tag, delegator: vpe, parent_key, peer_kernel },
                     );
                 }
             }
@@ -174,7 +169,7 @@ impl Kernel {
         accept: bool,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(state) = self.pending.remove(&op) else {
+        let Some(state) = self.pending.remove(op) else {
             // The operation was cancelled (e.g. a party died); ignore.
             return 0;
         };
@@ -185,16 +180,35 @@ impl Kernel {
                     tag, initiator, peer, kind, own_sel, other_sel, accept, out,
                 )
             }
-            PendingOp::ObtainAtOwnerAccept { caller_op, caller_kernel, child_key, parent_key, .. } => {
-                self.finish_obtain_at_owner(
-                    caller_op, caller_kernel, child_key, parent_key, accept, out,
-                )
-            }
-            PendingOp::DelegateAtRecvAccept { caller_op, caller_kernel, parent_key, desc, recv } => {
-                self.finish_delegate_at_recv(
-                    caller_op, caller_kernel, parent_key, desc, recv, accept, out,
-                )
-            }
+            PendingOp::ObtainAtOwnerAccept {
+                caller_op,
+                caller_kernel,
+                child_key,
+                parent_key,
+                ..
+            } => self.finish_obtain_at_owner(
+                caller_op,
+                caller_kernel,
+                child_key,
+                parent_key,
+                accept,
+                out,
+            ),
+            PendingOp::DelegateAtRecvAccept {
+                caller_op,
+                caller_kernel,
+                parent_key,
+                desc,
+                recv,
+            } => self.finish_delegate_at_recv(
+                caller_op,
+                caller_kernel,
+                parent_key,
+                desc,
+                recv,
+                accept,
+                out,
+            ),
             other => {
                 debug_assert!(false, "accept-exchange reply for {:?}", other.class());
                 self.pending.insert(op, other);
@@ -368,7 +382,7 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let Some(PendingOp::ObtainRemote { tag, requester, child_key, peer_kernel }) =
-            self.pending.remove(&op)
+            self.pending.remove(op)
         else {
             debug_assert!(false, "obtain reply without pending op");
             return 0;
@@ -391,9 +405,8 @@ impl Kernel {
                 }
                 let table = self.tables.get_mut(&requester).expect("alive VPE has table");
                 let sel = table.insert_new(child_key);
-                self.mapdb.insert(Capability::child(
-                    child_key, desc.kind, requester, sel, desc.key,
-                ));
+                self.mapdb
+                    .insert(Capability::child(child_key, desc.kind, requester, sel, desc.key));
                 self.stats.caps_created += 1;
                 self.stats.exchanges_spanning += 1;
                 self.reply_sys(out, requester, tag, Ok(SysReplyData::Sel(sel)));
@@ -492,7 +505,7 @@ impl Kernel {
             // Ablation: naive one-way protocol — insert immediately.
             let table = self.tables.get_mut(&recv).expect("alive VPE has table");
             let sel = table.insert_new(child_key);
-            self.mapdb.insert(Capability { sel, ..cap });
+            self.mapdb.insert(cap.with_sel(sel));
             self.stats.caps_created += 1;
             let my_op = self.alloc_op();
             self.send_kreply(
@@ -504,10 +517,7 @@ impl Kernel {
         }
 
         let my_op = self.alloc_op();
-        self.park(
-            my_op,
-            PendingOp::DelegatePendingInsert { caller_kernel, cap: Box::new(cap) },
-        );
+        self.park(my_op, PendingOp::DelegatePendingInsert { caller_kernel, cap: Box::new(cap) });
         self.send_kreply(
             out,
             caller_kernel,
@@ -526,7 +536,7 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let Some(PendingOp::DelegateRemote { tag, delegator, parent_key, peer_kernel }) =
-            self.pending.remove(&op)
+            self.pending.remove(op)
         else {
             debug_assert!(false, "delegate reply without pending op");
             return 0;
@@ -557,9 +567,7 @@ impl Kernel {
                     && self.mapdb.get(parent_key).map(|c| !c.revoking()).unwrap_or(false);
                 let reply_op = self.alloc_op();
                 if valid {
-                    self.mapdb
-                        .link_child(parent_key, *child_key)
-                        .expect("parent checked above");
+                    self.mapdb.link_child(parent_key, *child_key).expect("parent checked above");
                     self.send_kcall(
                         out,
                         peer_kernel,
@@ -605,8 +613,7 @@ impl Kernel {
         commit: bool,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(PendingOp::DelegatePendingInsert { caller_kernel, cap }) =
-            self.pending.remove(&op)
+        let Some(PendingOp::DelegatePendingInsert { caller_kernel, cap }) = self.pending.remove(op)
         else {
             debug_assert!(false, "delegate ack without pending insert");
             return 0;
@@ -623,7 +630,7 @@ impl Kernel {
         } else {
             let table = self.tables.get_mut(&cap.owner).expect("alive VPE has table");
             let sel = table.insert_new(cap.key);
-            self.mapdb.insert(Capability { sel, ..*cap });
+            self.mapdb.insert((*cap).with_sel(sel));
             self.stats.caps_created += 1;
             Ok(sel)
         };
@@ -638,7 +645,7 @@ impl Kernel {
         result: Result<CapSel>,
         out: &mut Outbox,
     ) -> u64 {
-        match self.pending.remove(&op) {
+        match self.pending.remove(op) {
             Some(PendingOp::DelegateWaitDone { tag, delegator, parent_key, child_key }) => {
                 match result {
                     Ok(recv_sel) => {

@@ -41,8 +41,17 @@ impl Kernel {
                 CapKindDesc::Memory { .. } | CapKindDesc::SendGate { .. } => {}
                 _ => return Err(Error::new(Code::InvalidArgs)),
             }
-            // (Re)configure: an endpoint holds at most one binding.
-            self.ep_configs.insert((vpe, ep), key);
+            // (Re)configure: an endpoint holds at most one binding, so a
+            // previous binding leaves the reverse index first.
+            if let Some(old) = self.ep_configs.insert((vpe, ep), key) {
+                if let Some(slots) = self.eps_by_key.get_mut(&old.raw()) {
+                    slots.retain(|s| *s != (vpe, ep));
+                    if slots.is_empty() {
+                        self.eps_by_key.remove(&old.raw());
+                    }
+                }
+            }
+            self.eps_by_key.entry(key.raw()).or_default().push((vpe, ep));
             Ok(SysReplyData::None)
         })();
         if let Err(e) = &result {
@@ -62,14 +71,13 @@ impl Kernel {
 
     /// Invalidates every endpoint configured for a deleted capability.
     /// Called from the revocation sweep; returns the modeled cost (one
-    /// DTU reconfiguration per invalidated endpoint).
+    /// DTU reconfiguration per invalidated endpoint). O(1) per deleted
+    /// capability via the reverse index — the pre-refactor version
+    /// scanned every configured endpoint of the group per deletion.
     pub(crate) fn invalidate_eps_for(&mut self, key: DdlKey) -> u64 {
-        let victims: Vec<(VpeId, EpId)> = self
-            .ep_configs
-            .iter()
-            .filter(|(_, k)| **k == key)
-            .map(|(slot, _)| *slot)
-            .collect();
+        let Some(victims) = self.eps_by_key.remove(&key.raw()) else {
+            return 0;
+        };
         let cost = victims.len() as u64 * self.cfg.cost.cap_insert;
         for slot in victims {
             self.ep_configs.remove(&slot);

@@ -126,8 +126,7 @@ impl TestCluster {
         let tag = self.tag_counter;
         let k = self.kernel_of(vpe);
         let dst = self.kernels[k.idx()].pe();
-        self.queue
-            .push_back(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
+        self.queue.push_back(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
         tag
     }
 
@@ -141,8 +140,7 @@ impl TestCluster {
         let tag = self.tag_counter;
         let k = self.kernel_of(vpe);
         let dst = self.kernels[k.idx()].pe();
-        self.queue
-            .push_front(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
+        self.queue.push_front(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
         tag
     }
 
@@ -213,9 +211,7 @@ impl TestCluster {
             // the sender's credit (see Kernel::return_credit).
             if matches!(msg.payload, Payload::Kcall(_)) {
                 let dst_kernel = self.kernels[kidx].id();
-                if let Some(src_idx) =
-                    self.kernels.iter().position(|k| k.pe() == msg.src)
-                {
+                if let Some(src_idx) = self.kernels.iter().position(|k| k.pe() == msg.src) {
                     self.kernels[src_idx].return_credit(&mut out, dst_kernel);
                 }
             }
@@ -276,10 +272,7 @@ mod tests {
     #[test]
     fn create_mem_gives_selector() {
         let mut c = TestCluster::new(1, 2);
-        let r = c.syscall(
-            VpeId(0),
-            Syscall::CreateMem { size: 4096, perms: Perms::RW },
-        );
+        let r = c.syscall(VpeId(0), Syscall::CreateMem { size: 4096, perms: Perms::RW });
         match r.result {
             Ok(SysReplyData::Mem { sel, .. }) => assert_ne!(sel, CapSel::INVALID),
             other => panic!("unexpected reply {other:?}"),

@@ -1,15 +1,28 @@
 //! The kernel actor: state, boot, and message dispatch.
+//!
+//! # Bookkeeping determinism contract
+//!
+//! All per-capability bookkeeping (mapping database, table reverse
+//! indices, pending operations, revoke waiters, endpoint bindings) lives
+//! in fixed-seed hash maps ([`semper_base::hash`]) so the hot paths are
+//! O(1). Protocol-visible ordering never comes from map iteration: the
+//! `semper_sim::EventQueue`'s FIFO tie-break stays the sole ordering
+//! authority, subtree walks follow creation-ordered child lists, and the
+//! one teardown path that collects from a map sorts by op id before
+//! acting (see [`Kernel::kill_vpe`]'s cancellation sweep).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use semper_base::config::{KernelMode, MachineConfig};
-use semper_base::msg::{Kcall, KReply, Payload, SysReply, SysReplyData, Syscall, UpcallReply};
-use semper_base::{Code, DdlKey, Error, KernelId, Msg, OpId, PeId, Result, VpeId};
+use semper_base::msg::{KReply, Kcall, Payload, SysReply, SysReplyData, Syscall, UpcallReply};
+use semper_base::{
+    Code, DdlKey, DetHashMap, Error, KernelId, Msg, OpId, PeId, RawDdlKey, Result, VpeId,
+};
 use semper_caps::{CapTable, Capability, KeyAllocator, MappingDb, MembershipTable};
 use semper_noc::GlobalMemory;
 
 use crate::outbox::Outbox;
-use crate::pending::PendingOp;
+use crate::pending::{PendingOp, PendingTable};
 use crate::registry::Registry;
 use crate::stats::KernelStats;
 use crate::vpes::{VpeLife, VpeState};
@@ -29,27 +42,32 @@ pub struct Kernel {
     pub(crate) vpe_dir: Vec<PeId>,
 
     pub(crate) mapdb: MappingDb,
-    pub(crate) tables: BTreeMap<VpeId, CapTable>,
-    pub(crate) vpes: BTreeMap<VpeId, VpeState>,
-    pub(crate) pe2vpe: BTreeMap<PeId, VpeId>,
+    pub(crate) tables: DetHashMap<VpeId, CapTable>,
+    pub(crate) vpes: DetHashMap<VpeId, VpeState>,
+    pub(crate) pe2vpe: DetHashMap<PeId, VpeId>,
     pub(crate) keys: KeyAllocator,
     pub(crate) registry: Registry,
     pub(crate) mem: GlobalMemory,
 
-    pub(crate) pending: BTreeMap<OpId, PendingOp>,
+    pub(crate) pending: PendingTable,
     pub(crate) next_op: u64,
     /// Revokes waiting for a capability another operation is already
-    /// revoking: key → (op id, how to account the wakeup).
-    pub(crate) revoke_waiters: BTreeMap<DdlKey, Vec<OpId>>,
+    /// revoking: packed key → waiting op ids, in registration order.
+    pub(crate) revoke_waiters: DetHashMap<RawDdlKey, Vec<OpId>>,
 
     /// Send credits towards each peer kernel (bounds in-flight requests
     /// to `M_inflight`, §4.1).
-    pub(crate) kcredits: BTreeMap<KernelId, u32>,
+    pub(crate) kcredits: DetHashMap<KernelId, u32>,
     /// Requests waiting for a credit, per peer kernel.
-    pub(crate) kqueue: BTreeMap<KernelId, VecDeque<Kcall>>,
+    pub(crate) kqueue: DetHashMap<KernelId, VecDeque<Kcall>>,
     /// DTU endpoint configurations of the group's VPEs: which capability
     /// each endpoint is activated for (see the `gates` module).
-    pub(crate) ep_configs: BTreeMap<(VpeId, semper_base::EpId), DdlKey>,
+    pub(crate) ep_configs: DetHashMap<(VpeId, semper_base::EpId), DdlKey>,
+    /// Reverse index over `ep_configs`: packed capability key → the
+    /// endpoints activated for it, in activation order. Makes the
+    /// per-deletion endpoint invalidation of the revocation sweep O(1)
+    /// instead of a scan over every configured endpoint.
+    pub(crate) eps_by_key: DetHashMap<RawDdlKey, Vec<(VpeId, semper_base::EpId)>>,
 
     pub(crate) stats: KernelStats,
 }
@@ -67,7 +85,7 @@ impl Kernel {
         mem: GlobalMemory,
     ) -> Kernel {
         let pe = membership.kernel_pe(id);
-        let mut kcredits = BTreeMap::new();
+        let mut kcredits = DetHashMap::default();
         for k in 0..membership.kernel_count() {
             let k = KernelId(k as u16);
             if k != id {
@@ -81,18 +99,19 @@ impl Kernel {
             membership,
             vpe_dir: Vec::new(),
             mapdb: MappingDb::new(),
-            tables: BTreeMap::new(),
-            vpes: BTreeMap::new(),
-            pe2vpe: BTreeMap::new(),
+            tables: DetHashMap::default(),
+            vpes: DetHashMap::default(),
+            pe2vpe: DetHashMap::default(),
             keys: KeyAllocator::new(),
             registry: Registry::new(),
             mem,
-            pending: BTreeMap::new(),
+            pending: PendingTable::default(),
             next_op: 1,
-            revoke_waiters: BTreeMap::new(),
+            revoke_waiters: DetHashMap::default(),
             kcredits,
-            kqueue: BTreeMap::new(),
-            ep_configs: BTreeMap::new(),
+            kqueue: DetHashMap::default(),
+            ep_configs: DetHashMap::default(),
+            eps_by_key: DetHashMap::default(),
             stats: KernelStats::default(),
         }
     }
@@ -153,9 +172,7 @@ impl Kernel {
         assert!(!self.pe2vpe.contains_key(&pe), "PE already hosts a VPE");
         let mut table = CapTable::new(FIRST_FREE_SEL);
         let key = self.keys.alloc(pe, vpe, semper_base::CapType::Vpe);
-        table
-            .insert(semper_base::CapSel(SEL_VPE), key)
-            .expect("fresh table has free selector 0");
+        table.insert(semper_base::CapSel(SEL_VPE), key).expect("fresh table has free selector 0");
         self.mapdb.insert(Capability::root(
             key,
             semper_base::msg::CapKindDesc::Vpe { vpe },
@@ -190,20 +207,13 @@ impl Kernel {
     /// The kernel managing `vpe` (via the global directory and the
     /// membership table).
     pub(crate) fn kernel_of_vpe(&self, vpe: VpeId) -> Result<KernelId> {
-        let pe = self
-            .vpe_dir
-            .get(vpe.idx())
-            .copied()
-            .ok_or_else(|| Error::new(Code::NoSuchVpe))?;
+        let pe = self.vpe_dir.get(vpe.idx()).copied().ok_or_else(|| Error::new(Code::NoSuchVpe))?;
         Ok(self.membership.kernel_of(pe))
     }
 
     /// The PE of a VPE (any group).
     pub(crate) fn pe_of_vpe(&self, vpe: VpeId) -> Result<PeId> {
-        self.vpe_dir
-            .get(vpe.idx())
-            .copied()
-            .ok_or_else(|| Error::new(Code::NoSuchVpe))
+        self.vpe_dir.get(vpe.idx()).copied().ok_or_else(|| Error::new(Code::NoSuchVpe))
     }
 
     /// The VPE on a PE of this group.
@@ -235,7 +245,7 @@ impl Kernel {
     /// queue), so it is exempt.
     pub(crate) fn park(&mut self, op: OpId, state: PendingOp) {
         self.pending.insert(op, state);
-        let in_use = self.pending.values().filter(|p| p.holds_thread()).count() as u64;
+        let in_use = self.pending.threads_in_use();
         if in_use > self.stats.max_pending_ops {
             self.stats.max_pending_ops = in_use;
         }
@@ -258,11 +268,7 @@ impl Kernel {
         result: Result<SysReplyData>,
     ) {
         if let Ok(pe) = self.pe_of_vpe(vpe) {
-            out.push(Msg::new(
-                self.pe,
-                pe,
-                Payload::SysReply(SysReply { tag, result }),
-            ));
+            out.push(Msg::new(self.pe, pe, Payload::SysReply(SysReply { tag, result })));
         }
     }
 
@@ -357,13 +363,7 @@ impl Kernel {
         cost
     }
 
-    fn handle_syscall(
-        &mut self,
-        src: PeId,
-        tag: u64,
-        call: &Syscall,
-        out: &mut Outbox,
-    ) -> u64 {
+    fn handle_syscall(&mut self, src: PeId, tag: u64, call: &Syscall, out: &mut Outbox) -> u64 {
         let entry = self.cfg.cost.syscall_entry;
         let vpe = match self.vpe_on_pe(src) {
             Ok(v) if self.vpe_alive(v) => v,
@@ -383,7 +383,9 @@ impl Kernel {
                     self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
                     self.cfg.cost.syscall_exit
                 }
-                Syscall::CreateMem { size, perms } => self.sys_create_mem(vpe, tag, *size, *perms, out),
+                Syscall::CreateMem { size, perms } => {
+                    self.sys_create_mem(vpe, tag, *size, *perms, out)
+                }
                 Syscall::DeriveMem { src, offset, size, perms } => {
                     self.sys_derive_mem(vpe, tag, *src, *offset, *size, *perms, out)
                 }
@@ -433,9 +435,7 @@ impl Kernel {
                 Kcall::DelegateAck { op, reply_op, commit } => {
                     self.kcall_delegate_ack(from, *op, *reply_op, *commit, out)
                 }
-                Kcall::RevokeReq { op, cap_key } => {
-                    self.kcall_revoke_req(from, *op, *cap_key, out)
-                }
+                Kcall::RevokeReq { op, cap_key } => self.kcall_revoke_req(from, *op, *cap_key, out),
                 Kcall::RevokeBatchReq { op, cap_keys } => {
                     self.kcall_revoke_batch_req(from, *op, cap_keys, out)
                 }
@@ -458,9 +458,7 @@ impl Kernel {
             + match reply {
                 KReply::Obtain { op, result } => self.kreply_obtain(*op, result, out),
                 KReply::Delegate { op, result } => self.kreply_delegate(from, *op, result, out),
-                KReply::DelegateDone { op, result } => {
-                    self.kreply_delegate_done(*op, *result, out)
-                }
+                KReply::DelegateDone { op, result } => self.kreply_delegate_done(*op, *result, out),
                 KReply::Revoke { op, cap_key, deleted, result } => {
                     self.kreply_revoke(*op, *cap_key, *deleted, *result, out)
                 }
@@ -471,12 +469,7 @@ impl Kernel {
             }
     }
 
-    fn handle_upcall_reply(
-        &mut self,
-        src: PeId,
-        reply: &UpcallReply,
-        out: &mut Outbox,
-    ) -> u64 {
+    fn handle_upcall_reply(&mut self, src: PeId, reply: &UpcallReply, out: &mut Outbox) -> u64 {
         match reply {
             UpcallReply::AcceptExchange { op, accept } => {
                 self.upcall_accept_exchange(src, *op, *accept, out)
@@ -514,8 +507,10 @@ impl Kernel {
         }
         // Cancel pending operations waiting on this VPE's upcalls; other
         // protocol stages detect death via `vpe_alive` when their replies
-        // arrive (producing orphan cleanups per §4.3.2).
-        let cancelled: Vec<OpId> = self
+        // arrive (producing orphan cleanups per §4.3.2). The cancellation
+        // order is protocol-visible (each cancel emits a reply), so sort
+        // by op id — the order the old id-ordered map iterated in.
+        let mut cancelled: Vec<OpId> = self
             .pending
             .iter()
             .filter(|(_, p)| match p {
@@ -524,20 +519,18 @@ impl Kernel {
                 PendingOp::DelegateAtRecvAccept { recv, .. } => *recv == vpe,
                 _ => false,
             })
-            .map(|(op, _)| *op)
+            .map(|(op, _)| op)
             .collect();
+        cancelled.sort_unstable();
         for op in cancelled {
-            let p = self.pending.remove(&op).expect("collected above");
+            let p = self.pending.remove(op).expect("collected above");
             self.cancel_upcall_op(p, out);
         }
         // Revoke all capabilities still in the VPE's table, starting at
         // the roots we own. Children in other groups are reached by the
         // revocation protocol itself.
-        let roots: Vec<semper_base::CapSel> = self
-            .tables
-            .get(&vpe)
-            .map(|t| t.iter().map(|(s, _)| s).collect())
-            .unwrap_or_default();
+        let roots: Vec<semper_base::CapSel> =
+            self.tables.get(&vpe).map(|t| t.iter().map(|(s, _)| s).collect()).unwrap_or_default();
         let mut cost = 0;
         for sel in roots {
             cost += self.revoke_for_exit(vpe, sel, out);
@@ -573,7 +566,9 @@ impl Kernel {
     /// plus agreement between capability tables and the database.
     pub fn check_invariants(&self) -> core::result::Result<(), String> {
         self.mapdb.check_invariants()?;
-        for (vpe, table) in &self.tables {
+        let mut by_vpe: Vec<(&VpeId, &CapTable)> = self.tables.iter().collect();
+        by_vpe.sort_by_key(|(vpe, _)| **vpe);
+        for (vpe, table) in by_vpe {
             for (sel, key) in table.iter() {
                 let cap = self
                     .mapdb

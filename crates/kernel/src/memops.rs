@@ -57,8 +57,7 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let result = (|| -> Result<SysReplyData> {
-            let parent_key =
-                self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(src)?;
+            let parent_key = self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(src)?;
             let parent = self.mapdb.get(parent_key)?;
             if parent.revoking() {
                 return Err(Error::new(Code::RevokeInProgress));

@@ -8,7 +8,7 @@
 //! asserted by the kernel.
 
 use semper_base::msg::CapKindDesc;
-use semper_base::{CapSel, DdlKey, ExchangeKind, KernelId, OpId, VpeId};
+use semper_base::{CapSel, DdlKey, DetHashMap, ExchangeKind, KernelId, OpId, VpeId};
 use semper_caps::Capability;
 
 use crate::registry::ServiceInfo;
@@ -235,10 +235,9 @@ impl PendingOp {
             | PendingOp::DelegateAtRecvAccept { .. }
             | PendingOp::SessionAtService { .. } => true,
             PendingOp::DelegatePendingInsert { .. } | PendingOp::RevokeBatch { .. } => false,
-            PendingOp::Revoke(op) => matches!(
-                op.initiator,
-                RevokeInitiator::Syscall { .. } | RevokeInitiator::Internal
-            ),
+            PendingOp::Revoke(op) => {
+                matches!(op.initiator, RevokeInitiator::Syscall { .. } | RevokeInitiator::Internal)
+            }
         }
     }
 
@@ -262,6 +261,81 @@ impl PendingOp {
     }
 }
 
+/// O(1) storage for suspended operations, keyed by [`OpId`].
+///
+/// Op ids are allocated from a per-kernel monotone counter, so they are
+/// stable handles: an id on the wire resolves to the same operation for
+/// the operation's whole lifetime. The table also maintains the count of
+/// thread-holding operations incrementally — the pre-refactor kernel
+/// recounted the whole map on every park, which put an O(pending) scan
+/// on every suspension.
+///
+/// Determinism: the map is never iterated on protocol paths; the only
+/// iteration ([`PendingTable::iter`]) feeds VPE teardown, which sorts
+/// the collected op ids before acting on them (matching the id-ordered
+/// iteration of the old `BTreeMap`).
+#[derive(Debug, Default)]
+pub struct PendingTable {
+    ops: DetHashMap<u64, PendingOp>,
+    threads: u64,
+}
+
+impl PendingTable {
+    /// Registers a suspended operation.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the op id is already registered (ids are unique
+    /// by construction).
+    pub fn insert(&mut self, op: OpId, state: PendingOp) {
+        self.threads += u64::from(state.holds_thread());
+        let prev = self.ops.insert(op.0, state);
+        debug_assert!(prev.is_none(), "op id {op} registered twice");
+    }
+
+    /// Removes and returns a suspended operation.
+    pub fn remove(&mut self, op: OpId) -> Option<PendingOp> {
+        let state = self.ops.remove(&op.0)?;
+        self.threads -= u64::from(state.holds_thread());
+        Some(state)
+    }
+
+    /// Looks up a suspended operation.
+    pub fn get(&self, op: OpId) -> Option<&PendingOp> {
+        self.ops.get(&op.0)
+    }
+
+    /// Looks up a suspended operation mutably. Callers may update fields
+    /// but must not change which variant is stored (the thread counter
+    /// is keyed to the variant at insertion).
+    pub fn get_mut(&mut self, op: OpId) -> Option<&mut PendingOp> {
+        self.ops.get_mut(&op.0)
+    }
+
+    /// Number of suspended operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if nothing is suspended.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operations currently holding a cooperative kernel thread (§4.2),
+    /// maintained incrementally.
+    pub fn threads_in_use(&self) -> u64 {
+        self.threads
+    }
+
+    /// Iterates over `(op, state)` in unspecified (per-run
+    /// deterministic) order. Sort the results before any
+    /// protocol-visible use.
+    pub fn iter(&self) -> impl Iterator<Item = (OpId, &PendingOp)> {
+        self.ops.iter().map(|(id, p)| (OpId(*id), p))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,5 +350,50 @@ mod tests {
             spanning: false,
         });
         assert_eq!(a.class(), "revoke");
+    }
+
+    fn revoke_op(initiator: RevokeInitiator) -> PendingOp {
+        PendingOp::Revoke(RevokeOp {
+            initiator,
+            outstanding: 0,
+            local_roots: Vec::new(),
+            deleted: 0,
+            spanning: false,
+        })
+    }
+
+    #[test]
+    fn pending_table_tracks_threads_incrementally() {
+        let mut t = PendingTable::default();
+        assert_eq!(t.threads_in_use(), 0);
+        // Syscall-initiated revokes hold a thread; kcall-initiated do not.
+        t.insert(OpId(1), revoke_op(RevokeInitiator::Syscall { vpe: VpeId(0), tag: 0 }));
+        t.insert(
+            OpId(2),
+            revoke_op(RevokeInitiator::Kcall {
+                op: OpId(9),
+                from: KernelId(1),
+                cap_key: DdlKey::new(semper_base::PeId(0), VpeId(0), semper_base::CapType::Vpe, 0),
+            }),
+        );
+        assert_eq!(t.threads_in_use(), 1);
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(OpId(1)).is_some());
+        assert_eq!(t.threads_in_use(), 0);
+        assert_eq!(t.len(), 1);
+        assert!(t.get(OpId(2)).is_some());
+        assert!(t.get_mut(OpId(2)).is_some());
+        assert!(t.remove(OpId(1)).is_none());
+    }
+
+    #[test]
+    fn pending_table_iter_exposes_everything() {
+        let mut t = PendingTable::default();
+        for i in 0..5 {
+            t.insert(OpId(i), revoke_op(RevokeInitiator::Internal));
+        }
+        let mut ids: Vec<u64> = t.iter().map(|(op, _)| op.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
     }
 }

@@ -8,6 +8,7 @@
 //! service in their PE group prefer to connect their applications to the
 //! service in their PE group").
 
+use semper_base::hash::splitmix64;
 use semper_base::{DdlKey, KernelId, PeId, ServiceId, VpeId};
 use std::collections::BTreeMap;
 
@@ -68,16 +69,12 @@ impl Registry {
     /// so `idx % len` would alias whole groups onto one instance.
     pub fn pick(&self, name: u64, local: KernelId, client: VpeId) -> Option<&ServiceInfo> {
         let h = splitmix64(client.idx() as u64) as usize;
-        let locals: Vec<&ServiceInfo> = self
-            .services
-            .values()
-            .filter(|s| s.name == name && s.owner == local)
-            .collect();
+        let locals: Vec<&ServiceInfo> =
+            self.services.values().filter(|s| s.name == name && s.owner == local).collect();
         if !locals.is_empty() {
             return Some(locals[h % locals.len()]);
         }
-        let all: Vec<&ServiceInfo> =
-            self.services.values().filter(|s| s.name == name).collect();
+        let all: Vec<&ServiceInfo> = self.services.values().filter(|s| s.name == name).collect();
         if all.is_empty() {
             return None;
         }
@@ -88,15 +85,6 @@ impl Registry {
     pub fn iter(&self) -> impl Iterator<Item = &ServiceInfo> {
         self.services.values()
     }
-}
-
-
-/// SplitMix64 finaliser used for deterministic spreading.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@
 //! analogue of the paper's two-revocation-threads bound.
 
 use semper_base::config::Feature;
-use semper_base::msg::{Kcall, KReply, SysReplyData};
+use semper_base::msg::{KReply, Kcall, SysReplyData};
 use semper_base::{CapSel, Code, DdlKey, Error, KernelId, OpId, Result, VpeId};
 
 use crate::kernel::Kernel;
@@ -69,7 +69,7 @@ impl Kernel {
         if own {
             return Ok(vec![key]);
         }
-        Ok(self.mapdb.get(key)?.children.clone())
+        Ok(self.mapdb.get(key)?.children().to_vec())
     }
 
     /// Revocation for VPE exit: one root at a time; the table entry may
@@ -115,7 +115,7 @@ impl Kernel {
             if self.mapdb.get(root).expect("checked").revoking() {
                 // A running revocation owns this subtree: wait for the
                 // capability to be deleted.
-                self.revoke_waiters.entry(root).or_default().push(op_id);
+                self.revoke_waiters.entry(root.raw()).or_default().push(op_id);
                 op.outstanding += 1;
                 continue;
             }
@@ -161,11 +161,11 @@ impl Kernel {
             if cap.revoking() {
                 debug_assert_ne!(key, root, "caller checked the root");
                 // Another operation owns this subtree; depend on it.
-                self.revoke_waiters.entry(key).or_default().push(op_id);
+                self.revoke_waiters.entry(key.raw()).or_default().push(op_id);
                 op.outstanding += 1;
                 continue;
             }
-            for child in cap.children.iter().rev() {
+            for child in cap.children().iter().rev() {
                 stack.push(*child);
             }
             self.mapdb.mark_revoking(key).expect("present");
@@ -204,9 +204,8 @@ impl Kernel {
                 // entry. Requests are pipelined: each leaves as the loop
                 // reaches it, so remote kernels overlap with the rest of
                 // the fan-out.
-                cost += self.cfg.cost.kcall_exit
-                    + self.cfg.cost.revoke_mark
-                    + self.cfg.cost.dtu_send;
+                cost +=
+                    self.cfg.cost.kcall_exit + self.cfg.cost.revoke_mark + self.cfg.cost.dtu_send;
                 self.send_kcall_pipelined(out, k, Kcall::RevokeReq { op: op_id, cap_key }, cost);
             }
         }
@@ -237,7 +236,7 @@ impl Kernel {
                         t.remove_key(cap.key);
                     }
                     // Wake operations waiting for this capability.
-                    if let Some(ws) = self.revoke_waiters.remove(&cap.key) {
+                    if let Some(ws) = self.revoke_waiters.remove(&cap.key.raw()) {
                         woken.extend(ws);
                     }
                 }
@@ -246,10 +245,10 @@ impl Kernel {
             self.notify_revoke_done(&op, out);
 
             for waiter in woken {
-                if let Some(PendingOp::Revoke(wop)) = self.pending.get_mut(&waiter) {
+                if let Some(PendingOp::Revoke(wop)) = self.pending.get_mut(waiter) {
                     wop.outstanding -= 1;
                     if wop.outstanding == 0 {
-                        let Some(PendingOp::Revoke(wop)) = self.pending.remove(&waiter) else {
+                        let Some(PendingOp::Revoke(wop)) = self.pending.remove(waiter) else {
                             unreachable!("checked above");
                         };
                         completions.push((waiter, wop));
@@ -286,12 +285,7 @@ impl Kernel {
                 self.send_kreply(
                     out,
                     from,
-                    KReply::Revoke {
-                        op: caller_op,
-                        cap_key,
-                        deleted: op.deleted,
-                        result: Ok(()),
-                    },
+                    KReply::Revoke { op: caller_op, cap_key, deleted: op.deleted, result: Ok(()) },
                 );
             }
             RevokeInitiator::Internal => {}
@@ -310,7 +304,7 @@ impl Kernel {
             cap_keys,
             outstanding,
             deleted: total,
-        }) = self.pending.get_mut(&batch)
+        }) = self.pending.get_mut(batch)
         else {
             debug_assert!(false, "batch tracker {batch} missing");
             return;
@@ -320,16 +314,11 @@ impl Kernel {
         if *outstanding == 0 {
             let (caller_op, caller_kernel, cap_keys, total) =
                 (*caller_op, *caller_kernel, std::mem::take(cap_keys), *total);
-            self.pending.remove(&batch);
+            self.pending.remove(batch);
             self.send_kreply(
                 out,
                 caller_kernel,
-                KReply::RevokeBatch {
-                    op: caller_op,
-                    cap_keys,
-                    deleted: total,
-                    result: Ok(()),
-                },
+                KReply::RevokeBatch { op: caller_op, cap_keys, deleted: total, result: Ok(()) },
             );
         }
     }
@@ -348,11 +337,7 @@ impl Kernel {
         if !self.mapdb.contains(cap_key) {
             // Already gone (e.g. revoked by a concurrent operation that
             // completed): vacuously done.
-            self.send_kreply(
-                out,
-                from,
-                KReply::Revoke { op, cap_key, deleted: 0, result: Ok(()) },
-            );
+            self.send_kreply(out, from, KReply::Revoke { op, cap_key, deleted: 0, result: Ok(()) });
             return self.cfg.cost.kcall_exit;
         }
         // Validating the foreign key against the membership table and
@@ -360,11 +345,7 @@ impl Kernel {
         // validation plus a reference.
         self.cfg.cost.xfer_desc
             + self.ref_cost()
-            + self.start_revoke(
-                vec![cap_key],
-                RevokeInitiator::Kcall { op, from, cap_key },
-                out,
-            )
+            + self.start_revoke(vec![cap_key], RevokeInitiator::Kcall { op, from, cap_key }, out)
     }
 
     /// Handles a batched revoke request: runs one sub-revocation per key
@@ -427,14 +408,14 @@ impl Kernel {
     }
 
     fn revoke_reply_arrived(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
-        let Some(PendingOp::Revoke(rop)) = self.pending.get_mut(&op) else {
+        let Some(PendingOp::Revoke(rop)) = self.pending.get_mut(op) else {
             debug_assert!(false, "revoke reply for unknown op {op}");
             return 0;
         };
         rop.deleted += deleted;
         rop.outstanding -= 1;
         if rop.outstanding == 0 {
-            let Some(PendingOp::Revoke(rop)) = self.pending.remove(&op) else {
+            let Some(PendingOp::Revoke(rop)) = self.pending.remove(op) else {
                 unreachable!("checked above");
             };
             self.complete_revoke(op, rop, out)

@@ -9,7 +9,7 @@
 //! capability) may live at another kernel. Exactly one kernel owns each
 //! resource; the child/parent link crosses the boundary via DDL keys.
 
-use semper_base::msg::{CapKindDesc, Kcall, KReply, Payload, SysReplyData, Upcall};
+use semper_base::msg::{CapKindDesc, KReply, Kcall, Payload, SysReplyData, Upcall};
 use semper_base::{
     CapType, Code, DdlKey, Error, KernelId, Msg, OpId, PeId, Result, ServiceId, VpeId,
 };
@@ -38,12 +38,7 @@ impl Kernel {
 
         let table = self.tables.get_mut(&vpe).expect("caller is local");
         let sel = table.insert_new(srv_key);
-        self.mapdb.insert(Capability::root(
-            srv_key,
-            CapKindDesc::Service { id },
-            vpe,
-            sel,
-        ));
+        self.mapdb.insert(Capability::root(srv_key, CapKindDesc::Service { id }, vpe, sel));
         self.stats.caps_created += 1;
         if let Some(v) = self.vpes.get_mut(&vpe) {
             v.is_service = true;
@@ -174,7 +169,7 @@ impl Kernel {
         result: Result<u64>,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(state) = self.pending.remove(&op) else {
+        let Some(state) = self.pending.remove(op) else {
             return 0;
         };
         match state {
@@ -216,7 +211,11 @@ impl Kernel {
                         Ok(ident)
                     }
                 };
-                self.send_kreply(out, caller_kernel, KReply::OpenSess { op: caller_op, result: reply });
+                self.send_kreply(
+                    out,
+                    caller_kernel,
+                    KReply::OpenSess { op: caller_op, result: reply },
+                );
                 self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
             }
             other => {
@@ -235,7 +234,7 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let Some(PendingOp::OpenSessRemote { tag, client, child_key, srv }) =
-            self.pending.remove(&op)
+            self.pending.remove(op)
         else {
             debug_assert!(false, "open-sess reply without pending op");
             return 0;
@@ -291,9 +290,7 @@ impl Kernel {
         ));
         self.stats.caps_created += 1;
         if link_local_parent {
-            self.mapdb
-                .link_child(srv.srv_key, child_key)
-                .expect("local service capability exists");
+            self.mapdb.link_child(srv.srv_key, child_key).expect("local service capability exists");
         }
         sel
     }

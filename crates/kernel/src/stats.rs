@@ -48,10 +48,7 @@ impl KernelStats {
     /// Total capability-modifying operations completed (exchanges and
     /// revokes, the paper's "cap ops").
     pub fn cap_ops(&self) -> u64 {
-        self.exchanges_local
-            + self.exchanges_spanning
-            + self.revokes_local
-            + self.revokes_spanning
+        self.exchanges_local + self.exchanges_spanning + self.revokes_local + self.revokes_spanning
     }
 }
 

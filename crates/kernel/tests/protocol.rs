@@ -215,7 +215,7 @@ fn orphaned_obtain_cleaned_up() {
     // The owner's capability must have no children left (orphan removed).
     let k0 = &c.kernels[0];
     let key = k0.table(VpeId(0)).unwrap().get(sel).unwrap();
-    assert!(k0.mapdb().get(key).unwrap().children.is_empty());
+    assert!(k0.mapdb().get(key).unwrap().children().is_empty());
     assert_eq!(k0.stats().orphans_cleaned, 1);
 }
 
@@ -243,7 +243,7 @@ fn delegate_to_killed_receiver_unwinds() {
     // Delegator's capability has no children; no stray capability at K1.
     let k0 = &c.kernels[0];
     let key = k0.table(VpeId(0)).unwrap().get(sel).unwrap();
-    assert!(k0.mapdb().get(key).unwrap().children.is_empty());
+    assert!(k0.mapdb().get(key).unwrap().children().is_empty());
 }
 
 #[test]
@@ -313,10 +313,7 @@ fn one_way_delegate_ablation_leaves_invalid_cap() {
         .mapdb()
         .iter()
         .any(|cap| matches!(cap.kind, semper_base::msg::CapKindDesc::Memory { .. }));
-    assert!(
-        has_mem,
-        "ablation: the naive protocol should exhibit the invalid capability"
-    );
+    assert!(has_mem, "ablation: the naive protocol should exhibit the invalid capability");
 }
 
 #[test]
@@ -438,7 +435,7 @@ fn remote_session_open_links_under_service_cap() {
     // capability (owned by K0) — the cross-kernel relation of §3.4.
     let k0 = &c.kernels[0];
     let srv_key = k0.table(VpeId(0)).unwrap().get(srv_sel).unwrap();
-    assert_eq!(k0.mapdb().get(srv_key).unwrap().children.len(), 1);
+    assert_eq!(k0.mapdb().get(srv_key).unwrap().children().len(), 1);
 }
 
 #[test]
@@ -478,10 +475,8 @@ fn derive_mem_creates_attenuated_child() {
     );
     assert_eq!(r.result.unwrap_err().code(), Code::InvalidArgs);
     // Widening permissions fails.
-    let r2 = c.syscall(
-        VpeId(0),
-        Syscall::DeriveMem { src: sel, offset: 0, size: 64, perms: Perms::RWX },
-    );
+    let r2 = c
+        .syscall(VpeId(0), Syscall::DeriveMem { src: sel, offset: 0, size: 64, perms: Perms::RWX });
     assert_eq!(r2.result.unwrap_err().code(), Code::NoPerm);
     c.check_invariants();
 }
@@ -650,8 +645,8 @@ fn activate_denied_during_revocation() {
     let _ = delegate(&mut c, VpeId(0), VpeId(2), sel);
     let rt = c.syscall_async(VpeId(0), Syscall::Revoke { sel, own: true });
     c.pump_n(1); // marked locally; remote child still pending
-    // The harness allows probing the kernel-side check directly while
-    // the revoke is still in flight.
+                 // The harness allows probing the kernel-side check directly while
+                 // the revoke is still in flight.
     let at = c.syscall_front(VpeId(0), Syscall::Activate { sel, ep: EpId(2) });
     c.pump_all();
     assert_eq!(

@@ -70,11 +70,8 @@ impl FsSpec {
     /// Total bytes of extent storage this spec needs, plus headroom for
     /// runtime growth.
     pub fn region_size(&self, headroom: u64) -> u64 {
-        let used: u64 = self
-            .files
-            .iter()
-            .map(|(_, size)| size.div_ceil(EXTENT_BYTES) * EXTENT_BYTES)
-            .sum();
+        let used: u64 =
+            self.files.iter().map(|(_, size)| size.div_ceil(EXTENT_BYTES) * EXTENT_BYTES).sum();
         used + headroom
     }
 }
@@ -94,15 +91,8 @@ impl FsImage {
     ///
     /// Panics if the spec does not fit into `region_size` bytes.
     pub fn build(spec: &FsSpec, region_size: u64) -> FsImage {
-        let mut img = FsImage {
-            inodes: BTreeMap::new(),
-            region_size,
-            next_extent: 0,
-        };
-        img.inodes.insert(
-            "/".to_string(),
-            Inode { size: 0, extents: Vec::new(), is_dir: true },
-        );
+        let mut img = FsImage { inodes: BTreeMap::new(), region_size, next_extent: 0 };
+        img.inodes.insert("/".to_string(), Inode { size: 0, extents: Vec::new(), is_dir: true });
         for d in &spec.dirs {
             img.mkdir_all(d);
         }
@@ -170,11 +160,7 @@ impl FsImage {
     /// Looks up an inode.
     pub fn stat(&self, path: &str) -> Result<FileStat> {
         let inode = self.inodes.get(&normalize(path)).ok_or(Error::new(Code::NoSuchFile))?;
-        Ok(FileStat {
-            size: inode.size,
-            is_dir: inode.is_dir,
-            extents: inode.extents.len() as u32,
-        })
+        Ok(FileStat { size: inode.size, is_dir: inode.is_dir, extents: inode.extents.len() as u32 })
     }
 
     /// True if the path exists.
@@ -283,10 +269,8 @@ mod tests {
     const B_SIZE: u64 = 2 * EXTENT_BYTES + 100_000;
 
     fn img() -> FsImage {
-        let spec = FsSpec::empty()
-            .dir("/data")
-            .file("/data/a.txt", 100_000)
-            .file("/data/b.txt", B_SIZE);
+        let spec =
+            FsSpec::empty().dir("/data").file("/data/a.txt", 100_000).file("/data/b.txt", B_SIZE);
         FsImage::build(&spec, 64 << 20)
     }
 
@@ -316,10 +300,7 @@ mod tests {
     #[test]
     fn read_past_eof_fails() {
         let i = img();
-        assert_eq!(
-            i.extent_at("/data/a.txt", 200_000).unwrap_err().code(),
-            Code::EndOfFile
-        );
+        assert_eq!(i.extent_at("/data/a.txt", 200_000).unwrap_err().code(), Code::EndOfFile);
     }
 
     #[test]

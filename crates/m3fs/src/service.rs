@@ -79,12 +79,7 @@ enum Work {
         derived_sel: Option<CapSel>,
     },
     /// Close a file: revoke each delegated capability, then ack.
-    Close {
-        client_pe: PeId,
-        tag: u64,
-        fid: u64,
-        remaining: Vec<CapSel>,
-    },
+    Close { client_pe: PeId, tag: u64, fid: u64, remaining: Vec<CapSel> },
 }
 
 /// One m3fs instance.
@@ -286,8 +281,7 @@ impl FsService {
             }
             FsOp::NextExtent { fid, offset, write } => {
                 let prep = (|| -> Result<Work> {
-                    let file =
-                        self.files.get(fid).ok_or(Error::new(Code::InvalidArgs))?.clone();
+                    let file = self.files.get(fid).ok_or(Error::new(Code::InvalidArgs))?.clone();
                     if file.session != req.session {
                         return Err(Error::new(Code::InvalidSession));
                     }
@@ -330,12 +324,7 @@ impl FsService {
                     return self.cost.fs_meta_op;
                 }
                 self.enqueue(
-                    Work::Close {
-                        client_pe,
-                        tag: req.tag,
-                        fid: *fid,
-                        remaining: file.delegated,
-                    },
+                    Work::Close { client_pe, tag: req.tag, fid: *fid, remaining: file.delegated },
                     out,
                 );
                 self.cost.fs_meta_op
@@ -379,10 +368,7 @@ impl FsService {
             BootState::Registering => {
                 debug_assert!(reply.result.is_ok(), "CreateSrv failed: {:?}", reply.result);
                 self.boot = BootState::AllocatingImage;
-                self.syscall(
-                    Syscall::CreateMem { size: self.image_size, perms: Perms::RW },
-                    out,
-                );
+                self.syscall(Syscall::CreateMem { size: self.image_size, perms: Perms::RW }, out);
                 return self.cost.fs_meta_op;
             }
             BootState::AllocatingImage => {
@@ -447,12 +433,7 @@ impl FsService {
                             self.cost.fs_extent_op
                         }
                         other => {
-                            self.reply_fs(
-                                out,
-                                client_pe,
-                                tag,
-                                Err(extract_err(other)),
-                            );
+                            self.reply_fs(out, client_pe, tag, Err(extract_err(other)));
                             self.cost.fs_extent_op
                         }
                     }
@@ -535,10 +516,7 @@ mod tests {
         s.boot(&mut out);
         let msgs = out.drain();
         assert_eq!(msgs.len(), 1);
-        assert!(matches!(
-            &msgs[0].0.payload,
-            Payload::Sys { call: Syscall::CreateSrv { .. }, .. }
-        ));
+        assert!(matches!(&msgs[0].0.payload, Payload::Sys { call: Syscall::CreateSrv { .. }, .. }));
         // Feed the CreateSrv reply.
         let reply = Msg::new(
             PeId(0),
@@ -548,10 +526,7 @@ mod tests {
         let mut out = Outbox::new();
         s.handle(&reply, &mut out);
         let msgs = out.drain();
-        assert!(matches!(
-            &msgs[0].0.payload,
-            Payload::Sys { call: Syscall::CreateMem { .. }, .. }
-        ));
+        assert!(matches!(&msgs[0].0.payload, Payload::Sys { call: Syscall::CreateMem { .. }, .. }));
         // Feed the CreateMem reply.
         let reply = Msg::new(
             PeId(0),
@@ -595,11 +570,7 @@ mod tests {
         let req = Msg::new(
             PeId(7),
             PeId(3),
-            Payload::Fs(FsReq {
-                session: 1,
-                tag: 9,
-                op: FsOp::Stat { path: "/f.txt".into() },
-            }),
+            Payload::Fs(FsReq { session: 1, tag: 9, op: FsOp::Stat { path: "/f.txt".into() } }),
         );
         s.handle(&req, &mut out);
         let msgs = out.drain();

@@ -48,19 +48,13 @@ fn booted_service() -> FsService {
 
 fn sys_reply(s: &mut FsService, tag: u64, result: semper_base::Result<SysReplyData>) -> Outbox {
     let mut out = Outbox::new();
-    s.handle(
-        &Msg::new(KRN_PE, SVC_PE, Payload::SysReply(SysReply { tag, result })),
-        &mut out,
-    );
+    s.handle(&Msg::new(KRN_PE, SVC_PE, Payload::SysReply(SysReply { tag, result })), &mut out);
     out
 }
 
 fn fs_req(s: &mut FsService, tag: u64, op: FsOp) -> Outbox {
     let mut out = Outbox::new();
-    s.handle(
-        &Msg::new(CLIENT_PE, SVC_PE, Payload::Fs(FsReq { session: 1, tag, op })),
-        &mut out,
-    );
+    s.handle(&Msg::new(CLIENT_PE, SVC_PE, Payload::Fs(FsReq { session: 1, tag, op })), &mut out);
     out
 }
 
@@ -87,11 +81,8 @@ fn expect_syscall(out: &mut Outbox) -> (u64, Syscall) {
 #[test]
 fn open_reports_size_and_fid() {
     let mut s = booted_service();
-    let mut out = fs_req(
-        &mut s,
-        10,
-        FsOp::Open { path: "/f.dat".into(), write: false, create: false },
-    );
+    let mut out =
+        fs_req(&mut s, 10, FsOp::Open { path: "/f.dat".into(), write: false, create: false });
     match expect_fs_reply(&mut out, 10) {
         Ok(FsReplyData::Opened { fid, size }) => {
             assert_eq!(fid, 1);
@@ -104,16 +95,12 @@ fn open_reports_size_and_fid() {
 #[test]
 fn extent_pipeline_derive_then_delegate_then_reply() {
     let mut s = booted_service();
-    let mut out = fs_req(
-        &mut s,
-        10,
-        FsOp::Open { path: "/f.dat".into(), write: false, create: false },
-    );
+    let mut out =
+        fs_req(&mut s, 10, FsOp::Open { path: "/f.dat".into(), write: false, create: false });
     let _ = expect_fs_reply(&mut out, 10);
 
     // The extent request triggers a DeriveMem syscall first.
-    let mut out =
-        fs_req(&mut s, 11, FsOp::NextExtent { fid: 1, offset: 0, write: false });
+    let mut out = fs_req(&mut s, 11, FsOp::NextExtent { fid: 1, offset: 0, write: false });
     let (tag, call) = expect_syscall(&mut out);
     let Syscall::DeriveMem { src, offset, size, .. } = call else {
         panic!("expected derive, got {call:?}");
@@ -132,8 +119,7 @@ fn extent_pipeline_derive_then_delegate_then_reply() {
     assert_eq!(own_sel, CapSel(8));
 
     // Completing the delegate produces the extent reply to the client.
-    let mut out =
-        sys_reply(&mut s, tag, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
+    let mut out = sys_reply(&mut s, tag, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
     match expect_fs_reply(&mut out, 11) {
         Ok(FsReplyData::Extent { sel, offset, len, .. }) => {
             assert_eq!(sel, CapSel(4));
@@ -148,20 +134,15 @@ fn extent_pipeline_derive_then_delegate_then_reply() {
 #[test]
 fn close_revokes_each_delegated_extent() {
     let mut s = booted_service();
-    let mut out = fs_req(
-        &mut s,
-        10,
-        FsOp::Open { path: "/f.dat".into(), write: false, create: false },
-    );
+    let mut out =
+        fs_req(&mut s, 10, FsOp::Open { path: "/f.dat".into(), write: false, create: false });
     let _ = expect_fs_reply(&mut out, 10);
     // Serve one extent.
-    let mut out =
-        fs_req(&mut s, 11, FsOp::NextExtent { fid: 1, offset: 0, write: false });
+    let mut out = fs_req(&mut s, 11, FsOp::NextExtent { fid: 1, offset: 0, write: false });
     let (tag, _) = expect_syscall(&mut out);
     let mut out = sys_reply(&mut s, tag, Ok(SysReplyData::Sel(CapSel(8))));
     let (tag, _) = expect_syscall(&mut out);
-    let mut out =
-        sys_reply(&mut s, tag, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
+    let mut out = sys_reply(&mut s, tag, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
     let _ = expect_fs_reply(&mut out, 11);
 
     // Close: the service revokes the derived capability it delegated.
@@ -179,11 +160,8 @@ fn close_revokes_each_delegated_extent() {
 #[test]
 fn close_without_extents_replies_immediately() {
     let mut s = booted_service();
-    let mut out = fs_req(
-        &mut s,
-        10,
-        FsOp::Open { path: "/f.dat".into(), write: false, create: false },
-    );
+    let mut out =
+        fs_req(&mut s, 10, FsOp::Open { path: "/f.dat".into(), write: false, create: false });
     let _ = expect_fs_reply(&mut out, 10);
     let mut out = fs_req(&mut s, 11, FsOp::Close { fid: 1 });
     assert!(matches!(expect_fs_reply(&mut out, 11), Ok(FsReplyData::Ok)));
@@ -192,20 +170,15 @@ fn close_without_extents_replies_immediately() {
 #[test]
 fn requests_queue_while_a_syscall_is_in_flight() {
     let mut s = booted_service();
-    let mut out = fs_req(
-        &mut s,
-        10,
-        FsOp::Open { path: "/f.dat".into(), write: false, create: false },
-    );
+    let mut out =
+        fs_req(&mut s, 10, FsOp::Open { path: "/f.dat".into(), write: false, create: false });
     let _ = expect_fs_reply(&mut out, 10);
     // First extent request: derive in flight.
-    let mut out =
-        fs_req(&mut s, 11, FsOp::NextExtent { fid: 1, offset: 0, write: false });
+    let mut out = fs_req(&mut s, 11, FsOp::NextExtent { fid: 1, offset: 0, write: false });
     let (tag1, _) = expect_syscall(&mut out);
     // A second extent request must NOT emit a syscall yet (one blocking
     // syscall per VPE).
-    let mut out =
-        fs_req(&mut s, 12, FsOp::NextExtent { fid: 1, offset: 0, write: false });
+    let mut out = fs_req(&mut s, 12, FsOp::NextExtent { fid: 1, offset: 0, write: false });
     assert!(
         !out.drain().iter().any(|(m, _)| matches!(m.payload, Payload::Sys { .. })),
         "second request must queue behind the in-flight syscall"
@@ -213,8 +186,7 @@ fn requests_queue_while_a_syscall_is_in_flight() {
     // Drain the pipeline for request 11; request 12's derive follows.
     let mut out = sys_reply(&mut s, tag1, Ok(SysReplyData::Sel(CapSel(8))));
     let (tag2, _) = expect_syscall(&mut out); // delegate for 11
-    let mut out =
-        sys_reply(&mut s, tag2, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
+    let mut out = sys_reply(&mut s, tag2, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
     // One drain: the reply to request 11 AND request 12's derive syscall
     // leave in the same handler.
     let msgs = out.drain();
@@ -222,10 +194,9 @@ fn requests_queue_while_a_syscall_is_in_flight() {
         &m.payload,
         Payload::FsReply(FsReply { tag: 11, result: Ok(FsReplyData::Extent { .. }) })
     )));
-    assert!(msgs.iter().any(|(m, _)| matches!(
-        &m.payload,
-        Payload::Sys { call: Syscall::DeriveMem { .. }, .. }
-    )));
+    assert!(msgs
+        .iter()
+        .any(|(m, _)| matches!(&m.payload, Payload::Sys { call: Syscall::DeriveMem { .. }, .. })));
 }
 
 #[test]
@@ -236,11 +207,7 @@ fn unknown_session_and_fid_rejected() {
         &Msg::new(
             CLIENT_PE,
             SVC_PE,
-            Payload::Fs(FsReq {
-                session: 999,
-                tag: 5,
-                op: FsOp::Stat { path: "/f.dat".into() },
-            }),
+            Payload::Fs(FsReq { session: 999, tag: 5, op: FsOp::Stat { path: "/f.dat".into() } }),
         ),
         &mut out,
     );
@@ -255,11 +222,8 @@ fn unknown_session_and_fid_rejected() {
 #[test]
 fn append_grows_the_file() {
     let mut s = booted_service();
-    let mut out = fs_req(
-        &mut s,
-        10,
-        FsOp::Open { path: "/new.log".into(), write: true, create: true },
-    );
+    let mut out =
+        fs_req(&mut s, 10, FsOp::Open { path: "/new.log".into(), write: true, create: true });
     match expect_fs_reply(&mut out, 10) {
         Ok(FsReplyData::Opened { size, .. }) => assert_eq!(size, 0),
         other => panic!("unexpected: {other:?}"),
@@ -270,8 +234,7 @@ fn append_grows_the_file() {
     assert!(matches!(call, Syscall::DeriveMem { .. }));
     let mut out = sys_reply(&mut s, tag, Ok(SysReplyData::Sel(CapSel(8))));
     let (tag, _) = expect_syscall(&mut out);
-    let mut out =
-        sys_reply(&mut s, tag, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
+    let mut out = sys_reply(&mut s, tag, Ok(SysReplyData::Delegated { recv_sel: CapSel(4) }));
     match expect_fs_reply(&mut out, 11) {
         Ok(FsReplyData::Extent { len, .. }) => assert!(len > 0),
         other => panic!("unexpected: {other:?}"),

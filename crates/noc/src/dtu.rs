@@ -94,8 +94,7 @@ impl Dtu {
     /// *by* the kernel, which the kernel model expresses by calling this
     /// directly; user code never holds `&mut Dtu`.
     pub fn configure(&mut self, ep: EpId, cfg: EpConfig) -> Result<()> {
-        let slot =
-            self.eps.get_mut(ep.0 as usize).ok_or_else(|| Error::new(Code::InvalidArgs))?;
+        let slot = self.eps.get_mut(ep.0 as usize).ok_or_else(|| Error::new(Code::InvalidArgs))?;
         *slot = cfg;
         Ok(())
     }
@@ -106,7 +105,13 @@ impl Dtu {
     }
 
     /// Configures a send endpoint with a credit budget.
-    pub fn configure_send(&mut self, ep: EpId, dst: PeId, dst_ep: EpId, credits: u32) -> Result<()> {
+    pub fn configure_send(
+        &mut self,
+        ep: EpId,
+        dst: PeId,
+        dst_ep: EpId,
+        credits: u32,
+    ) -> Result<()> {
         self.configure(ep, EpConfig::Send { dst, dst_ep, credits, max_credits: credits })
     }
 

@@ -24,13 +24,7 @@ pub struct Noc {
 impl Noc {
     /// Creates a NoC over the given mesh with the given cost model.
     pub fn new(mesh: Mesh, cost: CostModel) -> Noc {
-        Noc {
-            mesh,
-            cost,
-            last_delivery: BTreeMap::new(),
-            messages_routed: 0,
-            bytes_routed: 0,
-        }
+        Noc { mesh, cost, last_delivery: BTreeMap::new(), messages_routed: 0, bytes_routed: 0 }
     }
 
     /// The mesh underlying this NoC.
@@ -50,11 +44,7 @@ impl Noc {
         let arrival = now + self.cost.dtu_send + wire + self.cost.dtu_recv;
 
         let chan = (msg.src, msg.dst);
-        let fifo_floor = self
-            .last_delivery
-            .get(&chan)
-            .map(|t| *t + 1u64)
-            .unwrap_or(Cycles::ZERO);
+        let fifo_floor = self.last_delivery.get(&chan).map(|t| *t + 1u64).unwrap_or(Cycles::ZERO);
         let delivery = arrival.max(fifo_floor);
         self.last_delivery.insert(chan, delivery);
 

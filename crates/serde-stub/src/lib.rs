@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this repository has no access to a crate
+//! registry, so the real `serde` cannot be fetched. The workspace only
+//! uses serde for `#[derive(Serialize, Deserialize)]` decoration — no
+//! code actually serializes anything yet — so this proc-macro crate
+//! provides the two derives as no-ops. The derive sites stay untouched
+//! in the source; pointing the workspace dependency back at the real
+//! `serde = { version = "1", features = ["derive"] }` is all that is
+//! needed once a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

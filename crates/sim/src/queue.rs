@@ -29,10 +29,7 @@ impl<E> Ord for Entry<E> {
         // BinaryHeap is a max-heap; invert to pop the earliest event.
         // Ties break on the *lower* sequence number (FIFO among equals),
         // which is what makes the whole simulation deterministic.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -53,12 +50,7 @@ pub struct EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> EventQueue<E> {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: Cycles::ZERO,
-            popped: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: Cycles::ZERO, popped: 0 }
     }
 
     /// Current simulated time (the timestamp of the last popped event).
@@ -88,12 +80,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` lies in the past — an event scheduled before `now`
     /// indicates a bug in a cost computation.
     pub fn schedule(&mut self, at: Cycles, event: E) {
-        assert!(
-            at >= self.now,
-            "event scheduled in the past: {} < now {}",
-            at,
-            self.now
-        );
+        assert!(at >= self.now, "event scheduled in the past: {} < now {}", at, self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });

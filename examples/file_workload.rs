@@ -16,10 +16,7 @@ use semper_sim::Cycles;
 use semperos::experiment::{parallel_efficiency, run_app_instances};
 
 fn main() {
-    let instances: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(64);
+    let instances: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
     let cfg = MachineConfig::paper_testbed(32, 32);
     println!(
         "machine: {} PEs, {} kernels, {} m3fs instances; {instances} instances per app",

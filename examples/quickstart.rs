@@ -24,9 +24,8 @@ fn main() {
     let bob = m.vpe(1, 0); // group 1
 
     // Alice allocates 4 KiB of global memory.
-    let (reply, cycles) = m
-        .machine()
-        .syscall_blocking(alice, Syscall::CreateMem { size: 4096, perms: Perms::RW });
+    let (reply, cycles) =
+        m.machine().syscall_blocking(alice, Syscall::CreateMem { size: 4096, perms: Perms::RW });
     let Ok(SysReplyData::Mem { sel, addr }) = reply.result else {
         panic!("create_mem failed: {reply:?}");
     };
@@ -50,16 +49,12 @@ fn main() {
     println!("  selector {bob_sel}  ({cycles} cycles — a group-spanning exchange)");
 
     // Alice revokes: the recursive revocation reaches Bob's kernel.
-    let (reply, cycles) =
-        m.machine().syscall_blocking(alice, Syscall::Revoke { sel, own: true });
+    let (reply, cycles) = m.machine().syscall_blocking(alice, Syscall::Revoke { sel, own: true });
     assert!(reply.result.is_ok());
     println!("alice revoked the capability ({cycles} cycles, spanning two kernels)");
 
     // Bob's copy is gone: using the selector now fails.
-    let (reply, _) = m.machine().syscall_blocking(
-        bob,
-        Syscall::Revoke { sel: bob_sel, own: true },
-    );
+    let (reply, _) = m.machine().syscall_blocking(bob, Syscall::Revoke { sel: bob_sel, own: true });
     println!(
         "bob's copy is gone: revoking his stale selector reports {:?}",
         reply.result.unwrap_err().code()

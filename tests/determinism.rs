@@ -1,0 +1,112 @@
+//! Determinism regression tests.
+//!
+//! The simulator's contract is that two runs of the same experiment
+//! produce bit-identical results: `semper_sim::EventQueue`'s FIFO
+//! tie-breaking is the sole ordering authority, and no kernel
+//! bookkeeping structure may leak its internal order into the protocol.
+//! These tests protect that contract through data-structure refactors
+//! (such as the O(1)-bookkeeping change that moved the mapping database
+//! and pending-op storage from `BTreeMap` onto hash maps): if a swap
+//! accidentally makes message order depend on map iteration, per-client
+//! finish times or kernel statistics diverge here.
+
+use semper_apps::AppKind;
+use semper_base::{KernelMode, MachineConfig};
+use semper_kernel::KernelStats;
+use semperos::experiment::{run_app_instances, MicroMachine};
+
+/// A full application run, reduced to its observable outputs.
+#[derive(Debug, PartialEq, Eq)]
+struct RunFingerprint {
+    durations: Vec<u64>,
+    makespan: u64,
+    cap_ops: u64,
+    kernel_stats: Vec<KernelStats>,
+}
+
+fn app_run(cfg: &MachineConfig, app: AppKind, instances: u32) -> RunFingerprint {
+    let res = run_app_instances(cfg, app, instances);
+    RunFingerprint {
+        durations: res.durations.clone(),
+        makespan: res.makespan,
+        cap_ops: res.cap_ops,
+        kernel_stats: res.kernel_stats,
+    }
+}
+
+/// The same multi-kernel application experiment, run twice, must yield
+/// bit-identical per-client finish times and kernel statistics.
+#[test]
+fn app_runs_are_bit_identical() {
+    let mut cfg = MachineConfig::small();
+    cfg.num_pes = 16;
+    cfg.kernels = 2;
+    cfg.services = 2;
+    let first = app_run(&cfg, AppKind::Find, 4);
+    let second = app_run(&cfg, AppKind::Find, 4);
+    assert_eq!(first, second, "two runs of the same experiment diverged");
+    // Sanity: the run actually did distributed work.
+    assert_eq!(first.durations.len(), 4);
+    assert!(first.kernel_stats.iter().any(|s| s.kcalls_out > 0));
+}
+
+/// Large revocations — the paths most affected by the bookkeeping
+/// refactor — must be cycle-identical across runs, including the exact
+/// inter-kernel message counts.
+#[test]
+fn spanning_revokes_are_bit_identical() {
+    let run = || {
+        let mut m = MicroMachine::new(3, 2, KernelMode::SemperOS);
+        let chain = m.measure_chain_revoke(64, true);
+        let tree = m.measure_tree_revoke(128, 2);
+        let stats: Vec<KernelStats> = m.machine().kernel_stats();
+        (chain, tree, m.machine().events(), m.machine().now(), stats)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "revocation experiment diverged between runs");
+    assert!(first.0 > 0 && first.1 > 0);
+}
+
+/// Concurrent, overlapping revocations wake their waiters in a fixed
+/// order; the kill/exit path sorts its pending-op sweep. Run the same
+/// interleaving twice and compare every kernel's counters.
+#[test]
+fn teardown_under_load_is_bit_identical() {
+    use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
+    use semper_base::{CapSel, VpeId};
+    use semper_kernel::harness::TestCluster;
+
+    let run = || {
+        let mut c = TestCluster::new(3, 2);
+        let sel =
+            match c.syscall(VpeId(0), Syscall::CreateMem { size: 4096, perms: Perms::RW }).result {
+                Ok(SysReplyData::Mem { sel, .. }) => sel,
+                other => panic!("create_mem failed: {other:?}"),
+            };
+        // Spread copies over every VPE, then kill holders mid-traffic.
+        for to in 1..6u16 {
+            let _ = c.syscall(
+                VpeId(0),
+                Syscall::Exchange {
+                    other: VpeId(to),
+                    own_sel: sel,
+                    other_sel: CapSel::INVALID,
+                    kind: ExchangeKind::Delegate,
+                },
+            );
+        }
+        c.syscall_async(VpeId(0), Syscall::Revoke { sel, own: true });
+        c.pump_n(3);
+        c.kill(VpeId(3));
+        c.kill(VpeId(1));
+        c.pump_all();
+        c.check_invariants();
+        let stats: Vec<_> = c.kernels.iter().map(|k| *k.stats()).collect();
+        let caps = c.total_caps();
+        (stats, caps)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "teardown interleaving diverged between runs");
+}

@@ -3,9 +3,7 @@
 use semper_apps::AppKind;
 use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
 use semper_base::{CapSel, KernelMode, MachineConfig};
-use semperos::experiment::{
-    parallel_efficiency, run_app_instances, run_nginx, MicroMachine,
-};
+use semperos::experiment::{parallel_efficiency, run_app_instances, run_nginx, MicroMachine};
 
 #[test]
 fn table3_shapes_hold() {
@@ -17,9 +15,8 @@ fn table3_shapes_hold() {
     let m3_rv = MicroMachine::new(1, 2, KernelMode::M3).measure_revoke_local();
 
     // Paper Table 3 anchors, with a 10% tolerance band.
-    let within = |measured: u64, paper: u64| {
-        (measured as f64 - paper as f64).abs() / paper as f64 <= 0.10
-    };
+    let within =
+        |measured: u64, paper: u64| (measured as f64 - paper as f64).abs() / paper as f64 <= 0.10;
     assert!(within(ex_local, 3597), "exchange local {ex_local} vs 3597");
     assert!(within(ex_span, 6484), "exchange spanning {ex_span} vs 6484");
     assert!(within(rv_local, 1997), "revoke local {rv_local} vs 1997");
@@ -64,10 +61,7 @@ fn spanning_chain_about_3x_local() {
 fn tree_revocation_parallelism_wins_eventually() {
     let local = MicroMachine::new(13, 12, KernelMode::SemperOS).measure_tree_revoke(128, 0);
     let par = MicroMachine::new(13, 12, KernelMode::SemperOS).measure_tree_revoke(128, 12);
-    assert!(
-        par < local,
-        "at 128 children, 12-kernel revocation ({par}) must beat local ({local})"
-    );
+    assert!(par < local, "at 128 children, 12-kernel revocation ({par}) must beat local ({local})");
 }
 
 #[test]
@@ -163,15 +157,9 @@ fn micromachine_syscall_api_end_to_end() {
     let c = m.vpe(1, 2);
     let (c_sel, _) = m.delegate(b, c, b_sel);
     m.revoke(a, sel);
-    let (r, _) = m.machine().syscall_blocking(
-        b,
-        Syscall::Revoke { sel: b_sel, own: true },
-    );
+    let (r, _) = m.machine().syscall_blocking(b, Syscall::Revoke { sel: b_sel, own: true });
     assert!(r.result.is_err(), "b's copy must be gone");
-    let (r, _) = m.machine().syscall_blocking(
-        c,
-        Syscall::Revoke { sel: c_sel, own: true },
-    );
+    let (r, _) = m.machine().syscall_blocking(c, Syscall::Revoke { sel: c_sel, own: true });
     assert!(r.result.is_err(), "c's copy must be gone");
     m.machine().check_invariants();
 }

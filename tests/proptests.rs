@@ -5,12 +5,16 @@
 //! with randomly interleaved message processing; afterwards every
 //! structural invariant must hold and the system must quiesce with no
 //! suspended operations.
+//!
+//! The cases are generated with the workspace's own deterministic RNG
+//! (`semper_sim::DetRng`) instead of an external property-testing crate:
+//! every case derives from a printed seed, so a failure is reproduced by
+//! running the named generator with that seed.
 
-use proptest::prelude::*;
 use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
-use semper_base::{CapSel, DdlKey, PeId, VpeId};
-use semper_base::{CapType, ExchangeKind as EK};
+use semper_base::{CapSel, CapType, DdlKey, PeId, VpeId};
 use semper_kernel::harness::TestCluster;
+use semper_sim::DetRng;
 
 /// One randomly generated action.
 #[derive(Debug, Clone)]
@@ -24,17 +28,19 @@ enum Action {
     Kill { vpe: u16 },
 }
 
-fn action_strategy(vpes: u16) -> impl Strategy<Value = Action> {
-    prop_oneof![
-        4 => (0..vpes).prop_map(|vpe| Action::CreateMem { vpe }),
-        4 => (0..vpes, 0..vpes).prop_map(|(from, to)| Action::Delegate { from, to }),
-        4 => (0..vpes, 0..vpes).prop_map(|(by, from)| Action::Obtain { by, from }),
-        4 => (0..vpes).prop_map(|vpe| Action::RevokeNewest { vpe }),
-        4 => (0..vpes).prop_map(|vpe| Action::Derive { vpe }),
-        4 => (1usize..12).prop_map(|n| Action::PumpSome { n }),
-        // Kills are rare relative to the other actions.
-        1 => (0..vpes).prop_map(|vpe| Action::Kill { vpe }),
-    ]
+/// Draws one action with the same weights the original proptest strategy
+/// used (kills are rare relative to the other actions).
+fn draw_action(rng: &mut DetRng, vpes: u16) -> Action {
+    let v = |rng: &mut DetRng| rng.below(vpes as u64) as u16;
+    match rng.below(25) {
+        0..=3 => Action::CreateMem { vpe: v(rng) },
+        4..=7 => Action::Delegate { from: v(rng), to: v(rng) },
+        8..=11 => Action::Obtain { by: v(rng), from: v(rng) },
+        12..=15 => Action::RevokeNewest { vpe: v(rng) },
+        16..=19 => Action::Derive { vpe: v(rng) },
+        20..=23 => Action::PumpSome { n: rng.between(1, 11) as usize },
+        _ => Action::Kill { vpe: v(rng) },
+    }
 }
 
 /// The newest capability selector a VPE holds, if any (scans the kernel
@@ -45,29 +51,31 @@ fn newest_sel(c: &TestCluster, vpe: VpeId) -> Option<CapSel> {
     table.iter().map(|(sel, _)| sel).filter(|s| s.0 >= 2).max()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    /// Random CMO interleavings never violate the capability-tree
-    /// invariants, never deadlock, and always quiesce.
-    #[test]
-    fn random_cmo_interleavings_preserve_invariants(
-        actions in proptest::collection::vec(action_strategy(6), 1..40)
-    ) {
+/// Random CMO interleavings never violate the capability-tree
+/// invariants, never deadlock, and always quiesce.
+#[test]
+fn random_cmo_interleavings_preserve_invariants() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::split(0xC0_FFEE, case);
+        let n_actions = rng.between(1, 39) as usize;
         // 3 kernels x 2 VPEs; VPE v lives in group v / 2.
         let mut c = TestCluster::new(3, 2);
         let mut dead = std::collections::BTreeSet::new();
-        for action in actions {
-            match action {
+        for _ in 0..n_actions {
+            match draw_action(&mut rng, 6) {
                 Action::CreateMem { vpe } => {
-                    if dead.contains(&vpe) { continue; }
+                    if dead.contains(&vpe) {
+                        continue;
+                    }
                     c.syscall_async(
                         VpeId(vpe),
                         Syscall::CreateMem { size: 4096, perms: Perms::RW },
                     );
                 }
                 Action::Delegate { from, to } => {
-                    if from == to || dead.contains(&from) || dead.contains(&to) { continue; }
+                    if from == to || dead.contains(&from) || dead.contains(&to) {
+                        continue;
+                    }
                     let Some(sel) = newest_sel(&c, VpeId(from)) else { continue };
                     c.syscall_async(
                         VpeId(from),
@@ -80,7 +88,9 @@ proptest! {
                     );
                 }
                 Action::Obtain { by, from } => {
-                    if by == from || dead.contains(&by) || dead.contains(&from) { continue; }
+                    if by == from || dead.contains(&by) || dead.contains(&from) {
+                        continue;
+                    }
                     let Some(sel) = newest_sel(&c, VpeId(from)) else { continue };
                     c.syscall_async(
                         VpeId(by),
@@ -88,17 +98,21 @@ proptest! {
                             other: VpeId(from),
                             own_sel: CapSel::INVALID,
                             other_sel: sel,
-                            kind: EK::Obtain,
+                            kind: ExchangeKind::Obtain,
                         },
                     );
                 }
                 Action::RevokeNewest { vpe } => {
-                    if dead.contains(&vpe) { continue; }
+                    if dead.contains(&vpe) {
+                        continue;
+                    }
                     let Some(sel) = newest_sel(&c, VpeId(vpe)) else { continue };
                     c.syscall_async(VpeId(vpe), Syscall::Revoke { sel, own: true });
                 }
                 Action::Derive { vpe } => {
-                    if dead.contains(&vpe) { continue; }
+                    if dead.contains(&vpe) {
+                        continue;
+                    }
                     let Some(sel) = newest_sel(&c, VpeId(vpe)) else { continue };
                     c.syscall_async(
                         VpeId(vpe),
@@ -117,41 +131,47 @@ proptest! {
         c.check_invariants();
         // Quiescence: nothing suspended anywhere.
         for k in &c.kernels {
-            prop_assert_eq!(
-                k.pending_ops(), 0,
-                "kernel {} left {} suspended ops", k.id(), k.pending_ops()
+            assert_eq!(
+                k.pending_ops(),
+                0,
+                "case {case}: kernel {} left {} suspended ops",
+                k.id(),
+                k.pending_ops()
             );
         }
         // Capabilities of dead VPEs are fully gone.
         for vpe in &dead {
             for k in &c.kernels {
                 if let Some(t) = k.table(VpeId(*vpe)) {
-                    prop_assert_eq!(t.len(), 0, "dead VPE{} still holds capabilities", vpe);
+                    assert_eq!(t.len(), 0, "case {case}: dead VPE{vpe} still holds capabilities");
                 }
             }
         }
     }
+}
 
-    /// Revoking the root of any randomly built delegation structure
-    /// removes exactly the descendants, across any number of kernels.
-    #[test]
-    fn revoke_removes_exactly_the_subtree(
-        edges in proptest::collection::vec((0u16..8, 0u16..8), 1..24)
-    ) {
+/// Revoking the root of any randomly built delegation structure
+/// removes exactly the descendants, across any number of kernels.
+#[test]
+fn revoke_removes_exactly_the_subtree() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::split(0xDE1E_647E, case);
+        let n_edges = rng.between(1, 23) as usize;
         let mut c = TestCluster::new(4, 2);
-        let root_sel = match c
-            .syscall(VpeId(0), Syscall::CreateMem { size: 4096, perms: Perms::RW })
-            .result
-        {
-            Ok(SysReplyData::Mem { sel, .. }) => sel,
-            other => panic!("create_mem failed: {other:?}"),
-        };
+        let root_sel =
+            match c.syscall(VpeId(0), Syscall::CreateMem { size: 4096, perms: Perms::RW }).result {
+                Ok(SysReplyData::Mem { sel, .. }) => sel,
+                other => panic!("case {case}: create_mem failed: {other:?}"),
+            };
         // Holders of copies: vpe -> selectors (starting from the root).
         let mut sels: Vec<(VpeId, CapSel)> = vec![(VpeId(0), root_sel)];
-        for (src_idx, to) in edges {
-            let (from, from_sel) = sels[src_idx as usize % sels.len()];
-            let to = VpeId(to);
-            if to == from { continue; }
+        for _ in 0..n_edges {
+            let src_idx = rng.below(8) as usize;
+            let to = VpeId(rng.below(8) as u16);
+            let (from, from_sel) = sels[src_idx % sels.len()];
+            if to == from {
+                continue;
+            }
             let r = c.syscall(
                 from,
                 Syscall::Exchange {
@@ -167,25 +187,34 @@ proptest! {
         }
         let before = c.total_caps();
         let r = c.syscall(VpeId(0), Syscall::Revoke { sel: root_sel, own: true });
-        prop_assert!(r.result.is_ok());
+        assert!(r.result.is_ok(), "case {case}: revoke failed: {:?}", r.result);
         // Exactly the tree (root + all successful delegations) vanished.
-        prop_assert_eq!(c.total_caps(), before - sels.len());
+        assert_eq!(c.total_caps(), before - sels.len(), "case {case}");
         c.check_invariants();
         for (vpe, sel) in sels {
             let k = c.kernel_of(vpe);
-            prop_assert!(c.kernels[k.idx()].table(vpe).unwrap().get(sel).is_err());
+            assert!(
+                c.kernels[k.idx()].table(vpe).unwrap().get(sel).is_err(),
+                "case {case}: {vpe} still holds {sel}"
+            );
         }
     }
+}
 
-    /// DDL keys pack and unpack losslessly for every field combination.
-    #[test]
-    fn ddl_key_roundtrip(pe in any::<u16>(), vpe in any::<u16>(), ty in 1u8..=7, obj in 0u32..(1 << 24)) {
-        let ty = CapType::from_u8(ty).unwrap();
+/// DDL keys pack and unpack losslessly for every field combination.
+#[test]
+fn ddl_key_roundtrip() {
+    let mut rng = DetRng::seed_from(0xDD1);
+    for _ in 0..256 {
+        let pe = rng.below(1 << 16) as u16;
+        let vpe = rng.below(1 << 16) as u16;
+        let ty = CapType::from_u8(rng.between(1, 7) as u8).unwrap();
+        let obj = rng.below(1 << 24) as u32;
         let k = DdlKey::new(PeId(pe), VpeId(vpe), ty, obj);
-        prop_assert_eq!(k.pe(), PeId(pe));
-        prop_assert_eq!(k.vpe(), VpeId(vpe));
-        prop_assert_eq!(k.cap_type(), Some(ty));
-        prop_assert_eq!(k.object_id(), obj);
-        prop_assert_eq!(DdlKey::from_raw(k.raw()), k);
+        assert_eq!(k.pe(), PeId(pe));
+        assert_eq!(k.vpe(), VpeId(vpe));
+        assert_eq!(k.cap_type(), Some(ty));
+        assert_eq!(k.object_id(), obj);
+        assert_eq!(DdlKey::from_raw(k.raw()), k);
     }
 }
