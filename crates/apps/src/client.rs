@@ -11,8 +11,7 @@
 use std::collections::BTreeMap;
 
 use semper_base::msg::{
-    FsOp, FsReply, FsReplyData, FsReq, Outbox, Payload, SysReply, SysReplyData, Syscall, Upcall,
-    UpcallReply,
+    FsOp, FsReply, FsReplyData, FsReq, Outbox, Payload, SysReplyData, Syscall, Upcall, UpcallReply,
 };
 use semper_base::{Code, CostModel, Error, Msg, PeId, VpeId};
 
@@ -166,7 +165,7 @@ impl Replayer {
         out.push(Msg::new(
             self.pe,
             self.kernel_pe,
-            Payload::Sys { tag: 0, call: Syscall::OpenSession { name: self.service_name } },
+            Payload::sys(0, Syscall::OpenSession { name: self.service_name }),
         ));
         self.cost.fs_meta_op / 4
     }
@@ -310,7 +309,7 @@ impl Replayer {
         self.next_tag += 1;
         self.waiting = Waiting::Fs(tag);
         self.stats.fs_requests += 1;
-        out.push(Msg::new(self.pe, srv_pe, Payload::Fs(FsReq { session, tag, op })));
+        out.push(Msg::new(self.pe, srv_pe, Payload::fs(FsReq { session, tag, op })));
         // Marshalling cost of one IPC request.
         self.cost.dtu_send
     }
@@ -330,13 +329,13 @@ impl Replayer {
                 out.push(Msg::new(
                     self.pe,
                     msg.src,
-                    Payload::UpcallReply(UpcallReply::AcceptExchange { op: *op, accept: true }),
+                    Payload::upcall_reply(UpcallReply::AcceptExchange { op: *op, accept: true }),
                 ));
                 (self.cost.upcall_work, false)
             }
-            Payload::SysReply(SysReply { result, .. }) => {
+            Payload::SysReply(reply) => {
                 debug_assert_eq!(self.waiting, Waiting::Session);
-                match result {
+                match &reply.result {
                     Ok(SysReplyData::Session { srv_pe, ident, .. }) => {
                         self.session = Some((*ident, *srv_pe));
                         self.waiting = Waiting::None;
@@ -530,14 +529,14 @@ mod tests {
         let reply = Msg::new(
             PeId(0),
             PeId(1),
-            Payload::SysReply(SysReply {
-                tag: 0,
-                result: Ok(SysReplyData::Session {
+            Payload::sys_reply(
+                0,
+                Ok(SysReplyData::Session {
                     sel: semper_base::CapSel(3),
                     srv_pe: PeId(9),
                     ident: 1,
                 }),
-            }),
+            ),
         );
         c.handle(&reply, &mut out);
         assert_eq!(c.phase(), ClientPhase::Running);
@@ -558,11 +557,8 @@ mod tests {
         );
         let mut out = Outbox::new();
         c.boot(&mut out);
-        let reply = Msg::new(
-            PeId(0),
-            PeId(1),
-            Payload::SysReply(SysReply { tag: 0, result: Err(Error::new(Code::NoSuchService)) }),
-        );
+        let reply =
+            Msg::new(PeId(0), PeId(1), Payload::sys_reply(0, Err(Error::new(Code::NoSuchService))));
         c.handle(&reply, &mut out);
         assert!(matches!(c.phase(), ClientPhase::Failed(_)));
     }

@@ -604,6 +604,20 @@ pub struct HttpResp {
 }
 
 /// Union of everything that can travel through the NoC.
+///
+/// The large variants are boxed: the enum would otherwise be as large
+/// as its fattest member (56 bytes, dominated by the inter-kernel
+/// calls and the `String`-carrying filesystem requests), and every
+/// event-queue insertion, heap sift, and stall-lane park would move
+/// that much. Boxing `Kcall`/`KReply`/`Fs`/`FsReply` brings a [`Msg`]
+/// down to 40 bytes. The mid-size variants (`Sys`, `SysReply`, the
+/// upcalls, HTTP) deliberately stay inline: they ride the group-local
+/// syscall path that every benchmark hammers, where one allocation per
+/// message costs more than the smaller heap moves save — the
+/// inter-kernel and filesystem messages are both the fattest and the
+/// least frequent, so they carry the boxes. Use the lower-case helper
+/// constructors ([`Payload::sys`], [`Payload::kcall`], …) instead of
+/// spelling the representation out at each send site.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Payload {
     /// VPE → kernel.
@@ -616,17 +630,17 @@ pub enum Payload {
     /// Kernel → VPE.
     SysReply(SysReply),
     /// Kernel → kernel request.
-    Kcall(Kcall),
+    Kcall(Box<Kcall>),
     /// Kernel → kernel reply.
-    KReply(KReply),
+    KReply(Box<KReply>),
     /// Kernel → VPE request.
     Upcall(Upcall),
     /// VPE → kernel response.
     UpcallReply(UpcallReply),
     /// Client VPE → service VPE.
-    Fs(FsReq),
+    Fs(Box<FsReq>),
     /// Service VPE → client VPE.
-    FsReply(FsReply),
+    FsReply(Box<FsReply>),
     /// Load generator → server VPE.
     Http(HttpReq),
     /// Server VPE → load generator.
@@ -634,6 +648,40 @@ pub enum Payload {
 }
 
 impl Payload {
+    /// A system call.
+    pub fn sys(tag: u64, call: Syscall) -> Payload {
+        Payload::Sys { tag, call }
+    }
+
+    /// A system-call reply.
+    pub fn sys_reply(tag: u64, result: Result<SysReplyData>) -> Payload {
+        Payload::SysReply(SysReply { tag, result })
+    }
+
+    /// An inter-kernel request.
+    pub fn kcall(call: Kcall) -> Payload {
+        Payload::Kcall(Box::new(call))
+    }
+
+    /// An inter-kernel reply.
+    pub fn kreply(reply: KReply) -> Payload {
+        Payload::KReply(Box::new(reply))
+    }
+
+    /// A VPE's response to an upcall.
+    pub fn upcall_reply(reply: UpcallReply) -> Payload {
+        Payload::UpcallReply(reply)
+    }
+
+    /// A filesystem request.
+    pub fn fs(req: FsReq) -> Payload {
+        Payload::Fs(Box::new(req))
+    }
+
+    /// A filesystem reply.
+    pub fn fs_reply(tag: u64, result: Result<FsReplyData>) -> Payload {
+        Payload::FsReply(Box::new(FsReply { tag, result }))
+    }
     /// Estimated wire size in bytes, used by the NoC latency model.
     ///
     /// Sizes approximate the real M3 message formats: a 16-byte DTU header
@@ -657,7 +705,7 @@ impl Payload {
                 Ok(SysReplyData::Session { .. }) => 32,
                 _ => 16,
             },
-            Payload::Kcall(k) => match k {
+            Payload::Kcall(k) => match k.as_ref() {
                 Kcall::AnnounceService { .. } => 48,
                 Kcall::ObtainReq { .. } => 40,
                 Kcall::OrphanNotice { .. } => 24,
@@ -667,7 +715,7 @@ impl Payload {
                 Kcall::RevokeBatchReq { cap_keys, .. } => 16 + 8 * cap_keys.len() as u32,
                 Kcall::OpenSessReq { .. } => 32,
             },
-            Payload::KReply(r) => match r {
+            Payload::KReply(r) => match r.as_ref() {
                 KReply::Obtain { .. } => 40,
                 KReply::Delegate { .. } => 32,
                 KReply::DelegateDone { .. } => 16,
@@ -744,20 +792,20 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_content() {
-        let small = Payload::Kcall(Kcall::RevokeReq {
+        let small = Payload::kcall(Kcall::RevokeReq {
             op: OpId(1),
             cap_key: DdlKey::new(PeId(0), VpeId(0), CapType::Memory, 1),
         });
         let keys =
             (0..10).map(|i| DdlKey::new(PeId(0), VpeId(0), CapType::Memory, i)).collect::<Vec<_>>();
-        let big = Payload::Kcall(Kcall::RevokeBatchReq { op: OpId(1), cap_keys: keys });
+        let big = Payload::kcall(Kcall::RevokeBatchReq { op: OpId(1), cap_keys: keys });
         assert!(big.wire_size() > small.wire_size());
     }
 
     #[test]
     fn fs_paths_count_into_wire_size() {
-        let short = Payload::Fs(FsReq { session: 0, tag: 0, op: FsOp::Stat { path: "a".into() } });
-        let long = Payload::Fs(FsReq {
+        let short = Payload::fs(FsReq { session: 0, tag: 0, op: FsOp::Stat { path: "a".into() } });
+        let long = Payload::fs(FsReq {
             session: 0,
             tag: 0,
             op: FsOp::Stat { path: "a/very/long/path/name".into() },
@@ -767,10 +815,24 @@ mod tests {
 
     #[test]
     fn msg_roundtrip_fields() {
-        let m = Msg::new(PeId(1), PeId(2), Payload::Sys { tag: 7, call: Syscall::Noop });
+        let m = Msg::new(PeId(1), PeId(2), Payload::sys(7, Syscall::Noop));
         assert_eq!(m.src, PeId(1));
         assert_eq!(m.dst, PeId(2));
         assert_eq!(m.wire_size(), 16 + 8);
+    }
+
+    /// The protocol-bearing payload variants are boxed so messages move
+    /// through the event queue (and its stall lanes) as little more
+    /// than a pointer. Guard the size so a new fat inline variant
+    /// cannot silently re-bloat every queue operation.
+    #[test]
+    fn msg_stays_slim() {
+        assert!(
+            std::mem::size_of::<Msg>() <= 40,
+            "Msg grew to {} bytes; box large Payload variants",
+            std::mem::size_of::<Msg>()
+        );
+        assert!(std::mem::size_of::<Payload>() <= 32);
     }
 }
 

@@ -12,25 +12,40 @@ use semper_base::KernelMode;
 use semper_bench::banner;
 use semper_sim::Cycles;
 use semperos::experiment::MicroMachine;
+use semperos::pool::MachinePool;
 
-fn tree_revoke(children: u32, kernels: u16, batching: bool) -> u64 {
-    let mut m = MicroMachine::new(13, 12, KernelMode::SemperOS);
+/// The two reusable machines of this ablation. Feature toggles poison a
+/// machine for shape-keyed pooling, so the batched variant lives
+/// outside the pool as its own long-lived machine — all batched
+/// measurements share it, all plain measurements share the pooled one.
+struct Machines {
+    pool: MachinePool,
+    batched: Option<MicroMachine>,
+}
+
+fn tree_revoke(m: &mut Machines, children: u32, kernels: u16, batching: bool) -> u64 {
     if batching {
-        m.machine().enable_feature_everywhere(Feature::RevokeBatching);
+        let bm = m.batched.get_or_insert_with(|| {
+            let mut bm = MicroMachine::new(13, 12, KernelMode::SemperOS);
+            bm.machine().enable_feature_everywhere(Feature::RevokeBatching);
+            bm
+        });
+        return bm.measure_tree_revoke(children, kernels);
     }
-    m.measure_tree_revoke(children, kernels)
+    m.pool.with(13, 12, KernelMode::SemperOS, |pm| pm.measure_tree_revoke(children, kernels))
 }
 
 fn main() {
     banner("Ablation: revoke message batching", "§5.2 (proposed optimisation)");
+    let mut machines = Machines { pool: MachinePool::new(), batched: None };
     println!(
         "{:<10} {:<9} {:>16} {:>16} {:>9}",
         "children", "kernels", "unbatched (µs)", "batched (µs)", "speedup"
     );
     for children in [16u32, 32, 64, 96, 128] {
         for kernels in [4u16, 12] {
-            let plain = tree_revoke(children, kernels, false);
-            let batched = tree_revoke(children, kernels, true);
+            let plain = tree_revoke(&mut machines, children, kernels, false);
+            let batched = tree_revoke(&mut machines, children, kernels, true);
             println!(
                 "{:<10} {:<9} {:>16.2} {:>16.2} {:>8.2}x",
                 children,

@@ -84,7 +84,7 @@ fn event_queue(c: &mut Criterion) {
 
 fn noc_route(c: &mut Criterion) {
     let mut noc = Noc::new(Mesh::new(32), CostModel::calibrated());
-    let msg = Msg::new(PeId(0), PeId(640 - 1), Payload::Sys { tag: 0, call: Syscall::Noop });
+    let msg = Msg::new(PeId(0), PeId(640 - 1), Payload::sys(0, Syscall::Noop));
     let mut t = Cycles::ZERO;
     c.bench_function("noc_route_single", |b| {
         b.iter(|| {

@@ -19,12 +19,16 @@
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
 //!
-//! Results land in `BENCH_PR1.json` at the workspace root (override with
+//! Results land in `BENCH_PR2.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
-//! speedups are computed — this is how the PR 1 report compares the
-//! O(1)-bookkeeping refactor against the pre-refactor commit.
-//! `SCALE_CAPOPS_SMOKE=1` shrinks every scenario (~1 min total) for CI.
+//! speedups are computed — this is how each PR's report compares
+//! against the previous one. Simulated cycles are part of the
+//! comparison: scenarios whose name *and* size match the baseline must
+//! reproduce its `revoke_sim_cycles` bit-identically, and with
+//! `BENCH_ENFORCE_CYCLES=1` (the CI bench-regression gate) any drift
+//! fails the run. `SCALE_CAPOPS_SMOKE=1` shrinks every scenario for CI;
+//! `BENCH_SMOKE_BASELINE.json` holds the smoke-scale reference cycles.
 
 use std::time::Instant;
 
@@ -205,26 +209,37 @@ fn table_sweep_ab(n: u32) -> (f64, f64, f64) {
     (naive_ms, optimized_ms, speedup)
 }
 
-/// Reads a previously written report and extracts `(name, revoke_ms)`
-/// pairs from its `"scenarios"` array. A full JSON parser would be
-/// overkill for a file this harness wrote itself; a line scan suffices.
+/// One scenario row of a previously written report.
+struct BaselineRow {
+    name: String,
+    size: u64,
+    revoke_ms: f64,
+    revoke_sim_cycles: u64,
+}
+
+/// Reads a previously written report and extracts its scenario rows. A
+/// full JSON parser would be overkill for a file this harness wrote
+/// itself; a stateful line scan over the known field order suffices.
 /// Relative paths resolve against the workspace root (cargo runs bench
 /// binaries from the package directory).
-fn read_baseline(path: &str) -> Option<Vec<(String, f64)>> {
+fn read_baseline(path: &str) -> Option<Vec<BaselineRow>> {
     let workspace_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let text = std::fs::read_to_string(path)
         .or_else(|_| std::fs::read_to_string(format!("{workspace_root}/{path}")))
         .ok()?;
     let mut out = Vec::new();
-    let mut current: Option<String> = None;
+    let (mut name, mut size, mut revoke_ms) = (None::<String>, 0u64, 0f64);
     for line in text.lines() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("\"name\": \"") {
-            current = rest.strip_suffix("\",").map(str::to_string);
+            name = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"size\": ") {
+            size = rest.trim_end_matches(',').parse().unwrap_or(0);
         } else if let Some(rest) = line.strip_prefix("\"revoke_ms\": ") {
-            if let (Some(name), Ok(v)) = (current.take(), rest.trim_end_matches(',').parse::<f64>())
-            {
-                out.push((name, v));
+            revoke_ms = rest.trim_end_matches(',').parse().unwrap_or(0.0);
+        } else if let Some(rest) = line.strip_prefix("\"revoke_sim_cycles\": ") {
+            if let (Some(n), Ok(cycles)) = (name.take(), rest.trim_end_matches(',').parse()) {
+                out.push(BaselineRow { name: n, size, revoke_ms, revoke_sim_cycles: cycles });
             }
         }
     }
@@ -271,7 +286,7 @@ fn main() {
     );
 
     let mut fields = vec![
-        ("pr", Val::U(1)),
+        ("pr", Val::U(2)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
         ("scenarios", Val::Arr(scenarios.iter().map(Scenario::to_val).collect())),
@@ -286,26 +301,48 @@ fn main() {
         ),
     ];
 
+    let mut cycle_drift = Vec::new();
     if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
         if let Some(base) = read_baseline(&baseline_path) {
             let mut cmp = Vec::new();
             for s in &scenarios {
-                if let Some((_, base_ms)) = base.iter().find(|(n, _)| n == s.name) {
-                    let speedup = if s.revoke_ms > 0.0 { base_ms / s.revoke_ms } else { 0.0 };
-                    cmp.push(Val::obj(vec![
-                        ("name", Val::S(s.name.into())),
-                        ("baseline_revoke_ms", Val::F(*base_ms)),
-                        ("revoke_ms", Val::F(s.revoke_ms)),
-                        ("speedup", Val::F(speedup)),
-                    ]));
-                    println!(
-                        "vs baseline {:<24} {:>8.1} ms -> {:>8.1} ms  ({:.1}x)",
-                        s.name,
-                        base_ms,
-                        s.revoke_ms,
-                        base_ms / s.revoke_ms.max(1e-9)
-                    );
+                let Some(row) = base.iter().find(|r| r.name == s.name) else { continue };
+                let speedup = if s.revoke_ms > 0.0 { row.revoke_ms / s.revoke_ms } else { 0.0 };
+                // Simulated cycles are comparable only at identical
+                // scenario size (smoke and full reports differ).
+                let cycles_comparable = row.size == u64::from(s.size);
+                let cycles_identical = s.revoke_cycles == row.revoke_sim_cycles;
+                if cycles_comparable && !cycles_identical {
+                    cycle_drift.push(format!(
+                        "{}: {} cycles vs baseline {}",
+                        s.name, s.revoke_cycles, row.revoke_sim_cycles
+                    ));
                 }
+                cmp.push(Val::obj(vec![
+                    ("name", Val::S(s.name.into())),
+                    ("baseline_revoke_ms", Val::F(row.revoke_ms)),
+                    ("revoke_ms", Val::F(s.revoke_ms)),
+                    ("speedup", Val::F(speedup)),
+                    ("baseline_sim_cycles", Val::U(row.revoke_sim_cycles)),
+                    (
+                        "sim_cycles_identical",
+                        Val::U(u64::from(cycles_comparable && cycles_identical)),
+                    ),
+                ]));
+                println!(
+                    "vs baseline {:<24} {:>8.1} ms -> {:>8.1} ms  ({:.1}x)  cycles {}",
+                    s.name,
+                    row.revoke_ms,
+                    s.revoke_ms,
+                    row.revoke_ms / s.revoke_ms.max(1e-9),
+                    if !cycles_comparable {
+                        "n/a (size differs)"
+                    } else if cycles_identical {
+                        "identical"
+                    } else {
+                        "DRIFTED"
+                    }
+                );
             }
             fields.push(("baseline", Val::S(baseline_path)));
             fields.push(("vs_baseline", Val::Arr(cmp)));
@@ -314,10 +351,22 @@ fn main() {
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR1.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");
     println!();
     println!("report written to {out_path}");
+
+    if !cycle_drift.is_empty() {
+        eprintln!();
+        eprintln!("simulated cycles drifted from the baseline:");
+        for d in &cycle_drift {
+            eprintln!("  {d}");
+        }
+        eprintln!("(bit-identical cycles are the determinism contract; see EXPERIMENTS.md)");
+        if std::env::var("BENCH_ENFORCE_CYCLES").is_ok() {
+            std::process::exit(1);
+        }
+    }
 }

@@ -9,16 +9,19 @@
 //!
 //! # Child-list determinism contract
 //!
-//! The child list is an insertion-ordered `Vec`: children appear in
-//! creation order, and revocation walks them in that order — this is
+//! The child list is insertion-ordered: children appear in creation
+//! order, and revocation walks them in that order — this is
 //! protocol-visible (it fixes the order of inter-kernel revoke messages)
-//! and must never be replaced by hash-ordered iteration. A companion
-//! hash set ([`semper_base::RawDdlKey`]-keyed) backs O(1) membership so
-//! building wide trees is linear; the pre-refactor `Vec::contains` scan
-//! made a 10k-child tree quadratic to build.
+//! and must never be replaced by hash-ordered iteration. The backing
+//! structure is [`crate::ChildList`], an intrusive linked list over a
+//! slab with a hash index: insert, membership, *and unlink* are O(1)
+//! (the previous `Vec` representation scanned on unlink, making the
+//! m3fs close-one-extent-at-a-time pattern quadratic against a wide
+//! parent).
 
+use crate::childlist::ChildList;
 use semper_base::msg::CapKindDesc;
-use semper_base::{CapSel, DdlKey, DetHashSet, RawDdlKey, VpeId};
+use semper_base::{CapSel, DdlKey, VpeId};
 
 /// Lifecycle state of a capability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,11 +48,8 @@ pub struct Capability {
     /// Parent in the capability tree (`None` for root capabilities).
     pub parent: Option<DdlKey>,
     /// Children in the capability tree, in creation order (the
-    /// protocol-visible order; see the module docs). Kept in sync with
-    /// `child_set` by [`Capability::add_child`] / [`Capability::remove_child`].
-    children: Vec<DdlKey>,
-    /// O(1) membership index over `children`.
-    child_set: DetHashSet<RawDdlKey>,
+    /// protocol-visible order; see the module docs).
+    children: ChildList,
     /// Lifecycle state.
     pub state: CapState,
     /// Outstanding inter-kernel revoke replies for this capability
@@ -66,8 +66,7 @@ impl Capability {
             owner,
             sel,
             parent: None,
-            children: Vec::new(),
-            child_set: DetHashSet::default(),
+            children: ChildList::new(),
             state: CapState::Usable,
             outstanding: 0,
         }
@@ -95,31 +94,31 @@ impl Capability {
         self.state == CapState::Revoking
     }
 
-    /// The children in creation order.
-    pub fn children(&self) -> &[DdlKey] {
-        &self.children
+    /// The children in creation order (double-ended; revocation sweeps
+    /// walk it back-to-front).
+    pub fn children(&self) -> crate::childlist::Iter<'_> {
+        self.children.iter()
+    }
+
+    /// Number of children.
+    pub fn child_count(&self) -> usize {
+        self.children.len()
     }
 
     /// True if `child` is registered.
     pub fn has_child(&self, child: DdlKey) -> bool {
-        self.child_set.contains(&child.raw())
+        self.children.contains(child)
     }
 
-    /// Registers a child reference (idempotent).
+    /// Registers a child reference (idempotent). O(1).
     pub fn add_child(&mut self, child: DdlKey) {
-        if self.child_set.insert(child.raw()) {
-            self.children.push(child);
-        }
+        self.children.push_back(child);
     }
 
-    /// Removes a child reference; returns true if it was present.
+    /// Removes a child reference; returns true if it was present. O(1)
+    /// regardless of the child list's width (see [`crate::ChildList`]).
     pub fn remove_child(&mut self, child: DdlKey) -> bool {
-        if !self.child_set.remove(&child.raw()) {
-            return false;
-        }
-        let i = self.children.iter().position(|c| *c == child).expect("child set and list in sync");
-        self.children.remove(i);
-        true
+        self.children.remove(child)
     }
 }
 
@@ -156,7 +155,7 @@ mod tests {
         let mut c = Capability::root(key(0), mem_desc(), VpeId(1), CapSel(2));
         c.add_child(key(1));
         c.add_child(key(1));
-        assert_eq!(c.children(), &[key(1)]);
+        assert_eq!(c.children().collect::<Vec<_>>(), vec![key(1)]);
         assert!(c.has_child(key(1)));
     }
 
@@ -166,7 +165,7 @@ mod tests {
         c.add_child(key(1));
         assert!(c.remove_child(key(1)));
         assert!(!c.remove_child(key(1)));
-        assert!(c.children().is_empty());
+        assert_eq!(c.child_count(), 0);
         assert!(!c.has_child(key(1)));
     }
 
@@ -176,7 +175,7 @@ mod tests {
         c.add_child(key(3));
         c.add_child(key(1));
         c.add_child(key(2));
-        assert_eq!(c.children(), &[key(3), key(1), key(2)]);
+        assert_eq!(c.children().collect::<Vec<_>>(), vec![key(3), key(1), key(2)]);
     }
 
     #[test]

@@ -18,12 +18,14 @@
 
 pub mod alloc;
 pub mod cap;
+pub mod childlist;
 pub mod mapdb;
 pub mod membership;
 pub mod table;
 
 pub use alloc::KeyAllocator;
 pub use cap::{CapState, Capability};
+pub use childlist::ChildList;
 pub use mapdb::MappingDb;
 pub use membership::MembershipTable;
 pub use table::CapTable;

@@ -124,8 +124,8 @@ impl MappingDb {
                 Some(cap) => {
                     local.push(k);
                     // Reverse keeps preorder left-to-right after pop().
-                    for child in cap.children().iter().rev() {
-                        stack.push(*child);
+                    for child in cap.children().rev() {
+                        stack.push(child);
                     }
                 }
                 None => remote.push(k),
@@ -282,7 +282,7 @@ mod tests {
         assert!(db.contains(key(0)));
         assert!(!db.contains(key(1)));
         assert!(!db.contains(key(2)));
-        assert!(db.get(key(0)).unwrap().children().is_empty());
+        assert_eq!(db.get(key(0)).unwrap().child_count(), 0);
         db.check_invariants().unwrap();
     }
 

@@ -14,6 +14,8 @@
 //!   harness: capability-operation microbenchmarks (Table 3, Figures
 //!   4-5), application runs with parallel efficiency (Table 4, Figures
 //!   6-9), and the Nginx throughput experiment (Figure 10).
+//! * [`pool`] — a reusable machine pool so figure benches stop paying
+//!   machine construction per measurement.
 //!
 //! # Quick example
 //!
@@ -30,8 +32,10 @@
 
 pub mod experiment;
 pub mod machine;
+pub mod pool;
 pub mod topology;
 
 pub use experiment::{AppRunResult, MicroMachine, NginxResult};
 pub use machine::{Machine, Node, Workload};
+pub use pool::MachinePool;
 pub use topology::{Role, Topology};

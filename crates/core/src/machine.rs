@@ -16,7 +16,7 @@ use semper_base::{KernelId, MachineConfig, Msg, PeId, VpeId};
 use semper_kernel::{Kernel, KernelStats};
 use semper_m3fs::{FsImage, FsService, FsSpec, M3FS_NAME};
 use semper_noc::{GlobalMemory, Mesh, Noc};
-use semper_sim::{Cycles, EventQueue};
+use semper_sim::{Cycles, PeSchedule};
 
 use crate::topology::{Role, Topology};
 
@@ -72,9 +72,11 @@ pub struct Machine {
     cfg: MachineConfig,
     topo: Topology,
     noc: Noc,
-    queue: EventQueue<Msg>,
+    /// The stall-lane event schedule: global heap plus per-PE lanes for
+    /// messages arriving while their destination is still executing
+    /// (see [`semper_sim::sched`] for the ordering contract).
+    sched: PeSchedule<Msg>,
     nodes: Vec<Node>,
-    busy_until: Vec<Cycles>,
     /// Per-client (start, finish) times.
     client_times: BTreeMap<u32, (Cycles, Option<Cycles>)>,
     booted_os: bool,
@@ -119,7 +121,10 @@ impl Machine {
             kernels.into_iter().map(|k| (k.id().0, k)).collect();
 
         // The filesystem image shared (by copy) by all service instances.
-        let (image, region_size) = build_image(app_clients.max(clients));
+        // Built lazily: microbenchmark machines host no services, and the
+        // image build dominated their construction cost (the figure
+        // benches build machines per measurement).
+        let mut image_parts: Option<(FsImage, u64)> = None;
 
         let mut nodes: Vec<Node> = Vec::with_capacity(cfg.num_pes as usize);
         let mut trace_iter = match workload {
@@ -138,13 +143,15 @@ impl Machine {
                 Role::Service(s) => {
                     let vpe = topo.service_vpes[s as usize];
                     let kernel_pe = topo.membership.kernel_pe(topo.kernel_of(pe));
+                    let (image, region_size) =
+                        image_parts.get_or_insert_with(|| build_image(app_clients.max(clients)));
                     Node::Service(Box::new(FsService::new(
                         vpe,
                         pe,
                         kernel_pe,
                         cfg.cost,
                         image.clone(),
-                        region_size,
+                        *region_size,
                     )))
                 }
                 Role::Client(c) => {
@@ -178,14 +185,13 @@ impl Machine {
             nodes.push(node);
         }
 
-        let busy_until = vec![Cycles::ZERO; cfg.num_pes as usize];
+        let sched = PeSchedule::new(cfg.num_pes as usize);
         let mut m = Machine {
             cfg,
             topo,
             noc,
-            queue: EventQueue::new(),
+            sched,
             nodes,
-            busy_until,
             client_times: BTreeMap::new(),
             booted_os: false,
             scratch: Outbox::new(),
@@ -228,12 +234,12 @@ impl Machine {
 
     /// Current simulated time.
     pub fn now(&self) -> Cycles {
-        self.queue.now()
+        self.sched.now()
     }
 
     /// Events processed so far.
     pub fn events(&self) -> u64 {
-        self.queue.processed()
+        self.sched.processed()
     }
 
     // ----- event loop -----------------------------------------------------
@@ -250,7 +256,8 @@ impl Machine {
                 Some(o) => (start + o).min(end),
             };
             let delivery = self.noc.route(&m, at);
-            self.queue.schedule(delivery, m);
+            let dst = m.dst.idx();
+            self.sched.schedule(delivery, dst, m);
         }
     }
 
@@ -260,17 +267,26 @@ impl Machine {
     }
 
     /// Processes one event; returns false when the queue is empty.
+    ///
+    /// Messages for a PE that is still executing park in that PE's
+    /// stall lane inside [`PeSchedule`]; `pop_ready` hands back only
+    /// messages whose PE is free at their delivery time, in the exact
+    /// order the old requeue-retry loop produced.
     pub fn step(&mut self) -> bool {
-        let Some((t, msg)) = self.queue.pop() else { return false };
-        let pe = msg.dst.idx();
-        if self.busy_until[pe] > t {
-            // The PE is still executing; retry when it frees up. The
-            // stable event queue preserves arrival order among equal
-            // retry times.
-            let at = self.busy_until[pe];
-            self.queue.schedule(at, msg);
-            return true;
-        }
+        self.step_bounded(None)
+    }
+
+    /// [`Machine::step`] with an optional delivery deadline: heap
+    /// entries after `deadline` are not popped, so a stalled message
+    /// whose PE frees beyond the deadline stays parked instead of
+    /// running its handler early — exactly where the old retry loop
+    /// stopped when its requeued entry landed past the deadline.
+    fn step_bounded(&mut self, deadline: Option<Cycles>) -> bool {
+        let popped = match deadline {
+            None => self.sched.pop_ready(),
+            Some(d) => self.sched.pop_ready_before(d),
+        };
+        let Some((t, pe, msg)) = popped else { return false };
         debug_assert!(self.scratch.is_empty() && self.credit_scratch.is_empty());
         let cost = match &mut self.nodes[pe] {
             Node::Kernel(k) => k.handle(&msg, &mut self.scratch),
@@ -282,7 +298,7 @@ impl Machine {
             Node::Idle => 0,
         };
         let end = t + cost;
-        self.busy_until[pe] = end;
+        self.sched.set_busy(pe, end);
         // DTU slot tracking (§4.1): consuming an inter-kernel request
         // frees the slot, returning the sender's credit. This is a
         // hardware-level exchange, so it does not occupy the sender's
@@ -296,7 +312,8 @@ impl Machine {
             }
             for (m, _) in self.credit_scratch.drain_iter() {
                 let delivery = self.noc.route(&m, t);
-                self.queue.schedule(delivery, m);
+                let dst = m.dst.idx();
+                self.sched.schedule(delivery, dst, m);
             }
         }
         // Record client completion.
@@ -319,7 +336,8 @@ impl Machine {
                 Some(o) => (t + o).min(end),
             };
             let delivery = self.noc.route(&m, at);
-            self.queue.schedule(delivery, m);
+            let dst = m.dst.idx();
+            self.sched.schedule(delivery, dst, m);
         }
         true
     }
@@ -327,18 +345,14 @@ impl Machine {
     /// Runs until no events remain; returns the final time.
     pub fn run_until_idle(&mut self) -> Cycles {
         while self.step() {}
-        self.queue.now()
+        self.sched.now()
     }
 
     /// Runs until the next event would be after `deadline` (events at
-    /// exactly `deadline` are processed).
+    /// exactly `deadline` are processed; messages stalled behind a PE
+    /// that only frees after the deadline are left parked).
     pub fn run_until(&mut self, deadline: Cycles) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
-        }
+        while self.step_bounded(Some(deadline)) {}
     }
 
     // ----- boot ------------------------------------------------------------
@@ -349,13 +363,13 @@ impl Machine {
         self.booted_os = true;
         let pes = self.topo.service_pes.clone();
         for (i, pe) in pes.iter().enumerate() {
-            let at = self.queue.now() + (i as u64) * 200;
+            let at = self.sched.now() + (i as u64) * 200;
             let mut out = Outbox::new();
             let cost = match &mut self.nodes[pe.idx()] {
                 Node::Service(s) => s.boot(&mut out),
                 _ => unreachable!("service PE hosts a service"),
             };
-            self.busy_until[pe.idx()] = self.busy_until[pe.idx()].max(at + cost);
+            self.sched.extend_busy(pe.idx(), at + cost);
             self.send_at(out.drain(), at + cost);
         }
         self.run_until_idle();
@@ -370,7 +384,7 @@ impl Machine {
     /// start time.
     pub fn start_clients(&mut self) -> Cycles {
         assert!(self.booted_os, "boot_os first");
-        let base = self.queue.now();
+        let base = self.sched.now();
         let pes = self.topo.client_pes.clone();
         for (i, pe) in pes.iter().enumerate() {
             let at = base + (i as u64) * CLIENT_STAGGER;
@@ -381,7 +395,7 @@ impl Machine {
                 _ => unreachable!("client PE hosts a client"),
             };
             self.client_times.insert(i as u32, (at, None));
-            self.busy_until[pe.idx()] = self.busy_until[pe.idx()].max(at + cost);
+            self.sched.extend_busy(pe.idx(), at + cost);
             self.send_at(out.drain(), at + cost);
         }
         base
@@ -393,13 +407,13 @@ impl Machine {
         assert!(self.booted_os, "boot_os first");
         let pes = self.topo.server_pes.clone();
         for (i, pe) in pes.iter().enumerate() {
-            let at = self.queue.now() + (i as u64) * 200;
+            let at = self.sched.now() + (i as u64) * 200;
             let mut out = Outbox::new();
             let cost = match &mut self.nodes[pe.idx()] {
                 Node::Server(s) => s.boot(&mut out),
                 _ => unreachable!("server PE hosts a server"),
             };
-            self.busy_until[pe.idx()] = self.busy_until[pe.idx()].max(at + cost);
+            self.sched.extend_busy(pe.idx(), at + cost);
             self.send_at(out.drain(), at + cost);
         }
         self.run_until_idle();
@@ -409,7 +423,7 @@ impl Machine {
             if let Node::LoadGen(lg) = &mut self.nodes[pe.idx()] {
                 lg.boot(&mut out);
             }
-            let at = self.queue.now();
+            let at = self.sched.now();
             self.send_at(out.drain(), at);
         }
     }
@@ -430,10 +444,10 @@ impl Machine {
             Node::Stub(s) => s.last_reply = None,
             _ => panic!("syscall_blocking requires a stub VPE on {pe}"),
         }
-        let start = self.queue.now().max(self.busy_until[pe.idx()]);
-        let msg = Msg::new(pe, kernel_pe, Payload::Sys { tag: 0, call });
+        let start = self.sched.now().max(self.sched.busy_until(pe.idx()));
+        let msg = Msg::new(pe, kernel_pe, Payload::sys(0, call));
         let delivery = self.noc.route(&msg, start);
-        self.queue.schedule(delivery, msg);
+        self.sched.schedule(delivery, kernel_pe.idx(), msg);
         loop {
             if let Node::Stub(s) = &mut self.nodes[pe.idx()] {
                 if let Some((reply, at)) = s.last_reply.take() {
@@ -523,7 +537,7 @@ fn handle_stub(
             out.push(Msg::new(
                 msg.dst,
                 msg.src,
-                Payload::UpcallReply(UpcallReply::AcceptExchange { op: *op, accept: true }),
+                Payload::upcall_reply(UpcallReply::AcceptExchange { op: *op, accept: true }),
             ));
             cost.upcall_work
         }
@@ -531,7 +545,7 @@ fn handle_stub(
             out.push(Msg::new(
                 msg.dst,
                 msg.src,
-                Payload::UpcallReply(UpcallReply::SessionOpen { op: *op, result: Ok(1) }),
+                Payload::upcall_reply(UpcallReply::SessionOpen { op: *op, result: Ok(1) }),
             ));
             cost.session_accept
         }

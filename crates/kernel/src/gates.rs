@@ -41,17 +41,10 @@ impl Kernel {
                 CapKindDesc::Memory { .. } | CapKindDesc::SendGate { .. } => {}
                 _ => return Err(Error::new(Code::InvalidArgs)),
             }
-            // (Re)configure: an endpoint holds at most one binding, so a
-            // previous binding leaves the reverse index first.
-            if let Some(old) = self.ep_configs.insert((vpe, ep), key) {
-                if let Some(slots) = self.eps_by_key.get_mut(&old.raw()) {
-                    slots.retain(|s| *s != (vpe, ep));
-                    if slots.is_empty() {
-                        self.eps_by_key.remove(&old.raw());
-                    }
-                }
-            }
-            self.eps_by_key.entry(key.raw()).or_default().push((vpe, ep));
+            // (Re)configure: an endpoint holds at most one binding;
+            // EpBindings drops a previous binding from the reverse
+            // index internally.
+            self.eps.bind(vpe, ep, key);
             Ok(SysReplyData::None)
         })();
         if let Err(e) = &result {
@@ -66,7 +59,7 @@ impl Kernel {
     /// The capability currently activated on `(vpe, ep)`, if any
     /// (tests and verification).
     pub fn ep_binding(&self, vpe: VpeId, ep: EpId) -> Option<DdlKey> {
-        self.ep_configs.get(&(vpe, ep)).copied()
+        self.eps.get(vpe, ep)
     }
 
     /// Invalidates every endpoint configured for a deleted capability.
@@ -75,14 +68,8 @@ impl Kernel {
     /// capability via the reverse index — the pre-refactor version
     /// scanned every configured endpoint of the group per deletion.
     pub(crate) fn invalidate_eps_for(&mut self, key: DdlKey) -> u64 {
-        let Some(victims) = self.eps_by_key.remove(&key.raw()) else {
-            return 0;
-        };
-        let cost = victims.len() as u64 * self.cfg.cost.cap_insert;
-        for slot in victims {
-            self.ep_configs.remove(&slot);
-            self.stats.eps_invalidated += 1;
-        }
-        cost
+        let victims = self.eps.unbind_key(key);
+        self.stats.eps_invalidated += victims.len() as u64;
+        victims.len() as u64 * self.cfg.cost.cap_insert
     }
 }

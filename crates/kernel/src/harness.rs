@@ -126,7 +126,7 @@ impl TestCluster {
         let tag = self.tag_counter;
         let k = self.kernel_of(vpe);
         let dst = self.kernels[k.idx()].pe();
-        self.queue.push_back(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
+        self.queue.push_back(Msg::new(self.pe_of(vpe), dst, Payload::sys(tag, call)));
         tag
     }
 
@@ -140,7 +140,7 @@ impl TestCluster {
         let tag = self.tag_counter;
         let k = self.kernel_of(vpe);
         let dst = self.kernels[k.idx()].pe();
-        self.queue.push_front(Msg::new(self.pe_of(vpe), dst, Payload::Sys { tag, call }));
+        self.queue.push_front(Msg::new(self.pe_of(vpe), dst, Payload::sys(tag, call)));
         tag
     }
 
@@ -237,7 +237,7 @@ impl TestCluster {
                 self.queue.push_back(Msg::new(
                     msg.dst,
                     msg.src,
-                    Payload::UpcallReply(UpcallReply::AcceptExchange { op, accept }),
+                    Payload::upcall_reply(UpcallReply::AcceptExchange { op, accept }),
                 ));
             }
             Payload::Upcall(Upcall::SessionOpen { op, .. }) => {
@@ -246,7 +246,7 @@ impl TestCluster {
                 self.queue.push_back(Msg::new(
                     msg.dst,
                     msg.src,
-                    Payload::UpcallReply(UpcallReply::SessionOpen { op, result: Ok(ident) }),
+                    Payload::upcall_reply(UpcallReply::SessionOpen { op, result: Ok(ident) }),
                 ));
             }
             other => panic!("stub VPE {vpe} got unexpected payload {other:?}"),

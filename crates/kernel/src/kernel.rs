@@ -14,10 +14,8 @@
 use std::collections::VecDeque;
 
 use semper_base::config::{KernelMode, MachineConfig};
-use semper_base::msg::{KReply, Kcall, Payload, SysReply, SysReplyData, Syscall, UpcallReply};
-use semper_base::{
-    Code, DdlKey, DetHashMap, Error, KernelId, Msg, OpId, PeId, RawDdlKey, Result, VpeId,
-};
+use semper_base::msg::{KReply, Kcall, Payload, SysReplyData, Syscall, UpcallReply};
+use semper_base::{Code, DetHashMap, Error, KernelId, Msg, OpId, PeId, RawDdlKey, Result, VpeId};
 use semper_caps::{CapTable, Capability, KeyAllocator, MappingDb, MembershipTable};
 use semper_noc::GlobalMemory;
 
@@ -61,13 +59,11 @@ pub struct Kernel {
     /// Requests waiting for a credit, per peer kernel.
     pub(crate) kqueue: DetHashMap<KernelId, VecDeque<Kcall>>,
     /// DTU endpoint configurations of the group's VPEs: which capability
-    /// each endpoint is activated for (see the `gates` module).
-    pub(crate) ep_configs: DetHashMap<(VpeId, semper_base::EpId), DdlKey>,
-    /// Reverse index over `ep_configs`: packed capability key → the
-    /// endpoints activated for it, in activation order. Makes the
-    /// per-deletion endpoint invalidation of the revocation sweep O(1)
-    /// instead of a scan over every configured endpoint.
-    pub(crate) eps_by_key: DetHashMap<RawDdlKey, Vec<(VpeId, semper_base::EpId)>>,
+    /// each endpoint is activated for, with the reverse index that makes
+    /// the revocation sweep's per-deletion endpoint invalidation O(1).
+    /// Forward and reverse maps are encapsulated so they cannot drift
+    /// (see [`crate::epbind::EpBindings`] and the `gates` module).
+    pub(crate) eps: crate::epbind::EpBindings,
 
     pub(crate) stats: KernelStats,
 }
@@ -110,8 +106,7 @@ impl Kernel {
             revoke_waiters: DetHashMap::default(),
             kcredits,
             kqueue: DetHashMap::default(),
-            ep_configs: DetHashMap::default(),
-            eps_by_key: DetHashMap::default(),
+            eps: crate::epbind::EpBindings::new(),
             stats: KernelStats::default(),
         }
     }
@@ -268,7 +263,7 @@ impl Kernel {
         result: Result<SysReplyData>,
     ) {
         if let Ok(pe) = self.pe_of_vpe(vpe) {
-            out.push(Msg::new(self.pe, pe, Payload::SysReply(SysReply { tag, result })));
+            out.push(Msg::new(self.pe, pe, Payload::sys_reply(tag, result)));
         }
     }
 
@@ -282,7 +277,7 @@ impl Kernel {
             *credits -= 1;
             self.stats.kcalls_out += 1;
             let dst = self.membership.kernel_pe(peer);
-            out.push(Msg::new(self.pe, dst, Payload::Kcall(call)));
+            out.push(Msg::new(self.pe, dst, Payload::kcall(call)));
         } else {
             self.stats.kcalls_credit_stalled += 1;
             self.kqueue.entry(peer).or_default().push_back(call);
@@ -305,7 +300,7 @@ impl Kernel {
             *credits -= 1;
             self.stats.kcalls_out += 1;
             let dst = self.membership.kernel_pe(peer);
-            out.push_after(Msg::new(self.pe, dst, Payload::Kcall(call)), offset);
+            out.push_after(Msg::new(self.pe, dst, Payload::kcall(call)), offset);
         } else {
             self.stats.kcalls_credit_stalled += 1;
             self.kqueue.entry(peer).or_default().push_back(call);
@@ -316,7 +311,7 @@ impl Kernel {
     /// use the dedicated reply slots of the request message).
     pub(crate) fn send_kreply(&mut self, out: &mut Outbox, peer: KernelId, reply: KReply) {
         let dst = self.membership.kernel_pe(peer);
-        out.push(Msg::new(self.pe, dst, Payload::KReply(reply)));
+        out.push(Msg::new(self.pe, dst, Payload::kreply(reply)));
     }
 
     /// Returns one credit for `peer` and drains its queue if possible.
@@ -562,10 +557,12 @@ impl Kernel {
         }
     }
 
-    /// Structural self-check used by tests: mapping-database invariants
-    /// plus agreement between capability tables and the database.
+    /// Structural self-check used by tests: mapping-database invariants,
+    /// endpoint-binding forward/reverse agreement, plus agreement
+    /// between capability tables and the database.
     pub fn check_invariants(&self) -> core::result::Result<(), String> {
         self.mapdb.check_invariants()?;
+        self.eps.check_sync()?;
         let mut by_vpe: Vec<(&VpeId, &CapTable)> = self.tables.iter().collect();
         by_vpe.sort_by_key(|(vpe, _)| **vpe);
         for (vpe, table) in by_vpe {

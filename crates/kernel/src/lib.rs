@@ -25,6 +25,7 @@
 //! thread-pool *accounting* (pool sized `V_group + K_max · M_inflight`,
 //! never exceeded) as a checked invariant.
 
+pub mod epbind;
 pub mod exchange;
 pub mod gates;
 pub mod harness;
@@ -38,6 +39,7 @@ pub mod session;
 pub mod stats;
 pub mod vpes;
 
+pub use epbind::EpBindings;
 pub use kernel::Kernel;
 pub use outbox::Outbox;
 pub use registry::ServiceInfo;

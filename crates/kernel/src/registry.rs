@@ -67,18 +67,23 @@ impl Registry {
     ///
     /// Hashing matters: client VPE ids are strided by the group layout,
     /// so `idx % len` would alias whole groups onto one instance.
+    ///
+    /// Allocation-free: every session open runs through here, and the
+    /// previous implementation collected the filtered candidates into
+    /// one or two `Vec`s per call. Two passes over the (small, id-
+    /// ordered) registry — count, then index — select the exact same
+    /// instance without touching the heap.
     pub fn pick(&self, name: u64, local: KernelId, client: VpeId) -> Option<&ServiceInfo> {
         let h = splitmix64(client.idx() as u64) as usize;
-        let locals: Vec<&ServiceInfo> =
-            self.services.values().filter(|s| s.name == name && s.owner == local).collect();
-        if !locals.is_empty() {
-            return Some(locals[h % locals.len()]);
-        }
-        let all: Vec<&ServiceInfo> = self.services.values().filter(|s| s.name == name).collect();
-        if all.is_empty() {
-            return None;
-        }
-        Some(all[h % all.len()])
+        let select = |is_local: bool| -> Option<&ServiceInfo> {
+            let matches = |s: &&ServiceInfo| s.name == name && (!is_local || s.owner == local);
+            let n = self.services.values().filter(matches).count();
+            if n == 0 {
+                return None;
+            }
+            self.services.values().filter(matches).nth(h % n)
+        };
+        select(true).or_else(|| select(false))
     }
 
     /// Iterates over all instances in id order.

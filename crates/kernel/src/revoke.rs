@@ -69,7 +69,7 @@ impl Kernel {
         if own {
             return Ok(vec![key]);
         }
-        Ok(self.mapdb.get(key)?.children().to_vec())
+        Ok(self.mapdb.get(key)?.children().collect())
     }
 
     /// Revocation for VPE exit: one root at a time; the table entry may
@@ -165,8 +165,8 @@ impl Kernel {
                 op.outstanding += 1;
                 continue;
             }
-            for child in cap.children().iter().rev() {
-                stack.push(*child);
+            for child in cap.children().rev() {
+                stack.push(child);
             }
             self.mapdb.mark_revoking(key).expect("present");
             cost += self.cfg.cost.revoke_mark;

@@ -60,7 +60,7 @@ impl Kernel {
             out.push(Msg::new(
                 self.pe,
                 dst,
-                Payload::Kcall(Kcall::AnnounceService {
+                Payload::kcall(Kcall::AnnounceService {
                     id,
                     name,
                     owner: self.id,

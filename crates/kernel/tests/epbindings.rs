@@ -1,0 +1,113 @@
+//! Forward/reverse agreement of the endpoint-binding table.
+//!
+//! [`EpBindings`] encapsulates the pair of maps that used to live as
+//! two hand-synchronized kernel fields. These tests prove the pair
+//! cannot diverge through any public mutation: every operation is
+//! exercised directly, then a DetRng-driven random walk replays
+//! thousands of mixed operations against a naive model while checking
+//! [`EpBindings::check_sync`] after every step. The kernel-level
+//! `check_invariants` now runs the same agreement check, which is what
+//! replaced the ad-hoc per-site bookkeeping.
+
+use semper_base::{CapType, DdlKey, EpId, PeId, VpeId};
+use semper_kernel::EpBindings;
+use semper_sim::DetRng;
+
+fn key(n: u32) -> DdlKey {
+    DdlKey::new(PeId(0), VpeId(0), CapType::Memory, n)
+}
+
+#[test]
+fn bind_then_get_roundtrips() {
+    let mut b = EpBindings::new();
+    assert!(b.is_empty());
+    assert_eq!(b.bind(VpeId(1), EpId(2), key(7)), None);
+    assert_eq!(b.get(VpeId(1), EpId(2)), Some(key(7)));
+    assert_eq!(b.get(VpeId(1), EpId(3)), None);
+    assert_eq!(b.len(), 1);
+    b.check_sync().unwrap();
+}
+
+#[test]
+fn rebind_replaces_and_reports_old_binding() {
+    let mut b = EpBindings::new();
+    b.bind(VpeId(1), EpId(2), key(7));
+    assert_eq!(b.bind(VpeId(1), EpId(2), key(8)), Some(key(7)));
+    assert_eq!(b.get(VpeId(1), EpId(2)), Some(key(8)));
+    assert_eq!(b.len(), 1);
+    // The old key has no bindings left; unbinding it touches nothing.
+    assert!(b.unbind_key(key(7)).is_empty());
+    b.check_sync().unwrap();
+}
+
+#[test]
+fn unbind_key_clears_all_slots_in_activation_order() {
+    let mut b = EpBindings::new();
+    b.bind(VpeId(2), EpId(0), key(7));
+    b.bind(VpeId(1), EpId(5), key(7));
+    b.bind(VpeId(1), EpId(6), key(9));
+    let victims = b.unbind_key(key(7));
+    assert_eq!(victims, vec![(VpeId(2), EpId(0)), (VpeId(1), EpId(5))]);
+    assert_eq!(b.get(VpeId(2), EpId(0)), None);
+    assert_eq!(b.get(VpeId(1), EpId(5)), None);
+    assert_eq!(b.get(VpeId(1), EpId(6)), Some(key(9)), "other keys untouched");
+    assert_eq!(b.len(), 1);
+    b.check_sync().unwrap();
+}
+
+#[test]
+fn rebind_same_key_keeps_one_reverse_entry() {
+    let mut b = EpBindings::new();
+    b.bind(VpeId(1), EpId(2), key(7));
+    // Rebinding the same slot to the same key must not duplicate the
+    // reverse entry (the divergence the old ad-hoc sites risked).
+    b.bind(VpeId(1), EpId(2), key(7));
+    b.check_sync().unwrap();
+    assert_eq!(b.unbind_key(key(7)), vec![(VpeId(1), EpId(2))]);
+    assert!(b.is_empty());
+    b.check_sync().unwrap();
+}
+
+/// A DetRng random walk over all public mutations, checked against a
+/// naive `(slot, key)` list model after every operation. Any path that
+/// could desynchronize the forward and reverse maps fails here.
+#[test]
+fn random_walk_agrees_with_model_and_stays_in_sync() {
+    let mut rng = DetRng::seed_from(0x5EED_EB1D);
+    let mut b = EpBindings::new();
+    let mut model: Vec<((VpeId, EpId), DdlKey)> = Vec::new();
+
+    for step in 0..5_000u32 {
+        let vpe = VpeId((rng.next_u64() % 4) as u16);
+        let ep = EpId((rng.next_u64() % 4) as u8);
+        let k = key((rng.next_u64() % 6) as u32);
+        match rng.next_u64() % 3 {
+            // bind
+            0 | 1 => {
+                let expected_old = model.iter().find(|(s, _)| *s == (vpe, ep)).map(|(_, k)| *k);
+                let old = b.bind(vpe, ep, k);
+                assert_eq!(old, expected_old, "step {step}: replaced binding mismatch");
+                model.retain(|(s, _)| *s != (vpe, ep));
+                model.push(((vpe, ep), k));
+            }
+            // unbind a whole key (what the revocation sweep does)
+            _ => {
+                let expected: Vec<(VpeId, EpId)> =
+                    model.iter().filter(|(_, mk)| *mk == k).map(|(s, _)| *s).collect();
+                let mut victims = b.unbind_key(k);
+                // The model is insertion-ordered by last bind, the
+                // table by first activation; compare as sets.
+                victims.sort();
+                let mut expected = expected;
+                expected.sort();
+                assert_eq!(victims, expected, "step {step}: unbound slots mismatch");
+                model.retain(|(_, mk)| *mk != k);
+            }
+        }
+        assert_eq!(b.len(), model.len(), "step {step}: size drifted");
+        for (slot, mk) in &model {
+            assert_eq!(b.get(slot.0, slot.1), Some(*mk), "step {step}: lookup drifted");
+        }
+        b.check_sync().unwrap_or_else(|e| panic!("step {step}: {e}"));
+    }
+}

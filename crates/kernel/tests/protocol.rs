@@ -215,7 +215,7 @@ fn orphaned_obtain_cleaned_up() {
     // The owner's capability must have no children left (orphan removed).
     let k0 = &c.kernels[0];
     let key = k0.table(VpeId(0)).unwrap().get(sel).unwrap();
-    assert!(k0.mapdb().get(key).unwrap().children().is_empty());
+    assert_eq!(k0.mapdb().get(key).unwrap().child_count(), 0);
     assert_eq!(k0.stats().orphans_cleaned, 1);
 }
 
@@ -243,7 +243,7 @@ fn delegate_to_killed_receiver_unwinds() {
     // Delegator's capability has no children; no stray capability at K1.
     let k0 = &c.kernels[0];
     let key = k0.table(VpeId(0)).unwrap().get(sel).unwrap();
-    assert!(k0.mapdb().get(key).unwrap().children().is_empty());
+    assert_eq!(k0.mapdb().get(key).unwrap().child_count(), 0);
 }
 
 #[test]
@@ -435,7 +435,7 @@ fn remote_session_open_links_under_service_cap() {
     // capability (owned by K0) — the cross-kernel relation of §3.4.
     let k0 = &c.kernels[0];
     let srv_key = k0.table(VpeId(0)).unwrap().get(srv_sel).unwrap();
-    assert_eq!(k0.mapdb().get(srv_key).unwrap().children().len(), 1);
+    assert_eq!(k0.mapdb().get(srv_key).unwrap().child_count(), 1);
 }
 
 #[test]

@@ -12,8 +12,8 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use semper_base::msg::{
-    ExchangeKind, FsOp, FsReply, FsReplyData, FsReq, Outbox, Payload, Perms, SysReply,
-    SysReplyData, Syscall, Upcall, UpcallReply,
+    ExchangeKind, FsOp, FsReplyData, FsReq, Outbox, Payload, Perms, SysReply, SysReplyData,
+    Syscall, Upcall, UpcallReply,
 };
 use semper_base::{CapSel, Code, CostModel, Error, Msg, PeId, Result, VpeId};
 
@@ -176,7 +176,7 @@ impl FsService {
         self.syscall_busy = true;
         let tag = self.next_tag;
         self.next_tag += 1;
-        out.push(Msg::new(self.pe, self.kernel_pe, Payload::Sys { tag, call }));
+        out.push(Msg::new(self.pe, self.kernel_pe, Payload::sys(tag, call)));
         tag
     }
 
@@ -191,7 +191,7 @@ impl FsService {
                 out.push(Msg::new(
                     self.pe,
                     msg.src,
-                    Payload::UpcallReply(UpcallReply::SessionOpen { op: *op, result: Ok(ident) }),
+                    Payload::upcall_reply(UpcallReply::SessionOpen { op: *op, result: Ok(ident) }),
                 ));
                 self.cost.session_accept
             }
@@ -199,7 +199,7 @@ impl FsService {
                 out.push(Msg::new(
                     self.pe,
                     msg.src,
-                    Payload::UpcallReply(UpcallReply::AcceptExchange { op: *op, accept: true }),
+                    Payload::upcall_reply(UpcallReply::AcceptExchange { op: *op, accept: true }),
                 ));
                 self.cost.upcall_work
             }
@@ -213,7 +213,7 @@ impl FsService {
     }
 
     fn reply_fs(&self, out: &mut Outbox, dst: PeId, tag: u64, result: Result<FsReplyData>) {
-        out.push(Msg::new(self.pe, dst, Payload::FsReply(FsReply { tag, result })));
+        out.push(Msg::new(self.pe, dst, Payload::fs_reply(tag, result)));
     }
 
     fn handle_fs(&mut self, src: PeId, req: &FsReq, out: &mut Outbox) -> u64 {
@@ -518,11 +518,8 @@ mod tests {
         assert_eq!(msgs.len(), 1);
         assert!(matches!(&msgs[0].0.payload, Payload::Sys { call: Syscall::CreateSrv { .. }, .. }));
         // Feed the CreateSrv reply.
-        let reply = Msg::new(
-            PeId(0),
-            PeId(3),
-            Payload::SysReply(SysReply { tag: 1, result: Ok(SysReplyData::Sel(CapSel(2))) }),
-        );
+        let reply =
+            Msg::new(PeId(0), PeId(3), Payload::sys_reply(1, Ok(SysReplyData::Sel(CapSel(2)))));
         let mut out = Outbox::new();
         s.handle(&reply, &mut out);
         let msgs = out.drain();
@@ -531,10 +528,7 @@ mod tests {
         let reply = Msg::new(
             PeId(0),
             PeId(3),
-            Payload::SysReply(SysReply {
-                tag: 2,
-                result: Ok(SysReplyData::Mem { sel: CapSel(3), addr: 0x4000_0000 }),
-            }),
+            Payload::sys_reply(2, Ok(SysReplyData::Mem { sel: CapSel(3), addr: 0x4000_0000 })),
         );
         let mut out = Outbox::new();
         s.handle(&reply, &mut out);
@@ -570,7 +564,7 @@ mod tests {
         let req = Msg::new(
             PeId(7),
             PeId(3),
-            Payload::Fs(FsReq { session: 1, tag: 9, op: FsOp::Stat { path: "/f.txt".into() } }),
+            Payload::fs(FsReq { session: 1, tag: 9, op: FsOp::Stat { path: "/f.txt".into() } }),
         );
         s.handle(&req, &mut out);
         let msgs = out.drain();

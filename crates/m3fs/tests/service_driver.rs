@@ -3,7 +3,7 @@
 //! by hand (no kernel — the replies are scripted).
 
 use semper_base::msg::{
-    FsOp, FsReply, FsReplyData, FsReq, Outbox, Payload, SysReply, SysReplyData, Syscall, Upcall,
+    FsOp, FsReply, FsReplyData, FsReq, Outbox, Payload, SysReplyData, Syscall, Upcall,
 };
 use semper_base::{CapSel, Code, CostModel, Msg, OpId, PeId, VpeId};
 use semper_m3fs::{FsImage, FsService, FsSpec};
@@ -48,19 +48,20 @@ fn booted_service() -> FsService {
 
 fn sys_reply(s: &mut FsService, tag: u64, result: semper_base::Result<SysReplyData>) -> Outbox {
     let mut out = Outbox::new();
-    s.handle(&Msg::new(KRN_PE, SVC_PE, Payload::SysReply(SysReply { tag, result })), &mut out);
+    s.handle(&Msg::new(KRN_PE, SVC_PE, Payload::sys_reply(tag, result)), &mut out);
     out
 }
 
 fn fs_req(s: &mut FsService, tag: u64, op: FsOp) -> Outbox {
     let mut out = Outbox::new();
-    s.handle(&Msg::new(CLIENT_PE, SVC_PE, Payload::Fs(FsReq { session: 1, tag, op })), &mut out);
+    s.handle(&Msg::new(CLIENT_PE, SVC_PE, Payload::fs(FsReq { session: 1, tag, op })), &mut out);
     out
 }
 
 fn expect_fs_reply(out: &mut Outbox, tag: u64) -> semper_base::Result<FsReplyData> {
     for (m, _) in out.drain() {
-        if let Payload::FsReply(FsReply { tag: t, result }) = m.payload {
+        if let Payload::FsReply(r) = m.payload {
+            let FsReply { tag: t, result } = *r;
             assert_eq!(t, tag);
             return result;
         }
@@ -192,7 +193,8 @@ fn requests_queue_while_a_syscall_is_in_flight() {
     let msgs = out.drain();
     assert!(msgs.iter().any(|(m, _)| matches!(
         &m.payload,
-        Payload::FsReply(FsReply { tag: 11, result: Ok(FsReplyData::Extent { .. }) })
+        Payload::FsReply(r)
+            if matches!(r.as_ref(), FsReply { tag: 11, result: Ok(FsReplyData::Extent { .. }) })
     )));
     assert!(msgs
         .iter()
@@ -207,7 +209,7 @@ fn unknown_session_and_fid_rejected() {
         &Msg::new(
             CLIENT_PE,
             SVC_PE,
-            Payload::Fs(FsReq { session: 999, tag: 5, op: FsOp::Stat { path: "/f.dat".into() } }),
+            Payload::fs(FsReq { session: 999, tag: 5, op: FsOp::Stat { path: "/f.dat".into() } }),
         ),
         &mut out,
     );

@@ -70,7 +70,7 @@ mod tests {
     use semper_base::msg::{Payload, Syscall};
 
     fn noop_msg(src: u16, dst: u16) -> Msg {
-        Msg::new(PeId(src), PeId(dst), Payload::Sys { tag: 0, call: Syscall::Noop })
+        Msg::new(PeId(src), PeId(dst), Payload::sys(0, Syscall::Noop))
     }
 
     fn mk_noc() -> Noc {

@@ -16,10 +16,12 @@
 
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use sched::PeSchedule;
 pub use stats::{Counter, Summary};
 pub use time::Cycles;

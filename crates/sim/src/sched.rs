@@ -1,0 +1,305 @@
+//! Per-PE stall lanes over the deterministic event queue.
+//!
+//! Every PE of the simulated machine serializes its handlers: an event
+//! arriving while the PE is still executing must wait until the PE
+//! frees. The original engine expressed that wait by pushing the whole
+//! event back into the global heap (timestamped at `busy_until`) every
+//! time it popped too early — O(log n) heap churn *and* a full event
+//! move per retry, paid once per deferral hop on the hottest paths
+//! (kernel PEs under syscall bursts are busy almost continuously).
+//!
+//! [`PeSchedule`] replaces the retry loop with per-PE *stall lanes*:
+//! a deferred event is parked exactly once in its destination PE's lane
+//! (an O(1) slot write; the event is never moved again until delivery)
+//! and a pointer-sized wake token rides the heap in its place. Lanes
+//! drain when `busy_until` passes: the token pops at the PE's free
+//! time and hands the parked event out of the lane.
+//!
+//! # Ordering contract (bit-identical to the retry loop)
+//!
+//! The global heap remains the *sole* ordering authority. A wake token
+//! is scheduled at exactly the timestamp the old engine would have
+//! rescheduled the event at (`busy_until` as of the deferral), and it
+//! consumes one sequence number at exactly the same moment the old
+//! requeue did — including on re-deferral, when a token pops at the
+//! PE's former free time but an earlier same-cycle event claimed the
+//! PE first. Same-cycle contenders therefore interleave with freshly
+//! delivered traffic in precisely the order the retry loop produced,
+//! [`PeSchedule::processed`] counts the same pops, and every handler
+//! runs at the same cycle. `tests/scheduler.rs` checks this equivalence
+//! against a reference model on randomized workloads; the golden
+//! assertions in `tests/determinism.rs` pin it to recorded cycle
+//! counts.
+
+use crate::queue::EventQueue;
+use crate::time::Cycles;
+
+/// Heap entry: either a fresh delivery or a wake token pointing at a
+/// parked event. Tokens are what make deferral cheap — the event
+/// payload stays in the lane while the token rides the heap.
+enum Tok<E> {
+    /// An event on its first trip through the queue.
+    Deliver {
+        /// Destination PE.
+        pe: u32,
+        /// The event itself.
+        event: E,
+    },
+    /// A deferred event parked in `pe`'s stall lane at `slot`.
+    Wake {
+        /// Destination PE (owner of the lane).
+        pe: u32,
+        /// Slot in the lane's slab.
+        slot: u32,
+    },
+}
+
+/// One PE's stall lane: a slab of parked events with a free list.
+///
+/// Delivery order among parked events is dictated by their wake tokens
+/// in the global heap (see the module docs), so the lane itself needs
+/// no internal ordering — just O(1) park and take.
+struct Lane<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> Default for Lane<E> {
+    fn default() -> Self {
+        Lane { slots: Vec::new(), free: Vec::new() }
+    }
+}
+
+impl<E> Lane<E> {
+    fn park(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(event);
+                slot
+            }
+            None => {
+                self.slots.push(Some(event));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> E {
+        let e = self.slots[slot as usize].take().expect("wake token points at a parked event");
+        self.free.push(slot);
+        e
+    }
+}
+
+/// A deterministic event schedule over a fixed set of serializing PEs.
+///
+/// Owns the event queue, the per-PE `busy_until` times, and the stall
+/// lanes. The driver loop calls [`PeSchedule::pop_ready`] to obtain the
+/// next event whose PE is free, runs the handler, and reports the
+/// handler's end time via [`PeSchedule::set_busy`].
+pub struct PeSchedule<E> {
+    queue: EventQueue<Tok<E>>,
+    busy_until: Vec<Cycles>,
+    lanes: Vec<Lane<E>>,
+    parked: usize,
+}
+
+impl<E> PeSchedule<E> {
+    /// Creates a schedule for `pes` PEs, all idle, at time zero.
+    pub fn new(pes: usize) -> PeSchedule<E> {
+        PeSchedule {
+            queue: EventQueue::new(),
+            busy_until: vec![Cycles::ZERO; pes],
+            lanes: (0..pes).map(|_| Lane::default()).collect(),
+            parked: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped entry).
+    pub fn now(&self) -> Cycles {
+        self.queue.now()
+    }
+
+    /// Heap pops so far. Counts wake-token pops exactly as the old
+    /// engine counted retry pops, so event totals are comparable across
+    /// the refactor.
+    pub fn processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Entries currently in the heap (each parked event holds exactly
+    /// one wake token, so parked events are included).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events currently parked in stall lanes (diagnostics).
+    pub fn parked(&self) -> usize {
+        self.parked
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The time `pe` is busy until.
+    pub fn busy_until(&self, pe: usize) -> Cycles {
+        self.busy_until[pe]
+    }
+
+    /// Marks `pe` busy until `until` (handler completion).
+    pub fn set_busy(&mut self, pe: usize, until: Cycles) {
+        self.busy_until[pe] = until;
+    }
+
+    /// Extends `pe`'s busy time to at least `until` (boot sequencing).
+    pub fn extend_busy(&mut self, pe: usize, until: Cycles) {
+        if self.busy_until[pe] < until {
+            self.busy_until[pe] = until;
+        }
+    }
+
+    /// Schedules `event` for PE `pe` at absolute time `at`.
+    pub fn schedule(&mut self, at: Cycles, pe: usize, event: E) {
+        self.queue.schedule(at, Tok::Deliver { pe: pe as u32, event });
+    }
+
+    /// Timestamp of the earliest pending entry (delivery or wake).
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event whose PE is free at its delivery time,
+    /// advancing `now`; returns `None` when the queue is empty.
+    ///
+    /// Events popping while their PE is busy are parked in the PE's
+    /// stall lane (once — the event is not touched again until
+    /// delivery) and replaced by a wake token at the PE's free time.
+    /// A token popping while the PE is busy again (an earlier same-cycle
+    /// event won the PE) is rescheduled at the new free time, consuming
+    /// a fresh sequence number exactly as the old retry loop did.
+    pub fn pop_ready(&mut self) -> Option<(Cycles, usize, E)> {
+        self.pop_ready_bounded(None)
+    }
+
+    /// Like [`PeSchedule::pop_ready`], but never pops a heap entry
+    /// with a timestamp after `deadline`. This is the exact granularity
+    /// of the old retry loop's deadline-bounded driver (`Machine::
+    /// run_until`): deferrals whose wake time lies past the deadline
+    /// stay parked rather than delivering early — the retry loop left
+    /// their requeued entries in the heap the same way. May park
+    /// in-deadline entries (consuming pops) and still return `None`.
+    pub fn pop_ready_before(&mut self, deadline: Cycles) -> Option<(Cycles, usize, E)> {
+        self.pop_ready_bounded(Some(deadline))
+    }
+
+    fn pop_ready_bounded(&mut self, deadline: Option<Cycles>) -> Option<(Cycles, usize, E)> {
+        loop {
+            if let Some(deadline) = deadline {
+                if self.queue.peek_time()? > deadline {
+                    return None;
+                }
+            }
+            let (t, tok) = self.queue.pop()?;
+            match tok {
+                Tok::Deliver { pe, event } => {
+                    let busy = self.busy_until[pe as usize];
+                    if busy > t {
+                        let slot = self.lanes[pe as usize].park(event);
+                        self.parked += 1;
+                        self.queue.schedule(busy, Tok::Wake { pe, slot });
+                        continue;
+                    }
+                    return Some((t, pe as usize, event));
+                }
+                Tok::Wake { pe, slot } => {
+                    let busy = self.busy_until[pe as usize];
+                    if busy > t {
+                        self.queue.schedule(busy, Tok::Wake { pe, slot });
+                        continue;
+                    }
+                    let event = self.lanes[pe as usize].take(slot);
+                    self.parked -= 1;
+                    return Some((t, pe as usize, event));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_pes_deliver_in_time_order() {
+        let mut s: PeSchedule<&str> = PeSchedule::new(2);
+        s.schedule(Cycles(20), 1, "b");
+        s.schedule(Cycles(10), 0, "a");
+        assert_eq!(s.pop_ready(), Some((Cycles(10), 0, "a")));
+        assert_eq!(s.pop_ready(), Some((Cycles(20), 1, "b")));
+        assert_eq!(s.pop_ready(), None);
+    }
+
+    #[test]
+    fn busy_pe_parks_and_drains_in_arrival_order() {
+        let mut s: PeSchedule<u32> = PeSchedule::new(1);
+        s.schedule(Cycles(10), 0, 1);
+        s.schedule(Cycles(11), 0, 2);
+        s.schedule(Cycles(12), 0, 3);
+        let (t, pe, e) = s.pop_ready().unwrap();
+        assert_eq!((t, pe, e), (Cycles(10), 0, 1));
+        s.set_busy(0, Cycles(50));
+        // Both remaining events arrive while busy: parked, then drained
+        // at the free time in arrival order.
+        assert_eq!(s.pop_ready(), Some((Cycles(50), 0, 2)));
+        assert_eq!(s.parked(), 1);
+        s.set_busy(0, Cycles(60));
+        assert_eq!(s.pop_ready(), Some((Cycles(60), 0, 3)));
+        assert_eq!(s.parked(), 0);
+        assert_eq!(s.pop_ready(), None);
+    }
+
+    #[test]
+    fn interleaves_fresh_arrivals_at_the_free_boundary() {
+        let mut s: PeSchedule<u32> = PeSchedule::new(1);
+        s.schedule(Cycles(10), 0, 1);
+        // Scheduled before the deferral below, arriving exactly when
+        // the PE frees: its lower sequence number wins the PE.
+        s.schedule(Cycles(50), 0, 99);
+        s.schedule(Cycles(11), 0, 2);
+        assert_eq!(s.pop_ready(), Some((Cycles(10), 0, 1)));
+        s.set_busy(0, Cycles(50));
+        assert_eq!(s.pop_ready(), Some((Cycles(50), 0, 99)));
+        s.set_busy(0, Cycles(70));
+        assert_eq!(s.pop_ready(), Some((Cycles(70), 0, 2)));
+    }
+
+    #[test]
+    fn zero_cost_handlers_do_not_stall() {
+        let mut s: PeSchedule<u32> = PeSchedule::new(1);
+        s.schedule(Cycles(5), 0, 1);
+        s.schedule(Cycles(5), 0, 2);
+        assert_eq!(s.pop_ready(), Some((Cycles(5), 0, 1)));
+        s.set_busy(0, Cycles(5));
+        // busy_until == t means free (strict > defers).
+        assert_eq!(s.pop_ready(), Some((Cycles(5), 0, 2)));
+    }
+
+    #[test]
+    fn lane_slots_are_reused() {
+        let mut s: PeSchedule<u32> = PeSchedule::new(1);
+        for round in 0..3u32 {
+            let base = u64::from(round) * 100;
+            s.schedule(Cycles(base + 1), 0, 1);
+            s.schedule(Cycles(base + 2), 0, 2);
+            let _ = s.pop_ready().unwrap();
+            s.set_busy(0, Cycles(base + 50));
+            assert_eq!(s.pop_ready(), Some((Cycles(base + 50), 0, 2)));
+            s.set_busy(0, Cycles(base + 51));
+        }
+        // One deferral per round, always through the same recycled slot.
+        assert_eq!(s.lanes[0].slots.len(), 1);
+    }
+}

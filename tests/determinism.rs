@@ -68,6 +68,108 @@ fn spanning_revokes_are_bit_identical() {
     assert!(first.0 > 0 && first.1 > 0);
 }
 
+/// Golden cycle counts for [`cross_machine_revocation_matches_golden`],
+/// recorded on the pre-stall-lane event engine (PR 1, commit 3d2b330).
+/// The stall-lane engine must reproduce these bit-identically: the
+/// tokens it parks consume the same sequence numbers the old
+/// requeue-into-the-heap retry loop did, so every handler runs at the
+/// same cycle in the same order. If this test fails after an engine
+/// change, the change altered protocol-visible event ordering — that is
+/// a bug unless the cost model intentionally changed, in which case
+/// re-record via `cargo test golden -- --nocapture`.
+const GOLDEN_REVOKE_CYCLES: u64 = 83337;
+const GOLDEN_FINAL_NOW: u64 = 526069;
+const GOLDEN_EVENTS: u64 = 667;
+const GOLDEN_CAPS_DELETED: u64 = 57;
+const GOLDEN_KCALLS: u64 = 150;
+
+/// A three-kernel machine revokes one capability tree that is both wide
+/// (24 children fanned over every VPE of two remote groups) and deep (a
+/// 32-link delegation chain ping-ponging between the two remote groups,
+/// hanging off one of the wide children). The revocation crosses
+/// machine boundaries in both directions and its cycle count is pinned
+/// to the pre-refactor engine.
+#[test]
+fn cross_machine_revocation_matches_golden() {
+    use semper_base::KernelMode;
+
+    let run = || {
+        let mut m = MicroMachine::new(3, 3, KernelMode::SemperOS);
+        let a = m.vpe(0, 0);
+        let root = m.create_mem(a);
+        // Wide layer: every other VPE of all three groups holds three
+        // direct children of the root.
+        let mut first_remote_child = None;
+        for round in 0..3 {
+            for g in 0..3u16 {
+                for j in 0..3u16 {
+                    if (g, j) == (0, 0) {
+                        continue;
+                    }
+                    let (sel, _) = m.delegate(a, m.vpe(g, j), root);
+                    if round == 0 && g == 1 && j == 0 {
+                        first_remote_child = Some(sel);
+                    }
+                }
+            }
+        }
+        // Deep layer: a spanning chain under the first remote child,
+        // alternating between groups 1 and 2 on every link.
+        let mut holder = m.vpe(1, 0);
+        let mut sel = first_remote_child.expect("wide layer populated");
+        for _ in 0..32 {
+            let next = if holder == m.vpe(1, 0) { m.vpe(2, 0) } else { m.vpe(1, 0) };
+            let (nsel, _) = m.delegate(holder, next, sel);
+            holder = next;
+            sel = nsel;
+        }
+        let revoke_cycles = m.revoke(a, root);
+        m.machine().check_invariants();
+        let stats: Vec<KernelStats> = m.machine().kernel_stats();
+        let caps_deleted: u64 = stats.iter().map(|s| s.caps_deleted).sum();
+        let kcalls: u64 = stats.iter().map(|s| s.kcalls_out).sum();
+        (revoke_cycles, m.machine().now().0, m.machine().events(), caps_deleted, kcalls, stats)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "cross-machine revocation diverged between runs");
+    println!(
+        "golden: revoke_cycles={} now={} events={} caps_deleted={} kcalls={}",
+        first.0, first.1, first.2, first.3, first.4
+    );
+    assert_eq!(
+        (first.0, first.1, first.2, first.3, first.4),
+        (GOLDEN_REVOKE_CYCLES, GOLDEN_FINAL_NOW, GOLDEN_EVENTS, GOLDEN_CAPS_DELETED, GOLDEN_KCALLS),
+        "cycle trace drifted from the pre-stall-lane engine golden"
+    );
+}
+
+/// A measurement on a machine reused through [`MachinePool`] must
+/// yield the same simulated cycles as on a freshly built machine:
+/// selector free lists hand back freed selectors, credit budgets are
+/// restored at quiescence, and allocator high-water marks never enter
+/// a cost computation. This is what lets the figure benches pool
+/// machines without perturbing their reported cycle counts.
+#[test]
+fn pooled_reuse_is_cycle_identical() {
+    use semper_base::KernelMode;
+    use semperos::pool::MachinePool;
+
+    let mut pool = MachinePool::new();
+    let fresh_chain = pool.with(2, 2, KernelMode::SemperOS, |m| m.measure_chain_revoke(24, true));
+    assert_eq!(pool.idle(), 1);
+    // Same measurements, same machine (reused twice more).
+    let reused_once = pool.with(2, 2, KernelMode::SemperOS, |m| m.measure_chain_revoke(24, true));
+    let reused_twice = pool.with(2, 2, KernelMode::SemperOS, |m| m.measure_chain_revoke(24, true));
+    assert_eq!(fresh_chain, reused_once, "first reuse drifted");
+    assert_eq!(fresh_chain, reused_twice, "repeated reuse drifted");
+    // A different measurement shape on the reused machine still matches
+    // a fresh machine.
+    let reused_tree = pool.with(2, 2, KernelMode::SemperOS, |m| m.measure_tree_revoke(16, 1));
+    let fresh_tree = MicroMachine::new(2, 2, KernelMode::SemperOS).measure_tree_revoke(16, 1);
+    assert_eq!(reused_tree, fresh_tree, "reused machine measured different cycles than fresh");
+}
+
 /// Concurrent, overlapping revocations wake their waiters in a fixed
 /// order; the kill/exit path sorts its pending-op sweep. Run the same
 /// interleaving twice and compare every kernel's counters.
