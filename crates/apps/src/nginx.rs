@@ -137,17 +137,30 @@ impl LoadGen {
         self.completed
     }
 
+    /// (Re)assigns the target servers and depth in place, reusing the
+    /// existing target buffer — machine build constructs every load
+    /// generator empty and assigns its round-robin share afterwards,
+    /// which used to allocate a fresh `Vec` per generator per boot.
+    pub fn set_targets(&mut self, servers: impl Iterator<Item = PeId>, depth: u32) {
+        self.servers.clear();
+        self.servers.extend(servers);
+        self.depth = depth;
+    }
+
     /// Response payload bytes received.
     pub fn bytes(&self) -> u64 {
         self.bytes
     }
 
-    /// Starts the load: `depth` requests to every server.
+    /// Starts the load: `depth` requests to every server. Iterates the
+    /// target list by index — the previous implementation cloned the
+    /// whole target `Vec` on every boot just to appease the borrow on
+    /// `send_request`.
     pub fn boot(&mut self, out: &mut Outbox) -> u64 {
         debug_assert!(!self.started);
         self.started = true;
-        let servers = self.servers.clone();
-        for server in servers {
+        for s in 0..self.servers.len() {
+            let server = self.servers[s];
             for _ in 0..self.depth {
                 self.send_request(server, out);
             }

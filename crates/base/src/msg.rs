@@ -263,6 +263,25 @@ pub struct SysReply {
     pub result: Result<SysReplyData>,
 }
 
+/// One capability record in a capability-group migration transfer
+/// (§4.2 ownership handover): everything the adopting kernel needs to
+/// rebuild the record — the globally valid key, resource description,
+/// owner-table selector, and the tree links (which stay valid across
+/// the move because they are DDL keys, not pointers).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MigratedCap {
+    /// Global DDL key of the capability.
+    pub key: DdlKey,
+    /// Resource description.
+    pub kind: CapKindDesc,
+    /// Selector in the owner's capability table.
+    pub sel: CapSel,
+    /// Parent in the capability tree (may be owned by any kernel).
+    pub parent: Option<DdlKey>,
+    /// Children in creation order (may be owned by any kernel).
+    pub children: Vec<DdlKey>,
+}
+
 /// Inter-kernel calls (§4.1) — the distributed capability protocol plus
 /// startup/registry traffic.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -360,6 +379,37 @@ pub enum Kcall {
         /// The connecting client VPE.
         client_vpe: VpeId,
     },
+    /// Migrate a capability group: the sender hands ownership of `pe`'s
+    /// DDL partition — VPE `vpe` and every capability record it owns —
+    /// to the receiving kernel (§4.2). The receiver rebuilds the
+    /// records verbatim and adopts the PE into its group.
+    MigrateReq {
+        /// Correlation id (sender-local).
+        op: OpId,
+        /// The PE whose partition moves.
+        pe: PeId,
+        /// The VPE hosted on that PE.
+        vpe: VpeId,
+        /// The VPE's next DDL object id (resumes the per-creator
+        /// counter so post-migration allocations stay globally unique).
+        next_object_id: u32,
+        /// The VPE's selector-space high-water mark.
+        next_sel: u32,
+        /// The capability records, in selector order.
+        caps: Vec<MigratedCap>,
+    },
+    /// Announces a completed migration to a bystander kernel: DDL keys
+    /// in `pe`'s partition now route to `new_kernel`. Acknowledged with
+    /// [`KReply::MembershipAck`] so the migration only completes once
+    /// every kernel routes consistently.
+    MembershipUpdate {
+        /// Correlation id (sender-local).
+        op: OpId,
+        /// The reassigned PE.
+        pe: PeId,
+        /// Its new owning kernel.
+        new_kernel: crate::ids::KernelId,
+    },
 }
 
 /// Replies to inter-kernel calls.
@@ -423,6 +473,36 @@ pub enum KReply {
         /// On success: the session identifier chosen by the service.
         result: Result<u64>,
     },
+    /// Reply to [`Kcall::MigrateReq`] — the receiving kernel installed
+    /// the group.
+    Migrate {
+        /// Correlation id echoed from the request.
+        op: OpId,
+        /// On success: the number of capability records installed.
+        result: Result<u64>,
+    },
+    /// Reply to [`Kcall::MembershipUpdate`].
+    MembershipAck {
+        /// Correlation id echoed from the update.
+        op: OpId,
+    },
+}
+
+impl KReply {
+    /// The correlation id this reply resumes — the ledger key the
+    /// engine's reply router looks up.
+    pub fn op(&self) -> OpId {
+        match self {
+            KReply::Obtain { op, .. }
+            | KReply::Delegate { op, .. }
+            | KReply::DelegateDone { op, .. }
+            | KReply::Revoke { op, .. }
+            | KReply::RevokeBatch { op, .. }
+            | KReply::OpenSess { op, .. }
+            | KReply::Migrate { op, .. }
+            | KReply::MembershipAck { op } => *op,
+        }
+    }
 }
 
 /// Kernel-to-VPE requests ("upcalls").
@@ -714,6 +794,12 @@ impl Payload {
                 Kcall::RevokeReq { .. } => 24,
                 Kcall::RevokeBatchReq { cap_keys, .. } => 16 + 8 * cap_keys.len() as u32,
                 Kcall::OpenSessReq { .. } => 32,
+                // Per record: key + kind + selector + parent (32 bytes)
+                // plus one key per child reference.
+                Kcall::MigrateReq { caps, .. } => {
+                    32 + caps.iter().map(|c| 32 + 8 * c.children.len() as u32).sum::<u32>()
+                }
+                Kcall::MembershipUpdate { .. } => 16,
             },
             Payload::KReply(r) => match r.as_ref() {
                 KReply::Obtain { .. } => 40,
@@ -722,6 +808,8 @@ impl Payload {
                 KReply::Revoke { .. } => 32,
                 KReply::RevokeBatch { cap_keys, .. } => 24 + 8 * cap_keys.len() as u32,
                 KReply::OpenSess { .. } => 24,
+                KReply::Migrate { .. } => 24,
+                KReply::MembershipAck { .. } => 8,
             },
             Payload::Upcall(_) | Payload::UpcallReply(_) => 24,
             Payload::Fs(req) => {

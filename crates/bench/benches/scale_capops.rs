@@ -15,11 +15,16 @@
 //! * **dense table** — an nginx-like VPE holding a dense capability
 //!   table, torn down one revoke at a time (the per-close revoke pattern
 //!   of §5.3.3);
+//! * **group migration** — a VPE owning thousands of capabilities (with
+//!   cross-kernel children) has its whole DDL group migrated around a
+//!   three-kernel ring (`kernel::ops::migrate`, new in PR 3). For this
+//!   scenario the `revoke_ms`/`revoke_sim_cycles` fields record the
+//!   migration sweep (field names kept stable for baseline comparison);
 //! * a **data-structure A/B**: the owner-table reverse removal
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
 //!
-//! Results land in `BENCH_PR2.json` at the workspace root (override with
+//! Results land in `BENCH_PR3.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
 //! speedups are computed — this is how each PR's report compares
@@ -32,7 +37,7 @@
 
 use std::time::Instant;
 
-use semper_base::{CapSel, CapType, DdlKey, KernelMode, PeId, VpeId};
+use semper_base::{CapSel, CapType, DdlKey, KernelId, KernelMode, PeId, VpeId};
 use semper_bench::report::{render, Val};
 use semper_caps::CapTable;
 use semperos::experiment::MicroMachine;
@@ -173,6 +178,42 @@ fn dense_table_teardown(caps: u32) -> Scenario {
     }
 }
 
+/// Group migration around a three-kernel ring: one VPE owns `caps`
+/// capabilities, every sixteenth delegated to another group so the
+/// moving group carries live cross-kernel child links; the whole group
+/// then migrates kernel 0 → 1 → 2 → 0. Measures the marshal/install/
+/// handover sweep per hop (`revoke_ms`/`revoke_sim_cycles` hold the
+/// migration totals; see the module docs).
+fn group_migration(caps: u32) -> Scenario {
+    let mut m = MicroMachine::new(3, 2, KernelMode::SemperOS);
+    let a = m.vpe(0, 0);
+
+    let t = Instant::now();
+    let sels: Vec<CapSel> = (0..caps).map(|_| m.create_mem(a)).collect();
+    for (i, sel) in sels.iter().enumerate().step_by(16) {
+        let to = m.vpe(1 + (i as u16 / 16) % 2, 0);
+        let _ = m.delegate(a, to, *sel);
+    }
+    let build_ms = ms(t);
+
+    let t = Instant::now();
+    let mut migrate_cycles = 0;
+    for dst in [KernelId(1), KernelId(2), KernelId(0)] {
+        migrate_cycles += m.machine().migrate_vpe(a, dst);
+    }
+    let migrate_ms = ms(t);
+    m.machine().check_invariants();
+    Scenario {
+        name: "group_migration_ring",
+        size: caps,
+        build_ms,
+        revoke_ms: migrate_ms,
+        revoke_cycles: migrate_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+    }
+}
+
 /// In-binary A/B of the owner-table reverse removal: the seed's linear
 /// scan (re-implemented here over the same `BTreeMap` shape it used)
 /// against `CapTable::remove_key`, sweeping a `n`-entry table to empty.
@@ -259,6 +300,7 @@ fn main() {
         chain_revoke(1024 / scale, true),
         tree_revoke(10_000 / scale, 10_000 / scale),
         dense_table_teardown(10_000 / scale),
+        group_migration(4096 / scale),
     ];
 
     println!(
@@ -286,7 +328,7 @@ fn main() {
     );
 
     let mut fields = vec![
-        ("pr", Val::U(2)),
+        ("pr", Val::U(3)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
         ("scenarios", Val::Arr(scenarios.iter().map(Scenario::to_val).collect())),
@@ -301,16 +343,19 @@ fn main() {
         ),
     ];
 
+    let enforce = std::env::var("BENCH_ENFORCE_CYCLES").is_ok();
     let mut cycle_drift = Vec::new();
     if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
         if let Some(base) = read_baseline(&baseline_path) {
             let mut cmp = Vec::new();
+            let mut comparable_rows = 0u32;
             for s in &scenarios {
                 let Some(row) = base.iter().find(|r| r.name == s.name) else { continue };
                 let speedup = if s.revoke_ms > 0.0 { row.revoke_ms / s.revoke_ms } else { 0.0 };
                 // Simulated cycles are comparable only at identical
                 // scenario size (smoke and full reports differ).
                 let cycles_comparable = row.size == u64::from(s.size);
+                comparable_rows += u32::from(cycles_comparable);
                 let cycles_identical = s.revoke_cycles == row.revoke_sim_cycles;
                 if cycles_comparable && !cycles_identical {
                     cycle_drift.push(format!(
@@ -344,14 +389,27 @@ fn main() {
                     }
                 );
             }
-            fields.push(("baseline", Val::S(baseline_path)));
+            fields.push(("baseline", Val::S(baseline_path.clone())));
             fields.push(("vs_baseline", Val::Arr(cmp)));
+            if enforce && comparable_rows == 0 {
+                // The gate must not pass vacuously: an empty or
+                // format-drifted baseline compares nothing.
+                eprintln!(
+                    "BENCH_ENFORCE_CYCLES: no scenario of {baseline_path} was comparable \
+                     (empty or format-drifted baseline); refusing to pass the cycle gate"
+                );
+                std::process::exit(1);
+            }
         } else {
             eprintln!("warning: BENCH_BASELINE set but unreadable; skipping comparison");
+            if enforce {
+                eprintln!("BENCH_ENFORCE_CYCLES: unreadable baseline fails the cycle gate");
+                std::process::exit(1);
+            }
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR2.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");
@@ -365,7 +423,7 @@ fn main() {
             eprintln!("  {d}");
         }
         eprintln!("(bit-identical cycles are the determinism contract; see EXPERIMENTS.md)");
-        if std::env::var("BENCH_ENFORCE_CYCLES").is_ok() {
+        if enforce {
             std::process::exit(1);
         }
     }

@@ -41,6 +41,15 @@ impl KeyAllocator {
         self.next_id.get(&vpe).copied().unwrap_or(0)
     }
 
+    /// Resumes the counter of a migrated-in VPE at `next` (the value the
+    /// previous owner's allocator had reached). Keys allocated after a
+    /// migration continue the same per-creator sequence, so global
+    /// uniqueness is preserved across ownership handovers.
+    pub fn resume(&mut self, vpe: VpeId, next: u32) {
+        let prev = self.next_id.insert(vpe, next);
+        debug_assert!(prev.is_none(), "resuming {vpe} over live counter state");
+    }
+
     /// Drops the counter state of an exited VPE.
     ///
     /// Safe because keys embed the VPE id: a recycled VPE id would

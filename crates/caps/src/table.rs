@@ -50,6 +50,25 @@ impl CapTable {
         }
     }
 
+    /// Rebuilds a table from migrated state: the transferred selector
+    /// bindings plus the source table's selector-space high-water mark,
+    /// so selectors handed out after the migration never collide with
+    /// ones the previous owner allocated. The source's free list is not
+    /// transferred — gaps below `next_sel` are simply skipped, which is
+    /// deterministic (allocation continues from the high-water mark).
+    pub fn rehydrate(
+        first_free: u32,
+        next_sel: u32,
+        pairs: impl Iterator<Item = (CapSel, DdlKey)>,
+    ) -> CapTable {
+        let mut table = CapTable::new(first_free);
+        table.next_sel = next_sel.max(first_free);
+        for (sel, key) in pairs {
+            table.insert(sel, key).expect("migrated selectors are unique");
+        }
+        table
+    }
+
     /// Allocates the next free selector: the most recently freed one if
     /// any (LIFO reuse keeps tables dense), else a fresh one.
     pub fn alloc_sel(&mut self) -> CapSel {

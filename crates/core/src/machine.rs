@@ -120,11 +120,15 @@ impl Machine {
         let mut kernels: BTreeMap<u16, Kernel> =
             kernels.into_iter().map(|k| (k.id().0, k)).collect();
 
-        // The filesystem image shared (by copy) by all service instances.
-        // Built lazily: microbenchmark machines host no services, and the
-        // image build dominated their construction cost (the figure
-        // benches build machines per measurement).
-        let mut image_parts: Option<(FsImage, u64)> = None;
+        // The filesystem image shared by all service instances via `Arc`
+        // (each instance clones its private copy lazily on first
+        // metadata write — copy-on-write keeps the paper's
+        // per-instance-copy semantics while machine build pays for one
+        // image instead of one per service). Built lazily: micro-
+        // benchmark machines host no services, and the image build
+        // dominated their construction cost (the figure benches build
+        // machines per measurement).
+        let mut image_parts: Option<(std::sync::Arc<FsImage>, u64)> = None;
 
         let mut nodes: Vec<Node> = Vec::with_capacity(cfg.num_pes as usize);
         let mut trace_iter = match workload {
@@ -150,7 +154,7 @@ impl Machine {
                         pe,
                         kernel_pe,
                         cfg.cost,
-                        image.clone(),
+                        std::sync::Arc::clone(image),
                         *region_size,
                     )))
                 }
@@ -203,23 +207,28 @@ impl Machine {
         m
     }
 
+    /// Assigns each load generator its round-robin share of the servers
+    /// in place (no per-generator `Vec` churn; the generators reuse
+    /// their target buffers).
     fn assign_loadgen_targets(&mut self, depth: u32) {
-        let gens = self.topo.loadgen_pes.clone();
+        let gens = std::mem::take(&mut self.topo.loadgen_pes);
         if gens.is_empty() {
             return;
         }
-        let servers = self.topo.server_pes.clone();
         for (i, pe) in gens.iter().enumerate() {
-            let mine: Vec<PeId> = servers
-                .iter()
-                .enumerate()
-                .filter(|(s, _)| s % gens.len() == i)
-                .map(|(_, p)| *p)
-                .collect();
+            let servers = &self.topo.server_pes;
             if let Node::LoadGen(lg) = &mut self.nodes[pe.idx()] {
-                *lg = LoadGen::new(*pe, mine, depth);
+                lg.set_targets(
+                    servers
+                        .iter()
+                        .enumerate()
+                        .filter(|(s, _)| s % gens.len() == i)
+                        .map(|(_, p)| *p),
+                    depth,
+                );
             }
         }
+        self.topo.loadgen_pes = gens;
     }
 
     /// The machine configuration.
@@ -428,6 +437,47 @@ impl Machine {
         }
     }
 
+    // ----- capability-group migration (machine control) --------------------
+
+    /// Migrates `vpe`'s capability group to kernel `dst` and runs the
+    /// machine until the migration protocol quiesces (install at the
+    /// destination, record handover, membership acks from every
+    /// bystander kernel — see `semper_kernel::ops::migrate`). Returns
+    /// the elapsed simulated cycles.
+    ///
+    /// Migration is a control operation like boot: the caller must
+    /// ensure the group is quiescent (no in-flight operation references
+    /// the moving VPE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VPE is already in `dst`'s group or the source
+    /// kernel rejects the migration (service VPE, active endpoints, a
+    /// capability under revocation).
+    pub fn migrate_vpe(&mut self, vpe: VpeId, dst: KernelId) -> u64 {
+        let pe = self.topo.vpe_dir[vpe.idx()];
+        let src_kernel = self.topo.kernel_of(pe);
+        assert_ne!(src_kernel, dst, "{vpe} is already in {dst}'s group");
+        let src_pe = self.topo.membership.kernel_pe(src_kernel);
+        let start = self.sched.now().max(self.sched.busy_until(src_pe.idx()));
+        let mut out = Outbox::new();
+        let cost = match &mut self.nodes[src_pe.idx()] {
+            Node::Kernel(k) => k
+                .start_group_migration(vpe, dst, &mut out)
+                .unwrap_or_else(|e| panic!("migration of {vpe} to {dst} rejected: {e}")),
+            _ => unreachable!("kernel PE hosts a kernel"),
+        };
+        self.sched.extend_busy(src_pe.idx(), start + cost);
+        self.send_at(out.drain(), start + cost);
+        self.run_until_idle();
+        // Mirror the membership change for machine-level routing
+        // (syscall injection and credit returns use the topology's
+        // copy). Kernel PEs never migrate, so doing this after the
+        // protocol ran cannot misroute in-flight credit returns.
+        self.topo.membership.set_kernel_of(pe, dst);
+        (self.sched.now() - start).0
+    }
+
     // ----- direct syscall injection (microbenchmarks) ----------------------
 
     /// Issues a system call from a stub VPE and runs the machine until
@@ -557,8 +607,8 @@ fn handle_stub(
 }
 
 /// Builds the benchmark filesystem image sized for `max_instances`
-/// parallel instances.
-fn build_image(max_instances: u32) -> (FsImage, u64) {
+/// parallel instances (shared across instances via `Arc`).
+fn build_image(max_instances: u32) -> (std::sync::Arc<FsImage>, u64) {
     let (dirs, files) = semper_apps::trace::required_image();
     let mut spec = FsSpec::empty();
     for d in dirs {
@@ -570,7 +620,7 @@ fn build_image(max_instances: u32) -> (FsImage, u64) {
     // Headroom: runtime work files — generous 32 MiB per instance.
     let headroom = 64 * 1024 * 1024 + max_instances as u64 * 32 * 1024 * 1024;
     let region = spec.region_size(headroom);
-    (FsImage::build(&spec, region), region)
+    (std::sync::Arc::new(FsImage::build(&spec, region)), region)
 }
 
 #[cfg(test)]

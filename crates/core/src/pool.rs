@@ -17,8 +17,9 @@
 //! high-water marks enter any cost computation. The determinism suite
 //! pins this with a fresh-vs-reused comparison
 //! (`pooled_reuse_is_cycle_identical` in `tests/determinism.rs`).
-//! Machines whose configuration was mutated mid-run (e.g. a feature
-//! toggle) must not be returned to the pool — drop them instead.
+//! Machines whose configuration was mutated mid-run (a feature toggle)
+//! must not be reused; [`MachinePool::put`] enforces this by dropping
+//! them instead of pooling.
 
 use semper_base::KernelMode;
 
@@ -55,8 +56,14 @@ impl MachinePool {
     /// Returns a quiesced machine to the pool for reuse.
     ///
     /// Only hand back machines in their steady state (all syscalls
-    /// completed, no features toggled since construction).
-    pub fn put(&mut self, m: MicroMachine) {
+    /// completed). Machines whose feature set was toggled since
+    /// construction are silently dropped instead of pooled: the shape
+    /// key does not include features, so pooling one would leak the
+    /// toggle into every later measurement of this shape.
+    pub fn put(&mut self, mut m: MicroMachine) {
+        if m.machine().cfg().features != semper_base::MachineConfig::small().features {
+            return;
+        }
         let shape = m.shape();
         match self.free.iter_mut().find(|(s, _)| *s == shape) {
             Some((_, v)) => v.push(m),
@@ -107,6 +114,15 @@ mod tests {
         pool.put(m);
         let _other = pool.take(2, 2, KernelMode::SemperOS);
         assert_eq!(pool.idle(), 1, "different shape must not steal the parked machine");
+    }
+
+    #[test]
+    fn feature_mutated_machines_are_not_pooled() {
+        let mut pool = MachinePool::new();
+        let mut m = pool.take(1, 2, KernelMode::M3);
+        m.machine().enable_feature_everywhere(semper_base::Feature::RevokeBatching);
+        pool.put(m);
+        assert_eq!(pool.idle(), 0, "a feature-mutated machine must be dropped, not pooled");
     }
 
     #[test]

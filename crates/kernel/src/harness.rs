@@ -36,6 +36,10 @@ pub struct TestCluster {
     replies: BTreeMap<VpeId, Vec<SysReply>>,
     next_session_ident: u64,
     tag_counter: u64,
+    /// When armed, every dispatched message is recorded (delivery order,
+    /// full payload) — the protocol-trace fingerprint used by the
+    /// trace-equivalence tests.
+    trace: Option<Vec<String>>,
 }
 
 impl TestCluster {
@@ -85,7 +89,21 @@ impl TestCluster {
             replies: BTreeMap::new(),
             next_session_ident: 1,
             tag_counter: 0,
+            trace: None,
         }
+    }
+
+    /// Starts recording every dispatched message (delivery order plus
+    /// full payload). The resulting trace is the protocol's observable
+    /// behaviour: two implementations that produce the same trace are
+    /// indistinguishable to VPEs and to other kernels.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<String> {
+        self.trace.take().unwrap_or_default()
     }
 
     /// The PE of a VPE.
@@ -118,6 +136,25 @@ impl TestCluster {
         for (m, _) in out.drain() {
             self.queue.push_back(m);
         }
+    }
+
+    /// Migrates `vpe`'s capability group to kernel `dst` and pumps the
+    /// migration protocol to quiescence (install, handover, membership
+    /// acks — see `crate::ops::migrate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source kernel rejects the migration.
+    pub fn migrate(&mut self, vpe: VpeId, dst: KernelId) {
+        let src = self.kernel_of(vpe);
+        let mut out = Outbox::new();
+        self.kernels[src.idx()]
+            .start_group_migration(vpe, dst, &mut out)
+            .unwrap_or_else(|e| panic!("migration of {vpe} to {dst} rejected: {e}"));
+        for (m, _) in out.drain() {
+            self.queue.push_back(m);
+        }
+        self.pump_all();
     }
 
     /// Issues a system call from `vpe` without pumping; returns the tag.
@@ -203,6 +240,9 @@ impl TestCluster {
     }
 
     fn dispatch(&mut self, msg: Msg) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(format!("{}->{} {:?}", msg.src, msg.dst, msg.payload));
+        }
         // Kernel PE?
         if let Some(kidx) = self.kernels.iter().position(|k| k.pe() == msg.dst) {
             let mut out = Outbox::new();

@@ -14,13 +14,14 @@
 use std::collections::VecDeque;
 
 use semper_base::config::{KernelMode, MachineConfig};
-use semper_base::msg::{KReply, Kcall, Payload, SysReplyData, Syscall, UpcallReply};
+use semper_base::msg::{KReply, Kcall, Payload, SysReplyData, Syscall, Upcall};
 use semper_base::{Code, DetHashMap, Error, KernelId, Msg, OpId, PeId, RawDdlKey, Result, VpeId};
 use semper_caps::{CapTable, Capability, KeyAllocator, MappingDb, MembershipTable};
 use semper_noc::GlobalMemory;
 
+use crate::ops::ledger::PendingTable;
+use crate::ops::PendingOp;
 use crate::outbox::Outbox;
-use crate::pending::{PendingOp, PendingTable};
 use crate::registry::Registry;
 use crate::stats::KernelStats;
 use crate::vpes::{VpeLife, VpeState};
@@ -254,6 +255,13 @@ impl Kernel {
 
     // ----- messaging helpers -------------------------------------------
 
+    /// Sends an upcall to the VPE on `dst_pe` (consent requests and
+    /// session notifications — the kernel → VPE leg of the op engine's
+    /// fan-out).
+    pub(crate) fn send_upcall(&mut self, out: &mut Outbox, dst_pe: PeId, up: Upcall) {
+        out.push(Msg::new(self.pe, dst_pe, Payload::Upcall(up)));
+    }
+
     /// Sends a system-call reply to a VPE.
     pub(crate) fn reply_sys(
         &mut self,
@@ -337,6 +345,11 @@ impl Kernel {
     /// Handles one incoming message; returns the modeled cycle cost of
     /// the handler. Outgoing messages are pushed to `out` and should be
     /// injected into the NoC when the handler completes.
+    ///
+    /// Every `Kcall`/`KReply`/`UpcallReply` goes through the op
+    /// engine's routers (see [`crate::ops`]): requests dispatch to the
+    /// owning protocol's request handler, replies resume the phase
+    /// parked in the shared ledger.
     pub fn handle(&mut self, msg: &Msg, out: &mut Outbox) -> u64 {
         let cost = match &msg.payload {
             Payload::Sys { tag, call } => {
@@ -345,10 +358,10 @@ impl Kernel {
             }
             Payload::Kcall(call) => {
                 self.stats.kcalls_in += 1;
-                self.handle_kcall(msg.src, call, out)
+                self.route_kcall(msg.src, call, out)
             }
-            Payload::KReply(reply) => self.handle_kreply(msg.src, reply, out),
-            Payload::UpcallReply(reply) => self.handle_upcall_reply(msg.src, reply, out),
+            Payload::KReply(reply) => self.route_kreply(msg.src, reply, out),
+            Payload::UpcallReply(reply) => self.route_upcall_reply(msg.src, reply, out),
             other => {
                 debug_assert!(false, "kernel received unexpected payload {other:?}");
                 0
@@ -395,86 +408,6 @@ impl Kernel {
             }
     }
 
-    fn handle_kcall(&mut self, src: PeId, call: &Kcall, out: &mut Outbox) -> u64 {
-        let from = self.membership.kernel_of(src);
-        let entry = self.cfg.cost.kcall_entry;
-        entry
-            + match call {
-                Kcall::AnnounceService { id, name, owner, srv_key, srv_pe, srv_vpe } => {
-                    self.registry.add(crate::registry::ServiceInfo {
-                        id: *id,
-                        name: *name,
-                        owner: *owner,
-                        srv_key: *srv_key,
-                        srv_pe: *srv_pe,
-                        srv_vpe: *srv_vpe,
-                    });
-                    0
-                }
-                Kcall::ObtainReq { op, child_key, owner_vpe, owner_sel, requester_vpe } => self
-                    .kcall_obtain_req(
-                        from,
-                        *op,
-                        *child_key,
-                        *owner_vpe,
-                        *owner_sel,
-                        *requester_vpe,
-                        out,
-                    ),
-                Kcall::OrphanNotice { parent_key, child_key } => {
-                    self.kcall_orphan_notice(*parent_key, *child_key)
-                }
-                Kcall::DelegateReq { op, parent_key, desc, recv_vpe } => {
-                    self.kcall_delegate_req(from, *op, *parent_key, *desc, *recv_vpe, out)
-                }
-                Kcall::DelegateAck { op, reply_op, commit } => {
-                    self.kcall_delegate_ack(from, *op, *reply_op, *commit, out)
-                }
-                Kcall::RevokeReq { op, cap_key } => self.kcall_revoke_req(from, *op, *cap_key, out),
-                Kcall::RevokeBatchReq { op, cap_keys } => {
-                    self.kcall_revoke_batch_req(from, *op, cap_keys, out)
-                }
-                Kcall::OpenSessReq { op, child_key, service, client_vpe } => {
-                    self.kcall_open_sess_req(from, *op, *child_key, *service, *client_vpe, out)
-                }
-            }
-    }
-
-    fn handle_kreply(&mut self, src: PeId, reply: &KReply, out: &mut Outbox) -> u64 {
-        let from = self.membership.kernel_of(src);
-        // Revoke completions are counter decrements (Algorithm 1's
-        // `receive_revoke_reply`), far cheaper to dispatch than the
-        // protocol replies that resume full continuations.
-        let entry = match reply {
-            KReply::Revoke { .. } | KReply::RevokeBatch { .. } => self.cfg.cost.thread_switch,
-            _ => self.cfg.cost.kcall_entry,
-        };
-        entry
-            + match reply {
-                KReply::Obtain { op, result } => self.kreply_obtain(*op, result, out),
-                KReply::Delegate { op, result } => self.kreply_delegate(from, *op, result, out),
-                KReply::DelegateDone { op, result } => self.kreply_delegate_done(*op, *result, out),
-                KReply::Revoke { op, cap_key, deleted, result } => {
-                    self.kreply_revoke(*op, *cap_key, *deleted, *result, out)
-                }
-                KReply::RevokeBatch { op, cap_keys, deleted, result } => {
-                    self.kreply_revoke_batch(*op, cap_keys, *deleted, *result, out)
-                }
-                KReply::OpenSess { op, result } => self.kreply_open_sess(*op, *result, out),
-            }
-    }
-
-    fn handle_upcall_reply(&mut self, src: PeId, reply: &UpcallReply, out: &mut Outbox) -> u64 {
-        match reply {
-            UpcallReply::AcceptExchange { op, accept } => {
-                self.upcall_accept_exchange(src, *op, *accept, out)
-            }
-            UpcallReply::SessionOpen { op, result } => {
-                self.upcall_session_open(src, *op, *result, out)
-            }
-        }
-    }
-
     // ----- VPE lifecycle ------------------------------------------------
 
     /// Voluntary exit: revoke everything, mark dead. No reply (the VPE is
@@ -500,27 +433,11 @@ impl Kernel {
         } else {
             return 0;
         }
-        // Cancel pending operations waiting on this VPE's upcalls; other
-        // protocol stages detect death via `vpe_alive` when their replies
-        // arrive (producing orphan cleanups per §4.3.2). The cancellation
-        // order is protocol-visible (each cancel emits a reply), so sort
-        // by op id — the order the old id-ordered map iterated in.
-        let mut cancelled: Vec<OpId> = self
-            .pending
-            .iter()
-            .filter(|(_, p)| match p {
-                PendingOp::ExchangeLocalAccept { peer, .. } => *peer == vpe,
-                PendingOp::ObtainAtOwnerAccept { owner, .. } => *owner == vpe,
-                PendingOp::DelegateAtRecvAccept { recv, .. } => *recv == vpe,
-                _ => false,
-            })
-            .map(|(op, _)| op)
-            .collect();
-        cancelled.sort_unstable();
-        for op in cancelled {
-            let p = self.pending.remove(op).expect("collected above");
-            self.cancel_upcall_op(p, out);
-        }
+        // Cancel pending operations waiting on this VPE's upcalls (the
+        // engine's sweep); other protocol stages detect death via
+        // `vpe_alive` when their replies arrive (producing orphan
+        // cleanups per §4.3.2).
+        self.cancel_upcall_waiters(vpe, out);
         // Revoke all capabilities still in the VPE's table, starting at
         // the roots we own. Children in other groups are reached by the
         // revocation protocol itself.
@@ -531,30 +448,6 @@ impl Kernel {
             cost += self.revoke_for_exit(vpe, sel, out);
         }
         cost + self.cfg.cost.revoke_finish
-    }
-
-    /// Resolution for pending upcall-waiting ops whose target VPE died.
-    fn cancel_upcall_op(&mut self, p: PendingOp, out: &mut Outbox) {
-        match p {
-            PendingOp::ExchangeLocalAccept { tag, initiator, .. } => {
-                self.reply_sys(out, initiator, tag, Err(Error::new(Code::VpeGone)));
-            }
-            PendingOp::ObtainAtOwnerAccept { caller_op, caller_kernel, .. } => {
-                self.send_kreply(
-                    out,
-                    caller_kernel,
-                    KReply::Obtain { op: caller_op, result: Err(Error::new(Code::VpeGone)) },
-                );
-            }
-            PendingOp::DelegateAtRecvAccept { caller_op, caller_kernel, .. } => {
-                self.send_kreply(
-                    out,
-                    caller_kernel,
-                    KReply::Delegate { op: caller_op, result: Err(Error::new(Code::VpeGone)) },
-                );
-            }
-            _ => unreachable!("only upcall-waiting ops are cancelled here"),
-        }
     }
 
     /// Structural self-check used by tests: mapping-database invariants,

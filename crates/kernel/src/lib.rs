@@ -3,19 +3,25 @@
 //! Each kernel instance manages one PE group (§3.1): it owns the
 //! capabilities of all VPEs on its PEs, handles their system calls, and
 //! coordinates with other kernels through inter-kernel calls (§4.1) to
-//! implement the distributed capability protocol (§4.3):
+//! implement the distributed capability protocol (§4.3).
 //!
-//! * [`exchange`] — obtain and delegate, including the two-way delegate
-//!   handshake that closes the *invalid-capability* window, and orphan
-//!   cleanup when a party dies mid-exchange.
-//! * [`revoke`] — the two-phase mark-and-sweep revocation (Algorithm 1)
-//!   with per-operation outstanding-reply counters, waiter queues for
-//!   concurrent overlapping revokes (no *incomplete* acks), and denial of
-//!   exchanges on marked capabilities (no *pointless* exchanges).
-//! * [`session`] — service registration and session establishment across
-//!   PE groups.
-//! * [`memops`] — group-local memory capability operations (create and
-//!   derive).
+//! Every distributed operation runs on the [`ops`] engine — one shared
+//! pending-op ledger, one reply router, one outbox discipline — with
+//! the individual protocols declared as typed phases:
+//!
+//! * [`ops::exchange`] — obtain and delegate, including the two-way
+//!   delegate handshake that closes the *invalid-capability* window,
+//!   and orphan cleanup when a party dies mid-exchange.
+//! * [`ops::revoke`] — the two-phase mark-and-sweep revocation
+//!   (Algorithm 1) with fan-in reply counting, waiter queues for
+//!   concurrent overlapping revokes (no *incomplete* acks), and denial
+//!   of exchanges on marked capabilities (no *pointless* exchanges).
+//! * [`ops::session`] — service registration and session establishment
+//!   across PE groups.
+//! * [`ops::memops`] — group-local memory capability operations (create
+//!   and derive; the engine's single-phase degenerate case).
+//! * [`ops::migrate`] — capability-group migration: a VPE's DDL
+//!   ownership handed to another kernel mid-run.
 //!
 //! The kernel is written as an event-driven actor: [`Kernel::handle`]
 //! consumes one message and returns the modeled cycle cost, pushing any
@@ -23,19 +29,16 @@
 //! logic with cooperative kernel threads and explicit preemption points
 //! (§4.2) and notes the two formulations are equivalent; we keep the
 //! thread-pool *accounting* (pool sized `V_group + K_max · M_inflight`,
-//! never exceeded) as a checked invariant.
+//! never exceeded) as a checked invariant, derived from each phase's
+//! declared spec.
 
 pub mod epbind;
-pub mod exchange;
 pub mod gates;
 pub mod harness;
 pub mod kernel;
-pub mod memops;
+pub mod ops;
 pub mod outbox;
-pub mod pending;
 pub mod registry;
-pub mod revoke;
-pub mod session;
 pub mod stats;
 pub mod vpes;
 

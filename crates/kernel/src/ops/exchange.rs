@@ -1,4 +1,4 @@
-//! Capability exchange: obtain and delegate (§4.3.2).
+//! Capability exchange on the op engine: obtain and delegate (§4.3.2).
 //!
 //! Both operations start with an `Exchange` system call. The initiator's
 //! kernel decides whether the peer VPE is group-local (single-kernel
@@ -22,18 +22,177 @@
 //!   exactly that window.
 
 use semper_base::config::Feature;
-use semper_base::msg::{CapDesc, CapKindDesc, KReply, Kcall, Payload, SysReplyData, Upcall};
+use semper_base::msg::{CapDesc, CapKindDesc, KReply, Kcall, SysReplyData, Upcall};
 use semper_base::{
-    CapSel, CapType, Code, DdlKey, Error, ExchangeKind, Msg, OpId, PeId, Result, VpeId,
+    CapSel, CapType, Code, DdlKey, Error, ExchangeKind, KernelId, OpId, Result, VpeId,
 };
 use semper_caps::Capability;
 
 use crate::kernel::Kernel;
+use crate::ops::{Awaits, PendingOp, PhaseSpec, Thread};
 use crate::outbox::Outbox;
-use crate::pending::PendingOp;
+
+/// The exchange protocol's phase table (Figure 3 sequences A and B,
+/// plus the §4.3.2 delegate handshake legs).
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// A.2: group-local exchange awaiting the peer VPE's consent.
+    LocalAccept {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The initiating VPE.
+        initiator: VpeId,
+        /// The peer VPE (same group).
+        peer: VpeId,
+        /// Obtain or delegate.
+        kind: ExchangeKind,
+        /// Delegate: the initiator's capability selector.
+        own_sel: CapSel,
+        /// Obtain: the peer's capability selector.
+        other_sel: CapSel,
+    },
+    /// B.2 (requester side): awaiting `KReply::Obtain` from the owner's
+    /// kernel.
+    ObtainRemote {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The obtaining VPE.
+        requester: VpeId,
+        /// Pre-allocated key of the new child capability.
+        child_key: DdlKey,
+        /// The owner's kernel.
+        peer_kernel: KernelId,
+    },
+    /// B.3 (owner side): awaiting the owner VPE's consent upcall.
+    ObtainAtOwner {
+        /// The requester kernel's correlation id (echo in reply).
+        caller_op: OpId,
+        /// The requester's kernel.
+        caller_kernel: KernelId,
+        /// Key of the new child capability (allocated by the caller).
+        child_key: DdlKey,
+        /// Key of the parent capability (owned here).
+        parent_key: DdlKey,
+        /// The VPE owning the parent.
+        owner: VpeId,
+    },
+    /// Handshake leg 1 (delegator side): awaiting `KReply::Delegate`.
+    DelegateRemote {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The delegating VPE.
+        delegator: VpeId,
+        /// Key of the capability being delegated.
+        parent_key: DdlKey,
+        /// The receiver's kernel.
+        peer_kernel: KernelId,
+    },
+    /// Handshake leg 2 (delegator side): commit ack sent, awaiting
+    /// `KReply::DelegateDone`.
+    DelegateWaitDone {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The delegating VPE.
+        delegator: VpeId,
+        /// Key of the parent capability.
+        parent_key: DdlKey,
+        /// Key of the child capability at the receiver.
+        child_key: DdlKey,
+    },
+    /// Receiver side: awaiting the receiving VPE's consent upcall.
+    DelegateAtRecv {
+        /// The delegator kernel's correlation id (echo in reply).
+        caller_op: OpId,
+        /// The delegator's kernel.
+        caller_kernel: KernelId,
+        /// Key of the parent capability (owned by the caller).
+        parent_key: DdlKey,
+        /// Resource description for the new capability.
+        desc: CapKindDesc,
+        /// The receiving VPE.
+        recv: VpeId,
+    },
+    /// Receiver side: capability created but *not inserted*, awaiting
+    /// `Kcall::DelegateAck` (§4.3.2's two-way handshake; prevents
+    /// *invalid* capabilities).
+    DelegatePendingInsert {
+        /// The delegator's kernel (to report insertion failure).
+        caller_kernel: KernelId,
+        /// The fully built but uninserted capability.
+        cap: Box<Capability>,
+    },
+    /// Delegator side: parent turned out invalid after leg 1; abort ack
+    /// sent, awaiting the `DelegateDone` confirmation before failing
+    /// the system call.
+    DelegateAborted {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The delegating VPE.
+        delegator: VpeId,
+        /// Why the delegate was aborted.
+        reason: Error,
+    },
+}
+
+impl Phase {
+    /// The declared spec of each phase.
+    pub fn spec(&self) -> &'static PhaseSpec {
+        match self {
+            Phase::LocalAccept { .. } => &PhaseSpec {
+                name: "exchange-local",
+                awaits: Awaits::UpcallReply,
+                thread: Thread::Holds,
+            },
+            Phase::ObtainRemote { .. } => {
+                &PhaseSpec { name: "obtain-remote", awaits: Awaits::KReply, thread: Thread::Holds }
+            }
+            Phase::ObtainAtOwner { .. } => &PhaseSpec {
+                name: "obtain-at-owner",
+                awaits: Awaits::UpcallReply,
+                thread: Thread::Holds,
+            },
+            Phase::DelegateRemote { .. } => &PhaseSpec {
+                name: "delegate-remote",
+                awaits: Awaits::KReply,
+                thread: Thread::Holds,
+            },
+            Phase::DelegateWaitDone { .. } => &PhaseSpec {
+                name: "delegate-wait-done",
+                awaits: Awaits::KReply,
+                thread: Thread::Holds,
+            },
+            Phase::DelegateAtRecv { .. } => &PhaseSpec {
+                name: "delegate-at-recv",
+                awaits: Awaits::UpcallReply,
+                thread: Thread::Holds,
+            },
+            Phase::DelegatePendingInsert { .. } => &PhaseSpec {
+                name: "delegate-pending-insert",
+                awaits: Awaits::KReply,
+                thread: Thread::Free,
+            },
+            Phase::DelegateAborted { .. } => &PhaseSpec {
+                name: "delegate-aborted",
+                awaits: Awaits::KReply,
+                thread: Thread::Holds,
+            },
+        }
+    }
+
+    /// The VPE whose consent upcall this phase awaits (its death
+    /// cancels the operation; see [`PendingOp::upcall_responder`]).
+    pub fn upcall_responder(&self) -> Option<VpeId> {
+        match self {
+            Phase::LocalAccept { peer, .. } => Some(*peer),
+            Phase::ObtainAtOwner { owner, .. } => Some(*owner),
+            Phase::DelegateAtRecv { recv, .. } => Some(*recv),
+            _ => None,
+        }
+    }
+}
 
 impl Kernel {
-    /// Entry point for the `Exchange` system call.
+    /// Entry point for the `Exchange` system call (local start).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn sys_exchange(
         &mut self,
@@ -101,21 +260,21 @@ impl Kernel {
             }
             let op = self.alloc_op();
             let peer_pe = self.pe_of_vpe(other)?;
-            out.push(Msg::new(
-                self.pe,
+            self.send_upcall(
+                out,
                 peer_pe,
-                Payload::Upcall(Upcall::AcceptExchange { op, from_vpe: vpe, kind, sel: other_sel }),
-            ));
+                Upcall::AcceptExchange { op, from_vpe: vpe, kind, sel: other_sel },
+            );
             self.park(
                 op,
-                PendingOp::ExchangeLocalAccept {
+                PendingOp::Exchange(Phase::LocalAccept {
                     tag,
                     initiator: vpe,
                     peer: other,
                     kind,
                     own_sel,
                     other_sel,
-                },
+                }),
             );
             Ok(2 * self.ref_cost())
         } else {
@@ -140,7 +299,12 @@ impl Kernel {
                     );
                     self.park(
                         op,
-                        PendingOp::ObtainRemote { tag, requester: vpe, child_key, peer_kernel },
+                        PendingOp::Exchange(Phase::ObtainRemote {
+                            tag,
+                            requester: vpe,
+                            child_key,
+                            peer_kernel,
+                        }),
                     );
                 }
                 ExchangeKind::Delegate => {
@@ -153,7 +317,12 @@ impl Kernel {
                     );
                     self.park(
                         op,
-                        PendingOp::DelegateRemote { tag, delegator: vpe, parent_key, peer_kernel },
+                        PendingOp::Exchange(Phase::DelegateRemote {
+                            tag,
+                            delegator: vpe,
+                            parent_key,
+                            peer_kernel,
+                        }),
                     );
                 }
             }
@@ -161,65 +330,10 @@ impl Kernel {
         }
     }
 
-    /// The peer VPE answered an accept-exchange upcall.
-    pub(crate) fn upcall_accept_exchange(
-        &mut self,
-        src: PeId,
-        op: OpId,
-        accept: bool,
-        out: &mut Outbox,
-    ) -> u64 {
-        let Some(state) = self.pending.remove(op) else {
-            // The operation was cancelled (e.g. a party died); ignore.
-            return 0;
-        };
-        match state {
-            PendingOp::ExchangeLocalAccept { tag, initiator, peer, kind, own_sel, other_sel } => {
-                debug_assert_eq!(self.pe_of_vpe(peer).ok(), Some(src));
-                self.finish_local_exchange(
-                    tag, initiator, peer, kind, own_sel, other_sel, accept, out,
-                )
-            }
-            PendingOp::ObtainAtOwnerAccept {
-                caller_op,
-                caller_kernel,
-                child_key,
-                parent_key,
-                ..
-            } => self.finish_obtain_at_owner(
-                caller_op,
-                caller_kernel,
-                child_key,
-                parent_key,
-                accept,
-                out,
-            ),
-            PendingOp::DelegateAtRecvAccept {
-                caller_op,
-                caller_kernel,
-                parent_key,
-                desc,
-                recv,
-            } => self.finish_delegate_at_recv(
-                caller_op,
-                caller_kernel,
-                parent_key,
-                desc,
-                recv,
-                accept,
-                out,
-            ),
-            other => {
-                debug_assert!(false, "accept-exchange reply for {:?}", other.class());
-                self.pending.insert(op, other);
-                0
-            }
-        }
-    }
-
-    /// Completes a group-local exchange after the peer accepted.
+    /// Resumes [`Phase::LocalAccept`]: the peer answered the consent
+    /// upcall; complete the group-local exchange.
     #[allow(clippy::too_many_arguments)]
-    fn finish_local_exchange(
+    pub(crate) fn local_exchange_accept(
         &mut self,
         tag: u64,
         initiator: VpeId,
@@ -280,16 +394,17 @@ impl Kernel {
 
     // ----- obtain, group-spanning ---------------------------------------
 
-    /// Owner-side handling of an obtain request from another kernel.
+    /// Owner-side request handler for [`Kcall::ObtainReq`]: validate,
+    /// then fan out the consent upcall ([`Phase::ObtainAtOwner`]).
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn kcall_obtain_req(
+    pub(crate) fn obtain_request(
         &mut self,
-        from: semper_base::KernelId,
+        from: KernelId,
         op: OpId,
         child_key: DdlKey,
         owner_vpe: VpeId,
         owner_sel: CapSel,
-        _requester_vpe: VpeId,
+        requester_vpe: VpeId,
         out: &mut Outbox,
     ) -> u64 {
         let check = (|| -> Result<DdlKey> {
@@ -314,37 +429,38 @@ impl Kernel {
             Ok(parent_key) => {
                 let my_op = self.alloc_op();
                 let pe = self.pe_of_vpe(owner_vpe).expect("owner is local");
-                out.push(Msg::new(
-                    self.pe,
+                self.send_upcall(
+                    out,
                     pe,
-                    Payload::Upcall(Upcall::AcceptExchange {
+                    Upcall::AcceptExchange {
                         op: my_op,
-                        from_vpe: _requester_vpe,
+                        from_vpe: requester_vpe,
                         kind: ExchangeKind::Obtain,
                         sel: owner_sel,
-                    }),
-                ));
+                    },
+                );
                 self.park(
                     my_op,
-                    PendingOp::ObtainAtOwnerAccept {
+                    PendingOp::Exchange(Phase::ObtainAtOwner {
                         caller_op: op,
                         caller_kernel: from,
                         child_key,
                         parent_key,
                         owner: owner_vpe,
-                    },
+                    }),
                 );
                 self.ref_cost() + self.cfg.cost.xfer_desc
             }
         }
     }
 
-    /// Owner accepted (or denied) a remote obtain: link the child and
-    /// reply with the capability description.
-    fn finish_obtain_at_owner(
+    /// Resumes [`Phase::ObtainAtOwner`]: the owner accepted (or denied)
+    /// a remote obtain; link the child and reply with the capability
+    /// description.
+    pub(crate) fn obtain_owner_accept(
         &mut self,
         caller_op: OpId,
-        caller_kernel: semper_base::KernelId,
+        caller_kernel: KernelId,
         child_key: DdlKey,
         parent_key: DdlKey,
         accept: bool,
@@ -374,19 +490,17 @@ impl Kernel {
         self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
     }
 
-    /// Requester-side completion of a group-spanning obtain.
-    pub(crate) fn kreply_obtain(
+    /// Resumes [`Phase::ObtainRemote`]: requester-side completion of a
+    /// group-spanning obtain.
+    pub(crate) fn obtain_reply(
         &mut self,
-        op: OpId,
+        tag: u64,
+        requester: VpeId,
+        child_key: DdlKey,
+        peer_kernel: KernelId,
         result: &Result<CapDesc>,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(PendingOp::ObtainRemote { tag, requester, child_key, peer_kernel }) =
-            self.pending.remove(op)
-        else {
-            debug_assert!(false, "obtain reply without pending op");
-            return 0;
-        };
         match result {
             Err(e) => {
                 self.reply_sys(out, requester, tag, Err(*e));
@@ -420,7 +534,7 @@ impl Kernel {
 
     /// Owner-side cleanup of an orphaned child reference (the obtainer
     /// died before receiving the capability).
-    pub(crate) fn kcall_orphan_notice(&mut self, parent_key: DdlKey, child_key: DdlKey) -> u64 {
+    pub(crate) fn orphan_notice(&mut self, parent_key: DdlKey, child_key: DdlKey) -> u64 {
         if self.mapdb.unlink_child(parent_key, child_key) {
             self.stats.orphans_cleaned += 1;
         }
@@ -429,10 +543,11 @@ impl Kernel {
 
     // ----- delegate, group-spanning --------------------------------------
 
-    /// Receiver-side handling of a delegate request (first leg).
-    pub(crate) fn kcall_delegate_req(
+    /// Receiver-side request handler for [`Kcall::DelegateReq`] (first
+    /// leg): fan out the consent upcall ([`Phase::DelegateAtRecv`]).
+    pub(crate) fn delegate_request(
         &mut self,
-        from: semper_base::KernelId,
+        from: KernelId,
         op: OpId,
         parent_key: DdlKey,
         desc: CapKindDesc,
@@ -449,40 +564,41 @@ impl Kernel {
         }
         let my_op = self.alloc_op();
         let pe = self.pe_of_vpe(recv_vpe).expect("recv is local");
-        out.push(Msg::new(
-            self.pe,
+        self.send_upcall(
+            out,
             pe,
-            Payload::Upcall(Upcall::AcceptExchange {
+            Upcall::AcceptExchange {
                 op: my_op,
                 from_vpe: recv_vpe,
                 kind: ExchangeKind::Delegate,
                 sel: CapSel::INVALID,
-            }),
-        ));
+            },
+        );
         self.park(
             my_op,
-            PendingOp::DelegateAtRecvAccept {
+            PendingOp::Exchange(Phase::DelegateAtRecv {
                 caller_op: op,
                 caller_kernel: from,
                 parent_key,
                 desc,
                 recv: recv_vpe,
-            },
+            }),
         );
         self.ref_cost() + self.cfg.cost.xfer_desc
     }
 
-    /// Receiver accepted a remote delegate: create the capability.
+    /// Resumes [`Phase::DelegateAtRecv`]: the receiver accepted a remote
+    /// delegate; create the capability.
     ///
     /// With the two-way handshake (default) the capability is parked
     /// uninserted until the delegator's kernel confirms the parent is
     /// still alive. With [`Feature::OneWayDelegate`] (ablation) it is
     /// inserted immediately — opening the *invalid-capability* window.
     #[allow(clippy::too_many_arguments)]
-    fn finish_delegate_at_recv(
+    pub(crate) fn delegate_recv_accept(
         &mut self,
         caller_op: OpId,
-        caller_kernel: semper_base::KernelId,
+        caller_kernel: KernelId,
         parent_key: DdlKey,
         desc: CapKindDesc,
         recv: VpeId,
@@ -517,7 +633,10 @@ impl Kernel {
         }
 
         let my_op = self.alloc_op();
-        self.park(my_op, PendingOp::DelegatePendingInsert { caller_kernel, cap: Box::new(cap) });
+        self.park(
+            my_op,
+            PendingOp::Exchange(Phase::DelegatePendingInsert { caller_kernel, cap: Box::new(cap) }),
+        );
         self.send_kreply(
             out,
             caller_kernel,
@@ -526,21 +645,20 @@ impl Kernel {
         self.cfg.cost.cap_create + self.cfg.cost.kcall_exit
     }
 
-    /// Delegator-side handling of the first-leg reply: validate the
-    /// parent is still alive, then commit or abort.
-    pub(crate) fn kreply_delegate(
+    /// Resumes [`Phase::DelegateRemote`]: delegator-side handling of the
+    /// first-leg reply — validate the parent is still alive, then
+    /// commit or abort.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn delegate_reply(
         &mut self,
-        from: semper_base::KernelId,
-        op: OpId,
+        from: KernelId,
+        tag: u64,
+        delegator: VpeId,
+        parent_key: DdlKey,
+        peer_kernel: KernelId,
         result: &Result<(DdlKey, OpId)>,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(PendingOp::DelegateRemote { tag, delegator, parent_key, peer_kernel }) =
-            self.pending.remove(op)
-        else {
-            debug_assert!(false, "delegate reply without pending op");
-            return 0;
-        };
         debug_assert_eq!(from, peer_kernel);
         match result {
             Err(e) => {
@@ -575,12 +693,12 @@ impl Kernel {
                     );
                     self.park(
                         reply_op,
-                        PendingOp::DelegateWaitDone {
+                        PendingOp::Exchange(Phase::DelegateWaitDone {
                             tag,
                             delegator,
                             parent_key,
                             child_key: *child_key,
-                        },
+                        }),
                     );
                     self.ref_cost() + self.cfg.cost.xfer_desc + self.cfg.cost.cap_insert
                 } else {
@@ -597,23 +715,28 @@ impl Kernel {
                         peer_kernel,
                         Kcall::DelegateAck { op: *peer_op, reply_op, commit: false },
                     );
-                    self.park(reply_op, PendingOp::DelegateAborted { tag, delegator, reason });
+                    self.park(
+                        reply_op,
+                        PendingOp::Exchange(Phase::DelegateAborted { tag, delegator, reason }),
+                    );
                     self.ref_cost()
                 }
             }
         }
     }
 
-    /// Receiver-side handling of the commit/abort ack (second leg).
-    pub(crate) fn kcall_delegate_ack(
+    /// Receiver-side handler for [`Kcall::DelegateAck`] (second leg):
+    /// resumes [`Phase::DelegatePendingInsert`] through the ledger.
+    pub(crate) fn delegate_ack(
         &mut self,
-        from: semper_base::KernelId,
+        from: KernelId,
         op: OpId,
         reply_op: OpId,
         commit: bool,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(PendingOp::DelegatePendingInsert { caller_kernel, cap }) = self.pending.remove(op)
+        let Some(PendingOp::Exchange(Phase::DelegatePendingInsert { caller_kernel, cap })) =
+            self.pending.remove(op)
         else {
             debug_assert!(false, "delegate ack without pending insert");
             return 0;
@@ -638,48 +761,73 @@ impl Kernel {
         self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
     }
 
-    /// Delegator-side completion of the handshake.
-    pub(crate) fn kreply_delegate_done(
+    /// Resumes [`Phase::DelegateWaitDone`]: delegator-side completion of
+    /// the handshake.
+    pub(crate) fn delegate_done(
         &mut self,
-        op: OpId,
+        tag: u64,
+        delegator: VpeId,
+        parent_key: DdlKey,
+        child_key: DdlKey,
         result: Result<CapSel>,
         out: &mut Outbox,
     ) -> u64 {
-        match self.pending.remove(op) {
-            Some(PendingOp::DelegateWaitDone { tag, delegator, parent_key, child_key }) => {
-                match result {
-                    Ok(recv_sel) => {
-                        self.stats.exchanges_spanning += 1;
-                        self.reply_sys(
-                            out,
-                            delegator,
-                            tag,
-                            Ok(SysReplyData::Delegated { recv_sel }),
-                        );
-                    }
-                    Err(e) => {
-                        // Insertion failed (receiver died): unlink the
-                        // child reference we optimistically added.
-                        self.mapdb.unlink_child(parent_key, child_key);
-                        self.reply_sys(out, delegator, tag, Err(e));
-                    }
-                }
-                self.ref_cost() + self.cfg.cost.syscall_exit
+        match result {
+            Ok(recv_sel) => {
+                self.stats.exchanges_spanning += 1;
+                self.reply_sys(out, delegator, tag, Ok(SysReplyData::Delegated { recv_sel }));
             }
-            Some(PendingOp::DelegateAborted { tag, delegator, reason }) => {
-                self.reply_sys(out, delegator, tag, Err(reason));
-                self.cfg.cost.syscall_exit
+            Err(e) => {
+                // Insertion failed (receiver died): unlink the child
+                // reference we optimistically added.
+                self.mapdb.unlink_child(parent_key, child_key);
+                self.reply_sys(out, delegator, tag, Err(e));
             }
-            other => {
-                debug_assert!(false, "delegate-done without pending op: {other:?}");
-                0
+        }
+        self.ref_cost() + self.cfg.cost.syscall_exit
+    }
+
+    /// Resumes [`Phase::DelegateAborted`]: the receiver confirmed the
+    /// abort; fail the system call with the recorded reason.
+    pub(crate) fn delegate_done_aborted(
+        &mut self,
+        tag: u64,
+        delegator: VpeId,
+        reason: Error,
+        out: &mut Outbox,
+    ) -> u64 {
+        self.reply_sys(out, delegator, tag, Err(reason));
+        self.cfg.cost.syscall_exit
+    }
+
+    /// Cancellation for exchange phases awaiting a consent upcall whose
+    /// responder VPE died (engine teardown sweep).
+    pub(crate) fn cancel_exchange_phase(&mut self, phase: Phase, out: &mut Outbox) {
+        match phase {
+            Phase::LocalAccept { tag, initiator, .. } => {
+                self.reply_sys(out, initiator, tag, Err(Error::new(Code::VpeGone)));
             }
+            Phase::ObtainAtOwner { caller_op, caller_kernel, .. } => {
+                self.send_kreply(
+                    out,
+                    caller_kernel,
+                    KReply::Obtain { op: caller_op, result: Err(Error::new(Code::VpeGone)) },
+                );
+            }
+            Phase::DelegateAtRecv { caller_op, caller_kernel, .. } => {
+                self.send_kreply(
+                    out,
+                    caller_kernel,
+                    KReply::Delegate { op: caller_op, result: Err(Error::new(Code::VpeGone)) },
+                );
+            }
+            other => unreachable!("{} is not cancelled via upcall sweep", other.spec().name),
         }
     }
 }
 
 /// DDL key type matching a resource description.
-fn key_type_for(desc: &CapKindDesc) -> CapType {
+pub(crate) fn key_type_for(desc: &CapKindDesc) -> CapType {
     match desc {
         CapKindDesc::Vpe { .. } => CapType::Vpe,
         CapKindDesc::Memory { .. } => CapType::Memory,

@@ -1,4 +1,10 @@
-//! Group-local memory capability operations.
+//! Group-local memory capability operations on the op engine.
+//!
+//! Create and derive are the engine's *degenerate* protocols: a single
+//! local phase with no fan-out — the start handler completes the
+//! operation synchronously, so nothing is ever parked in the ledger.
+//! They live in `ops` so every capability operation dispatches through
+//! the same engine surface.
 //!
 //! `CreateMem` allocates fresh global memory and returns a root memory
 //! capability; `DeriveMem` creates a child capability covering a

@@ -1,0 +1,301 @@
+//! Capability-group migration: moving a VPE's DDL ownership between
+//! kernels mid-run (§4.2).
+//!
+//! The paper's membership table maps PE-id partitions to kernels so any
+//! kernel can route a DDL key without global agreement (§3.2). Because
+//! every capability a VPE owns carries the VPE's PE in its key, the set
+//! of DDL entries owned on behalf of one VPE *is* a partition of the
+//! key space — a capability group. Migrating the group to another
+//! kernel is therefore a pure ownership handover: the records move, the
+//! keys (and with them every cross-kernel parent/child link) stay
+//! valid, and the membership tables are updated so future routing finds
+//! the new owner.
+//!
+//! The protocol is the engine's showcase for a *new* distributed
+//! operation — two phases, built entirely from engine primitives:
+//!
+//! 1. **Start (source kernel)** — validate (the VPE is local, alive,
+//!    not a service, no endpoint activations, nothing revoking),
+//!    marshal the group's records in selector order, send
+//!    [`Kcall::MigrateReq`] to the destination, park
+//!    [`Phase::AwaitInstall`].
+//! 2. **Install (destination)** — adopt the PE into the own group,
+//!    rebuild the capability table and mapping-database records (same
+//!    selectors, same child-list order), resume the VPE's DDL object-id
+//!    counter, reply [`KReply::Migrate`].
+//! 3. **Handover (source)** — on the install reply, delete the local
+//!    records, update the own membership table, and fan out
+//!    [`Kcall::MembershipUpdate`] to every bystander kernel, parking
+//!    [`Phase::AwaitAcks`] on a [`FanIn`] (one ack per bystander).
+//! 4. **Completion (source)** — when the fan-in drains, the migration
+//!    is done: every kernel routes the group's keys to the new owner.
+//!
+//! Migration is machine-initiated control traffic (like boot): it
+//! requires the group to be quiescent — no in-flight operation may
+//! reference the moving VPE. The simulation's drivers migrate only at
+//! quiet points, mirroring how the paper's design keeps state "where it
+//! emerges" and hands it over wholesale.
+
+use semper_base::msg::{KReply, Kcall, MigratedCap};
+use semper_base::{Code, DdlKey, Error, KernelId, OpId, PeId, Result, VpeId};
+use semper_caps::{CapTable, Capability};
+
+use crate::kernel::{Kernel, FIRST_FREE_SEL};
+use crate::ops::{Awaits, FanIn, PendingOp, PhaseSpec, Thread};
+use crate::outbox::Outbox;
+use crate::vpes::VpeState;
+
+/// Continuation of a migration awaiting the destination's install
+/// reply.
+#[derive(Debug, Clone)]
+pub struct Install {
+    /// The migrating VPE.
+    pub vpe: VpeId,
+    /// Its PE (the partition being reassigned).
+    pub pe: PeId,
+    /// The adopting kernel.
+    pub dst: KernelId,
+    /// Keys of the transferred records, deleted locally once the
+    /// destination confirmed the install.
+    pub keys: Vec<DdlKey>,
+}
+
+/// The migration protocol's phase table.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// Source side: awaiting [`KReply::Migrate`] from the destination.
+    AwaitInstall(Box<Install>),
+    /// Source side: records handed over; awaiting membership-update
+    /// acks from every bystander kernel.
+    AwaitAcks {
+        /// The migrated VPE (for diagnostics).
+        vpe: VpeId,
+        /// One completion per bystander kernel.
+        fanin: FanIn,
+    },
+}
+
+impl Phase {
+    /// The declared spec of each phase.
+    pub fn spec(&self) -> &'static PhaseSpec {
+        match self {
+            Phase::AwaitInstall(_) => &PhaseSpec {
+                name: "migrate-await-install",
+                awaits: Awaits::KReply,
+                thread: Thread::Holds,
+            },
+            Phase::AwaitAcks { .. } => &PhaseSpec {
+                name: "migrate-await-acks",
+                awaits: Awaits::FanIn,
+                thread: Thread::Free,
+            },
+        }
+    }
+}
+
+impl Kernel {
+    /// Starts migrating `vpe`'s capability group to kernel `dst`
+    /// (machine-initiated control operation; local start of the
+    /// migration protocol). Returns the modeled cycle cost of the
+    /// marshalling work.
+    ///
+    /// Fails if the VPE is not a quiescent, migratable member of this
+    /// group: it must be alive and local, must not be a registered
+    /// service (the registry pins service groups), must hold no DTU
+    /// endpoint activations (endpoint state is per-PE hardware the
+    /// protocol does not re-home), and none of its capabilities may be
+    /// under revocation.
+    pub fn start_group_migration(
+        &mut self,
+        vpe: VpeId,
+        dst: KernelId,
+        out: &mut Outbox,
+    ) -> Result<u64> {
+        if dst == self.id || dst.idx() >= self.membership.kernel_count() {
+            return Err(Error::new(Code::InvalidArgs));
+        }
+        if !self.vpe_alive(vpe) {
+            return Err(Error::new(Code::NoSuchVpe));
+        }
+        let pe = self.pe_of_vpe(vpe)?;
+        if self.membership.kernel_of(pe) != self.id {
+            return Err(Error::new(Code::NoSuchVpe));
+        }
+        if self.vpes.get(&vpe).map(|v| v.is_service).unwrap_or(false) {
+            return Err(Error::new(Code::InvalidArgs));
+        }
+        if self.eps.vpe_bound(vpe) {
+            return Err(Error::new(Code::InvalidArgs));
+        }
+        let table = self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?;
+
+        // Marshal the group in selector order (the table's iteration
+        // order is protocol-visible and deterministic). One reference
+        // plus one descriptor transfer per record.
+        let mut caps = Vec::with_capacity(table.len());
+        let mut keys = Vec::with_capacity(table.len());
+        let mut cost = 0u64;
+        for (sel, key) in table.iter() {
+            let cap = self.mapdb.get(key)?;
+            if cap.revoking() || cap.outstanding > 0 {
+                return Err(Error::new(Code::RevokeInProgress));
+            }
+            caps.push(MigratedCap {
+                key,
+                kind: cap.kind,
+                sel,
+                parent: cap.parent,
+                children: cap.children().collect(),
+            });
+            keys.push(key);
+            cost += self.ref_cost() + self.cfg.cost.xfer_desc;
+        }
+        let next_sel = table.selector_space();
+        let next_object_id = self.keys.allocated(vpe);
+
+        let op = self.alloc_op();
+        self.send_kcall(
+            out,
+            dst,
+            Kcall::MigrateReq { op, pe, vpe, next_object_id, next_sel, caps },
+        );
+        self.park(
+            op,
+            PendingOp::Migrate(Phase::AwaitInstall(Box::new(Install { vpe, pe, dst, keys }))),
+        );
+        Ok(cost + self.cfg.cost.kcall_exit)
+    }
+
+    /// Request handler for [`Kcall::MigrateReq`]: adopt the PE and
+    /// install the group's records (destination side).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn migrate_request(
+        &mut self,
+        from: KernelId,
+        op: OpId,
+        pe: PeId,
+        vpe: VpeId,
+        next_object_id: u32,
+        next_sel: u32,
+        caps: &[MigratedCap],
+        out: &mut Outbox,
+    ) -> u64 {
+        debug_assert_eq!(self.membership.kernel_of(pe), from, "source must own the PE");
+        debug_assert!(!self.pe2vpe.contains_key(&pe), "PE already hosts a VPE here");
+        // Adopt the partition: one membership write.
+        self.membership.set_kernel_of(pe, self.id);
+        let mut cost = self.ref_cost();
+
+        // Rebuild the capability table with the source's selector
+        // bindings and selector-space high-water mark, and the mapping
+        // database records with their child lists in original order.
+        let table =
+            CapTable::rehydrate(FIRST_FREE_SEL, next_sel, caps.iter().map(|c| (c.sel, c.key)));
+        for rec in caps {
+            let mut cap = match rec.parent {
+                Some(parent) => Capability::child(rec.key, rec.kind, vpe, rec.sel, parent),
+                None => Capability::root(rec.key, rec.kind, vpe, rec.sel),
+            };
+            for child in &rec.children {
+                cap.add_child(*child);
+            }
+            self.mapdb.insert(cap);
+            cost += self.cfg.cost.cap_insert + self.ref_cost();
+        }
+        self.tables.insert(vpe, table);
+        self.vpes.insert(vpe, VpeState::new(vpe, pe));
+        self.pe2vpe.insert(pe, vpe);
+        self.keys.resume(vpe, next_object_id);
+        self.stats.migrations_in += 1;
+
+        self.send_kreply(out, from, KReply::Migrate { op, result: Ok(caps.len() as u64) });
+        cost + self.cfg.cost.kcall_exit
+    }
+
+    /// Resumes [`Phase::AwaitInstall`]: the destination confirmed the
+    /// install; delete the local records and fan out the membership
+    /// update to every bystander kernel.
+    pub(crate) fn migrate_installed(
+        &mut self,
+        op: OpId,
+        install: Install,
+        result: Result<u64>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Install { vpe, pe, dst, keys } = install;
+        if let Err(e) = result {
+            // The destination rejected atomically; the group never left.
+            debug_assert!(false, "migration install failed: {e}");
+            return self.cfg.cost.kcall_exit;
+        }
+        debug_assert_eq!(result, Ok(keys.len() as u64));
+
+        // Hand over: drop every transferred record plus the VPE's local
+        // bookkeeping, then route the partition to its new owner.
+        let mut cost = 0u64;
+        for key in keys {
+            let removed = self.mapdb.remove(key);
+            debug_assert!(removed.is_some(), "transferred record vanished");
+            cost += self.cfg.cost.revoke_delete + self.ref_cost();
+        }
+        self.tables.remove(&vpe);
+        self.vpes.remove(&vpe);
+        self.pe2vpe.remove(&pe);
+        self.keys.forget(vpe);
+        self.membership.set_kernel_of(pe, dst);
+        cost += self.ref_cost();
+
+        // Fan out the membership update; one ack per bystander.
+        let mut fanin = FanIn::new();
+        for k in 0..self.membership.kernel_count() {
+            let k = KernelId(k as u16);
+            if k == self.id || k == dst {
+                continue;
+            }
+            fanin.arm();
+            cost += self.cfg.cost.kcall_exit;
+            self.send_kcall(out, k, Kcall::MembershipUpdate { op, pe, new_kernel: dst });
+        }
+        if fanin.idle() {
+            // Two-kernel machine: nobody else to tell.
+            self.stats.migrations_out += 1;
+            cost
+        } else {
+            self.pending.insert(op, PendingOp::Migrate(Phase::AwaitAcks { vpe, fanin }));
+            cost + self.cfg.cost.thread_switch
+        }
+    }
+
+    /// Request handler for [`Kcall::MembershipUpdate`] (bystander side):
+    /// reroute the partition and acknowledge.
+    pub(crate) fn membership_update(
+        &mut self,
+        from: KernelId,
+        op: OpId,
+        pe: PeId,
+        new_kernel: KernelId,
+        out: &mut Outbox,
+    ) -> u64 {
+        self.membership.set_kernel_of(pe, new_kernel);
+        self.send_kreply(out, from, KReply::MembershipAck { op });
+        self.ref_cost() + self.cfg.cost.kcall_exit
+    }
+
+    /// Resumes [`Phase::AwaitAcks`]: one bystander acknowledged; the
+    /// migration completes when the fan-in drains.
+    pub(crate) fn migrate_ack(
+        &mut self,
+        op: OpId,
+        vpe: VpeId,
+        mut fanin: FanIn,
+        _out: &mut Outbox,
+    ) -> u64 {
+        if fanin.complete_one(0) {
+            self.stats.migrations_out += 1;
+            self.cfg.cost.thread_switch
+        } else {
+            self.pending.insert(op, PendingOp::Migrate(Phase::AwaitAcks { vpe, fanin }));
+            0
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! The distributed-operation engine (§4.3).
+//!
+//! Every cross-kernel operation in the paper's capability protocol has
+//! the same shape: a **local start** (system call or machine control),
+//! a **fan-out** of inter-kernel calls and/or consent upcalls, a
+//! **collection** of replies tracked by pending-op state, and a
+//! **completion** that notifies whoever started the operation. The
+//! engine factors that shape out once; a protocol is then *declared* as
+//! a set of typed phases plus the handler for each phase transition:
+//!
+//! * [`PendingOp`] — the union of all suspended phases, one variant per
+//!   protocol ([`exchange`], [`session`], [`revoke`], [`migrate`]).
+//!   Each phase carries exactly the continuation state its resume
+//!   handler needs.
+//! * [`PhaseSpec`] — the per-phase declaration: what the phase awaits
+//!   ([`Awaits`]) and whether it parks a cooperative kernel thread
+//!   ([`Thread`], the §4.2 pool accounting). The ledger derives thread
+//!   accounting from the spec instead of hand-maintained match arms.
+//! * [`ledger::PendingTable`] — the one shared pending-op ledger, keyed
+//!   by correlation id ([`semper_base::OpId`]).
+//! * The **reply router** (`Kernel::route_kcall` / `route_kreply` /
+//!   `route_upcall_reply` below) — the single dispatch point for every
+//!   inter-kernel call, reply, and upcall answer. Replies resume the
+//!   parked phase through one ledger lookup; requests dispatch straight
+//!   to the protocol's request handler.
+//! * [`FanIn`] — counted completion shared by every fan-out phase
+//!   (revocation's outstanding remote subtrees, batched revokes,
+//!   migration's membership acks), with a running tally for the
+//!   statistics the reply carries back.
+//!
+//! # Paper §4.3 → engine phases
+//!
+//! | paper step | engine phase |
+//! |---|---|
+//! | Fig. 3 A.2/A.3 consent upcall (group-local exchange) | [`exchange::Phase::LocalAccept`] |
+//! | Fig. 3 B.2 obtain request at the owner's kernel | [`exchange::Phase::ObtainRemote`] → [`exchange::Phase::ObtainAtOwner`] |
+//! | §4.3.2 two-way delegate handshake, first leg | [`exchange::Phase::DelegateRemote`] → [`exchange::Phase::DelegateAtRecv`] |
+//! | §4.3.2 two-way delegate handshake, second leg | [`exchange::Phase::DelegatePendingInsert`] / [`exchange::Phase::DelegateWaitDone`] / [`exchange::Phase::DelegateAborted`] |
+//! | §3.4 session capability attachment | [`session::Phase::OpenRemote`] → [`session::Phase::AtService`], [`session::Phase::OpenLocal`] |
+//! | §4.3.3 Algorithm 1 mark/sweep + reply counting | [`revoke::Phase::Run`] / [`revoke::Phase::Batch`] |
+//! | §4.2 group migration (ownership handover) | [`migrate::Phase::AwaitInstall`] → [`migrate::Phase::AwaitAcks`] |
+//!
+//! # What a new protocol costs
+//!
+//! Group migration ([`migrate`]) is the existence proof: a new
+//! distributed operation is its phase enum (two variants), a spec row
+//! per phase, one request handler per participant role, and one resume
+//! handler per phase — the ledger, router, credit gating, thread
+//! accounting, and fan-in counting are all inherited. The pre-engine
+//! protocols carried ~150 LoC of that plumbing *each*.
+//!
+//! # Determinism contract
+//!
+//! The engine preserves the pre-engine protocols bit-for-bit: the same
+//! messages with the same payloads leave in the same order at the same
+//! modeled cycle costs, proven by the pinned goldens in
+//! `tests/determinism.rs` and the full-trace fingerprints in
+//! `crates/kernel/tests/ops_trace.rs`.
+
+pub mod exchange;
+pub mod ledger;
+pub mod memops;
+pub mod migrate;
+pub mod revoke;
+pub mod session;
+
+use semper_base::msg::{KReply, Kcall, UpcallReply};
+use semper_base::{OpId, PeId, VpeId};
+
+use crate::kernel::Kernel;
+use crate::outbox::Outbox;
+
+/// What a suspended phase is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Awaits {
+    /// A consent/notification upcall answer from a local VPE.
+    UpcallReply,
+    /// A protocol reply (or reply-like call, e.g. the delegate ack)
+    /// from one specific peer kernel.
+    KReply,
+    /// A counted set of completions ([`FanIn`] reaches zero).
+    FanIn,
+}
+
+/// Whether a suspended phase occupies a cooperative kernel thread
+/// (§4.2). Only operations that *park a thread* count against the pool
+/// `V_group + K_max · M_inflight`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Thread {
+    /// Parks a thread: syscall-initiated waits and consent-upcall waits.
+    Holds,
+    /// Thread-free bookkeeping: the paper's revoke handlers return
+    /// without pausing (Algorithm 1), and a parked-but-uninserted
+    /// delegate capability is pure state.
+    Free,
+    /// Depends on who initiated the operation (revocation: syscalls and
+    /// internal cleanup hold the calling thread; incoming requests are
+    /// thread-free).
+    PerInitiator,
+}
+
+/// The declared shape of one protocol phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSpec {
+    /// Phase label for logs, statistics, and assertions.
+    pub name: &'static str,
+    /// What the phase awaits.
+    pub awaits: Awaits,
+    /// Thread-pool accounting class.
+    pub thread: Thread,
+}
+
+/// Counted fan-out completion with a running tally.
+///
+/// Shared by every phase that waits for N independent completions:
+/// revocation (one per remote subtree plus one per dependency on a
+/// concurrent revoke), batched revokes (one per key), and migration
+/// (one membership ack per bystander kernel). The tally accumulates
+/// whatever the completions report (deleted capabilities, installed
+/// records) for the completion notification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FanIn {
+    outstanding: u32,
+    tally: u64,
+}
+
+impl FanIn {
+    /// A fan-in with nothing armed.
+    pub fn new() -> FanIn {
+        FanIn::default()
+    }
+
+    /// Arms one more expected completion.
+    pub fn arm(&mut self) {
+        self.outstanding += 1;
+    }
+
+    /// Arms `n` expected completions.
+    pub fn arm_n(&mut self, n: u32) {
+        self.outstanding += n;
+    }
+
+    /// Adds to the tally without consuming a completion (local work
+    /// accounted by the operation itself).
+    pub fn add(&mut self, n: u64) {
+        self.tally += n;
+    }
+
+    /// Records one completion carrying `n` tally units; returns true
+    /// when this was the last outstanding completion.
+    pub fn complete_one(&mut self, n: u64) -> bool {
+        self.tally += n;
+        self.outstanding -= 1;
+        self.outstanding == 0
+    }
+
+    /// True if no completions are outstanding.
+    pub fn idle(&self) -> bool {
+        self.outstanding == 0
+    }
+
+    /// Completions still outstanding.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    /// The accumulated tally.
+    pub fn tally(&self) -> u64 {
+        self.tally
+    }
+}
+
+/// A suspended distributed operation: one protocol's phase, parked in
+/// the shared ledger under its correlation id.
+#[derive(Debug, Clone)]
+pub enum PendingOp {
+    /// Capability exchange (obtain / delegate, §4.3.2).
+    Exchange(exchange::Phase),
+    /// Session establishment (§3.4).
+    Session(session::Phase),
+    /// Revocation (§4.3.3, Algorithm 1).
+    Revoke(revoke::Phase),
+    /// Capability-group migration (§4.2 ownership handover).
+    Migrate(migrate::Phase),
+}
+
+impl PendingOp {
+    /// The phase's declared spec.
+    pub fn spec(&self) -> &'static PhaseSpec {
+        match self {
+            PendingOp::Exchange(p) => p.spec(),
+            PendingOp::Session(p) => p.spec(),
+            PendingOp::Revoke(p) => p.spec(),
+            PendingOp::Migrate(p) => p.spec(),
+        }
+    }
+
+    /// True if this suspended phase parks a cooperative kernel thread
+    /// (§4.2) — derived from the phase table.
+    pub fn holds_thread(&self) -> bool {
+        match self.spec().thread {
+            Thread::Holds => true,
+            Thread::Free => false,
+            Thread::PerInitiator => match self {
+                PendingOp::Revoke(revoke::Phase::Run(op)) => matches!(
+                    op.initiator,
+                    revoke::Initiator::Syscall { .. } | revoke::Initiator::Internal
+                ),
+                other => unreachable!("{} has no initiator", other.spec().name),
+            },
+        }
+    }
+
+    /// The local VPE whose upcall answer this phase awaits, if its
+    /// death must cancel the operation. Only the exchange consent
+    /// phases resolve this way: the VPE being asked for consent can die
+    /// while the upcall is in flight, and the initiator (possibly at
+    /// another kernel) must be unblocked with `VpeGone`. Session-open
+    /// upcalls go to *service* VPEs, whose death mid-open is not
+    /// modeled (services outlive the workloads in every scenario).
+    pub fn upcall_responder(&self) -> Option<VpeId> {
+        match self {
+            PendingOp::Exchange(p) => p.upcall_responder(),
+            _ => None,
+        }
+    }
+}
+
+impl Kernel {
+    // ----- the reply router ---------------------------------------------
+    //
+    // One dispatch point per message class. Requests go straight to the
+    // protocol's request handler; replies resume the parked phase
+    // through a single ledger lookup. The modeled entry costs are
+    // charged here, once, so every protocol pays the same dispatch
+    // price it did pre-engine.
+
+    /// Routes one inter-kernel request to its protocol handler.
+    pub(crate) fn route_kcall(&mut self, src: PeId, call: &Kcall, out: &mut Outbox) -> u64 {
+        let from = self.membership.kernel_of(src);
+        let entry = self.cfg.cost.kcall_entry;
+        entry
+            + match call {
+                Kcall::AnnounceService { id, name, owner, srv_key, srv_pe, srv_vpe } => self
+                    .announce_service(crate::registry::ServiceInfo {
+                        id: *id,
+                        name: *name,
+                        owner: *owner,
+                        srv_key: *srv_key,
+                        srv_pe: *srv_pe,
+                        srv_vpe: *srv_vpe,
+                    }),
+                Kcall::ObtainReq { op, child_key, owner_vpe, owner_sel, requester_vpe } => self
+                    .obtain_request(
+                        from,
+                        *op,
+                        *child_key,
+                        *owner_vpe,
+                        *owner_sel,
+                        *requester_vpe,
+                        out,
+                    ),
+                Kcall::OrphanNotice { parent_key, child_key } => {
+                    self.orphan_notice(*parent_key, *child_key)
+                }
+                Kcall::DelegateReq { op, parent_key, desc, recv_vpe } => {
+                    self.delegate_request(from, *op, *parent_key, *desc, *recv_vpe, out)
+                }
+                Kcall::DelegateAck { op, reply_op, commit } => {
+                    self.delegate_ack(from, *op, *reply_op, *commit, out)
+                }
+                Kcall::RevokeReq { op, cap_key } => self.revoke_request(from, *op, *cap_key, out),
+                Kcall::RevokeBatchReq { op, cap_keys } => {
+                    self.revoke_batch_request(from, *op, cap_keys, out)
+                }
+                Kcall::OpenSessReq { op, child_key, service, client_vpe } => {
+                    self.open_sess_request(from, *op, *child_key, *service, *client_vpe, out)
+                }
+                Kcall::MigrateReq { op, pe, vpe, next_object_id, next_sel, caps } => self
+                    .migrate_request(from, *op, *pe, *vpe, *next_object_id, *next_sel, caps, out),
+                Kcall::MembershipUpdate { op, pe, new_kernel } => {
+                    self.membership_update(from, *op, *pe, *new_kernel, out)
+                }
+            }
+    }
+
+    /// Routes one inter-kernel reply: counted completions (revocation)
+    /// decrement their fan-in; everything else resumes a parked phase.
+    pub(crate) fn route_kreply(&mut self, src: PeId, reply: &KReply, out: &mut Outbox) -> u64 {
+        let from = self.membership.kernel_of(src);
+        // Revoke completions are counter decrements (Algorithm 1's
+        // `receive_revoke_reply`), far cheaper to dispatch than the
+        // protocol replies that resume full continuations.
+        let entry = match reply {
+            KReply::Revoke { .. } | KReply::RevokeBatch { .. } => self.cfg.cost.thread_switch,
+            _ => self.cfg.cost.kcall_entry,
+        };
+        entry
+            + match reply {
+                KReply::Revoke { op, deleted, result, .. } => {
+                    debug_assert!(result.is_ok(), "revoke replies always succeed");
+                    self.revoke_reply_arrived(*op, *deleted, out)
+                }
+                KReply::RevokeBatch { op, deleted, result, .. } => {
+                    debug_assert!(result.is_ok(), "revoke replies always succeed");
+                    self.revoke_reply_arrived(*op, *deleted, out)
+                }
+                other => self.resume_from_kreply(from, other, out),
+            }
+    }
+
+    /// Resumes the phase parked under a reply's correlation id.
+    fn resume_from_kreply(
+        &mut self,
+        from: semper_base::KernelId,
+        reply: &KReply,
+        out: &mut Outbox,
+    ) -> u64 {
+        use exchange::Phase as Ex;
+        use migrate::Phase as Mig;
+        use session::Phase as Sess;
+
+        let op = reply.op();
+        let Some(state) = self.pending.remove(op) else {
+            debug_assert!(false, "reply {reply:?} without a pending op");
+            return 0;
+        };
+        match (state, reply) {
+            (
+                PendingOp::Exchange(Ex::ObtainRemote { tag, requester, child_key, peer_kernel }),
+                KReply::Obtain { result, .. },
+            ) => self.obtain_reply(tag, requester, child_key, peer_kernel, result, out),
+            (
+                PendingOp::Exchange(Ex::DelegateRemote { tag, delegator, parent_key, peer_kernel }),
+                KReply::Delegate { result, .. },
+            ) => self.delegate_reply(from, tag, delegator, parent_key, peer_kernel, result, out),
+            (
+                PendingOp::Exchange(Ex::DelegateWaitDone { tag, delegator, parent_key, child_key }),
+                KReply::DelegateDone { result, .. },
+            ) => self.delegate_done(tag, delegator, parent_key, child_key, *result, out),
+            (
+                PendingOp::Exchange(Ex::DelegateAborted { tag, delegator, reason }),
+                KReply::DelegateDone { .. },
+            ) => self.delegate_done_aborted(tag, delegator, reason, out),
+            (
+                PendingOp::Session(Sess::OpenRemote { tag, client, child_key, srv }),
+                KReply::OpenSess { result, .. },
+            ) => self.open_sess_reply(tag, client, child_key, srv, *result, out),
+            (PendingOp::Migrate(Mig::AwaitInstall(install)), KReply::Migrate { result, .. }) => {
+                self.migrate_installed(op, *install, *result, out)
+            }
+            (PendingOp::Migrate(Mig::AwaitAcks { vpe, fanin }), KReply::MembershipAck { .. }) => {
+                self.migrate_ack(op, vpe, fanin, out)
+            }
+            (state, reply) => {
+                debug_assert!(false, "reply {reply:?} cannot resume {}", state.spec().name);
+                0
+            }
+        }
+    }
+
+    /// Routes a VPE's upcall answer: resumes the phase parked under the
+    /// echoed correlation id. A missing op means the operation was
+    /// cancelled (a party died); the answer is dropped. An op parked in
+    /// a phase that awaits something else is put back untouched.
+    pub(crate) fn route_upcall_reply(
+        &mut self,
+        src: PeId,
+        reply: &UpcallReply,
+        out: &mut Outbox,
+    ) -> u64 {
+        use exchange::Phase as Ex;
+        use session::Phase as Sess;
+
+        let op = match reply {
+            UpcallReply::AcceptExchange { op, .. } | UpcallReply::SessionOpen { op, .. } => *op,
+        };
+        let Some(state) = self.pending.remove(op) else {
+            // The operation was cancelled (e.g. a party died); ignore.
+            return 0;
+        };
+        match (state, reply) {
+            (
+                PendingOp::Exchange(Ex::LocalAccept {
+                    tag,
+                    initiator,
+                    peer,
+                    kind,
+                    own_sel,
+                    other_sel,
+                }),
+                UpcallReply::AcceptExchange { accept, .. },
+            ) => {
+                debug_assert_eq!(self.pe_of_vpe(peer).ok(), Some(src));
+                self.local_exchange_accept(
+                    tag, initiator, peer, kind, own_sel, other_sel, *accept, out,
+                )
+            }
+            (
+                PendingOp::Exchange(Ex::ObtainAtOwner {
+                    caller_op,
+                    caller_kernel,
+                    child_key,
+                    parent_key,
+                    ..
+                }),
+                UpcallReply::AcceptExchange { accept, .. },
+            ) => self.obtain_owner_accept(
+                caller_op,
+                caller_kernel,
+                child_key,
+                parent_key,
+                *accept,
+                out,
+            ),
+            (
+                PendingOp::Exchange(Ex::DelegateAtRecv {
+                    caller_op,
+                    caller_kernel,
+                    parent_key,
+                    desc,
+                    recv,
+                }),
+                UpcallReply::AcceptExchange { accept, .. },
+            ) => self.delegate_recv_accept(
+                caller_op,
+                caller_kernel,
+                parent_key,
+                desc,
+                recv,
+                *accept,
+                out,
+            ),
+            (
+                PendingOp::Session(Sess::OpenLocal { tag, client, child_key, srv }),
+                UpcallReply::SessionOpen { result, .. },
+            ) => self.session_local_accept(tag, client, child_key, srv, *result, out),
+            (
+                PendingOp::Session(Sess::AtService { caller_op, caller_kernel, child_key, srv }),
+                UpcallReply::SessionOpen { result, .. },
+            ) => {
+                self.session_service_accept(caller_op, caller_kernel, child_key, srv, *result, out)
+            }
+            (state, reply) => {
+                debug_assert!(false, "upcall reply {reply:?} cannot resume {}", state.spec().name);
+                self.pending.insert(op, state);
+                0
+            }
+        }
+    }
+
+    /// Cancels every pending operation awaiting a consent upcall from
+    /// `vpe` (the VPE died). The cancellation order is protocol-visible
+    /// (each cancel emits a reply), so the collected ops are sorted by
+    /// id — the order the pre-hash-map id-ordered ledger iterated in.
+    pub(crate) fn cancel_upcall_waiters(&mut self, vpe: VpeId, out: &mut Outbox) {
+        let mut cancelled: Vec<OpId> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.upcall_responder() == Some(vpe))
+            .map(|(op, _)| op)
+            .collect();
+        cancelled.sort_unstable();
+        for op in cancelled {
+            let p = self.pending.remove(op).expect("collected above");
+            match p {
+                PendingOp::Exchange(phase) => self.cancel_exchange_phase(phase, out),
+                other => unreachable!("{} does not await consent upcalls", other.spec().name),
+            }
+        }
+    }
+}

@@ -1,14 +1,15 @@
-//! Capability revocation: two-phase mark-and-sweep (§4.3.3, Algorithm 1).
+//! Revocation on the op engine: two-phase mark-and-sweep (§4.3.3,
+//! Algorithm 1).
 //!
 //! Phase 1 (*mark*) walks the local part of the capability subtree,
 //! marking every capability `Revoking` and firing one inter-kernel
-//! revoke request per remote child. Phase 2 (*sweep*) runs when all
-//! outstanding completions have drained: the marked subtrees are deleted,
-//! and only then is the initiator notified — a revoke is never
-//! acknowledged while any part of its subtree survives (ruling out the
-//! *incomplete* case of Table 2).
+//! revoke request per remote child. Phase 2 (*sweep*) runs when the
+//! operation's [`FanIn`] drains: the marked subtrees are deleted, and
+//! only then is the initiator notified — a revoke is never acknowledged
+//! while any part of its subtree survives (ruling out the *incomplete*
+//! case of Table 2).
 //!
-//! Two kinds of outstanding completions are counted:
+//! Two kinds of completions are armed on the fan-in:
 //!
 //! * replies to inter-kernel revoke requests for remote children, and
 //! * *dependencies* on concurrently running revocations: when the mark
@@ -30,11 +31,94 @@ use semper_base::msg::{KReply, Kcall, SysReplyData};
 use semper_base::{CapSel, Code, DdlKey, Error, KernelId, OpId, Result, VpeId};
 
 use crate::kernel::Kernel;
+use crate::ops::{Awaits, FanIn, PendingOp, PhaseSpec, Thread};
 use crate::outbox::Outbox;
-use crate::pending::{PendingOp, RevokeInitiator, RevokeOp};
+
+/// Who started a revocation, and therefore who must be notified when it
+/// completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initiator {
+    /// A local VPE's revoke system call.
+    Syscall {
+        /// The calling VPE.
+        vpe: VpeId,
+        /// Tag to echo in the reply.
+        tag: u64,
+    },
+    /// Another kernel's [`Kcall::RevokeReq`].
+    Kcall {
+        /// The requester's correlation id, echoed in the reply.
+        op: OpId,
+        /// The requesting kernel.
+        from: KernelId,
+        /// The subtree root the request named.
+        cap_key: DdlKey,
+    },
+    /// Kernel-internal cleanup (VPE exit); nobody to notify.
+    Internal,
+    /// One entry of a batched revoke request; completion is reported to
+    /// the batch tracker op instead of a kernel.
+    Batch {
+        /// The local batch-tracker operation.
+        batch: OpId,
+    },
+}
+
+/// A revocation in progress (Algorithm 1 state).
+#[derive(Debug, Clone)]
+pub struct RevokeOp {
+    /// Who to notify on completion.
+    pub initiator: Initiator,
+    /// Outstanding completions (inter-kernel revoke replies plus
+    /// dependencies on concurrent revokes), tallying capabilities
+    /// deleted on behalf of this operation.
+    pub fanin: FanIn,
+    /// Roots of locally marked subtrees to sweep in phase 2.
+    pub local_roots: Vec<DdlKey>,
+    /// True if any inter-kernel call was needed (statistics:
+    /// local vs spanning revoke).
+    pub spanning: bool,
+}
+
+/// The revocation protocol's phase table.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// A revocation awaiting its fan-in (remote completions and
+    /// concurrent-revoke dependencies).
+    Run(RevokeOp),
+    /// Tracker for an incoming batched revoke request: replies to the
+    /// requesting kernel once every key in the batch is fully revoked.
+    Batch {
+        /// The requester's correlation id.
+        caller_op: OpId,
+        /// The requesting kernel.
+        caller_kernel: KernelId,
+        /// Keys from the request (echoed in the reply).
+        cap_keys: Vec<DdlKey>,
+        /// Sub-revokes still running, tallying deletions across the
+        /// batch.
+        fanin: FanIn,
+    },
+}
+
+impl Phase {
+    /// The declared spec of each phase.
+    pub fn spec(&self) -> &'static PhaseSpec {
+        match self {
+            Phase::Run(_) => &PhaseSpec {
+                name: "revoke-run",
+                awaits: Awaits::FanIn,
+                thread: Thread::PerInitiator,
+            },
+            Phase::Batch { .. } => {
+                &PhaseSpec { name: "revoke-batch", awaits: Awaits::FanIn, thread: Thread::Free }
+            }
+        }
+    }
+}
 
 impl Kernel {
-    /// Entry point for the `Revoke` system call.
+    /// Entry point for the `Revoke` system call (local start).
     pub(crate) fn sys_revoke(
         &mut self,
         vpe: VpeId,
@@ -59,7 +143,7 @@ impl Kernel {
             self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
             return resolve + self.cfg.cost.syscall_exit;
         }
-        resolve + self.start_revoke(roots, RevokeInitiator::Syscall { vpe, tag }, out)
+        resolve + self.start_revoke(roots, Initiator::Syscall { vpe, tag }, out)
     }
 
     /// Resolves the subtree roots of a revoke call: the capability itself
@@ -84,25 +168,20 @@ impl Kernel {
             }
             return 0;
         }
-        self.start_revoke(vec![key], RevokeInitiator::Internal, out)
+        self.start_revoke(vec![key], Initiator::Internal, out)
     }
 
-    /// Phase 1 for a set of subtree roots; completes immediately if no
-    /// remote children or dependencies are found.
+    /// Phase 1 (mark) for a set of subtree roots; completes immediately
+    /// if the fan-in stays idle (no remote children, no dependencies).
     pub(crate) fn start_revoke(
         &mut self,
         roots: Vec<DdlKey>,
-        initiator: RevokeInitiator,
+        initiator: Initiator,
         out: &mut Outbox,
     ) -> u64 {
         let op_id = self.alloc_op();
-        let mut op = RevokeOp {
-            initiator,
-            outstanding: 0,
-            local_roots: Vec::new(),
-            deleted: 0,
-            spanning: false,
-        };
+        let mut op =
+            RevokeOp { initiator, fanin: FanIn::new(), local_roots: Vec::new(), spanning: false };
         let mut cost = 0;
         // Remote children grouped by owning kernel, for optional batching.
         let mut remote: Vec<(KernelId, DdlKey)> = Vec::new();
@@ -116,7 +195,7 @@ impl Kernel {
                 // A running revocation owns this subtree: wait for the
                 // capability to be deleted.
                 self.revoke_waiters.entry(root.raw()).or_default().push(op_id);
-                op.outstanding += 1;
+                op.fanin.arm();
                 continue;
             }
             cost += self.mark_subtree(root, op_id, &mut op, &mut remote);
@@ -128,10 +207,10 @@ impl Kernel {
             cost += self.send_revoke_requests(op_id, &mut op, remote, out);
         }
 
-        if op.outstanding == 0 {
+        if op.fanin.idle() {
             cost + self.complete_revoke(op_id, op, out)
         } else {
-            self.park(op_id, PendingOp::Revoke(op));
+            self.park(op_id, PendingOp::Revoke(Phase::Run(op)));
             cost + self.cfg.cost.thread_switch
         }
     }
@@ -162,7 +241,7 @@ impl Kernel {
                 debug_assert_ne!(key, root, "caller checked the root");
                 // Another operation owns this subtree; depend on it.
                 self.revoke_waiters.entry(key.raw()).or_default().push(op_id);
-                op.outstanding += 1;
+                op.fanin.arm();
                 continue;
             }
             for child in cap.children().rev() {
@@ -192,13 +271,13 @@ impl Kernel {
                 by_kernel.entry(k).or_default().push(key);
             }
             for (k, cap_keys) in by_kernel {
-                op.outstanding += 1;
+                op.fanin.arm();
                 cost += self.cfg.cost.kcall_exit;
                 self.send_kcall(out, k, Kcall::RevokeBatchReq { op: op_id, cap_keys });
             }
         } else {
             for (k, cap_key) in remote {
-                op.outstanding += 1;
+                op.fanin.arm();
                 // Marshalling one revoke request: compose the message,
                 // inject it through the DTU, and record the outstanding
                 // entry. Requests are pipelined: each leaves as the loop
@@ -223,7 +302,7 @@ impl Kernel {
             let mut woken: Vec<OpId> = Vec::new();
             for root in std::mem::take(&mut op.local_roots) {
                 for cap in self.mapdb.delete_local_subtree(root) {
-                    op.deleted += 1;
+                    op.fanin.add(1);
                     self.stats.caps_deleted += 1;
                     // Each deletion resolves the owner's table binding
                     // and the parent unlink through DDL keys, and
@@ -245,10 +324,10 @@ impl Kernel {
             self.notify_revoke_done(&op, out);
 
             for waiter in woken {
-                if let Some(PendingOp::Revoke(wop)) = self.pending.get_mut(waiter) {
-                    wop.outstanding -= 1;
-                    if wop.outstanding == 0 {
-                        let Some(PendingOp::Revoke(wop)) = self.pending.remove(waiter) else {
+                if let Some(PendingOp::Revoke(Phase::Run(wop))) = self.pending.get_mut(waiter) {
+                    if wop.fanin.complete_one(0) {
+                        let Some(PendingOp::Revoke(Phase::Run(wop))) = self.pending.remove(waiter)
+                        else {
                             unreachable!("checked above");
                         };
                         completions.push((waiter, wop));
@@ -268,29 +347,34 @@ impl Kernel {
         // kcall- and batch-initiated sub-revokes are part of a revoke
         // already counted at the initiating kernel.
         match op.initiator {
-            RevokeInitiator::Syscall { .. } | RevokeInitiator::Internal => {
+            Initiator::Syscall { .. } | Initiator::Internal => {
                 if op.spanning {
                     self.stats.revokes_spanning += 1;
                 } else {
                     self.stats.revokes_local += 1;
                 }
             }
-            RevokeInitiator::Kcall { .. } | RevokeInitiator::Batch { .. } => {}
+            Initiator::Kcall { .. } | Initiator::Batch { .. } => {}
         }
         match op.initiator {
-            RevokeInitiator::Syscall { vpe, tag } => {
+            Initiator::Syscall { vpe, tag } => {
                 self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
             }
-            RevokeInitiator::Kcall { op: caller_op, from, cap_key } => {
+            Initiator::Kcall { op: caller_op, from, cap_key } => {
                 self.send_kreply(
                     out,
                     from,
-                    KReply::Revoke { op: caller_op, cap_key, deleted: op.deleted, result: Ok(()) },
+                    KReply::Revoke {
+                        op: caller_op,
+                        cap_key,
+                        deleted: op.fanin.tally(),
+                        result: Ok(()),
+                    },
                 );
             }
-            RevokeInitiator::Internal => {}
-            RevokeInitiator::Batch { batch } => {
-                self.batch_entry_done(batch, op.deleted, out);
+            Initiator::Internal => {}
+            Initiator::Batch { batch } => {
+                self.batch_entry_done(batch, op.fanin.tally(), out);
             }
         }
     }
@@ -298,22 +382,15 @@ impl Kernel {
     /// Accounts one completed entry of an incoming revoke batch; replies
     /// to the requesting kernel when the whole batch is done.
     fn batch_entry_done(&mut self, batch: OpId, deleted: u64, out: &mut Outbox) {
-        let Some(PendingOp::RevokeBatch {
-            caller_op,
-            caller_kernel,
-            cap_keys,
-            outstanding,
-            deleted: total,
-        }) = self.pending.get_mut(batch)
+        let Some(PendingOp::Revoke(Phase::Batch { caller_op, caller_kernel, cap_keys, fanin })) =
+            self.pending.get_mut(batch)
         else {
             debug_assert!(false, "batch tracker {batch} missing");
             return;
         };
-        *total += deleted;
-        *outstanding -= 1;
-        if *outstanding == 0 {
+        if fanin.complete_one(deleted) {
             let (caller_op, caller_kernel, cap_keys, total) =
-                (*caller_op, *caller_kernel, std::mem::take(cap_keys), *total);
+                (*caller_op, *caller_kernel, std::mem::take(cap_keys), fanin.tally());
             self.pending.remove(batch);
             self.send_kreply(
                 out,
@@ -325,9 +402,9 @@ impl Kernel {
 
     // ----- incoming inter-kernel revokes ---------------------------------
 
-    /// Handles a revoke request for one subtree root owned by this
-    /// kernel (Algorithm 1, `receive_revoke_request`).
-    pub(crate) fn kcall_revoke_req(
+    /// Request handler for [`Kcall::RevokeReq`]: one subtree root owned
+    /// by this kernel (Algorithm 1, `receive_revoke_request`).
+    pub(crate) fn revoke_request(
         &mut self,
         from: KernelId,
         op: OpId,
@@ -345,12 +422,12 @@ impl Kernel {
         // validation plus a reference.
         self.cfg.cost.xfer_desc
             + self.ref_cost()
-            + self.start_revoke(vec![cap_key], RevokeInitiator::Kcall { op, from, cap_key }, out)
+            + self.start_revoke(vec![cap_key], Initiator::Kcall { op, from, cap_key }, out)
     }
 
-    /// Handles a batched revoke request: runs one sub-revocation per key
-    /// and replies once all of them completed.
-    pub(crate) fn kcall_revoke_batch_req(
+    /// Request handler for [`Kcall::RevokeBatchReq`]: runs one
+    /// sub-revocation per key and replies once all of them completed.
+    pub(crate) fn revoke_batch_request(
         &mut self,
         from: KernelId,
         op: OpId,
@@ -358,16 +435,17 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let batch = self.alloc_op();
+        // Every key gets a sub-revoke; each reports exactly once.
+        let mut fanin = FanIn::new();
+        fanin.arm_n(cap_keys.len() as u32);
         self.park(
             batch,
-            PendingOp::RevokeBatch {
+            PendingOp::Revoke(Phase::Batch {
                 caller_op: op,
                 caller_kernel: from,
                 cap_keys: cap_keys.to_vec(),
-                // Every key gets a sub-revoke; each reports exactly once.
-                outstanding: cap_keys.len() as u32,
-                deleted: 0,
-            },
+                fanin,
+            }),
         );
         let mut cost = 0;
         for key in cap_keys {
@@ -375,47 +453,21 @@ impl Kernel {
                 self.batch_entry_done(batch, 0, out);
                 continue;
             }
-            cost += self.start_revoke(vec![*key], RevokeInitiator::Batch { batch }, out);
+            cost += self.start_revoke(vec![*key], Initiator::Batch { batch }, out);
         }
         cost
     }
 
-    /// Handles the completion reply for one remote child (Algorithm 1,
-    /// `receive_revoke_reply`).
-    pub(crate) fn kreply_revoke(
-        &mut self,
-        op: OpId,
-        _cap_key: DdlKey,
-        deleted: u64,
-        result: Result<()>,
-        out: &mut Outbox,
-    ) -> u64 {
-        debug_assert!(result.is_ok(), "revoke replies always succeed");
-        self.revoke_reply_arrived(op, deleted, out)
-    }
-
-    /// Handles the completion reply for a batch of remote children.
-    pub(crate) fn kreply_revoke_batch(
-        &mut self,
-        op: OpId,
-        _cap_keys: &[DdlKey],
-        deleted: u64,
-        result: Result<()>,
-        out: &mut Outbox,
-    ) -> u64 {
-        debug_assert!(result.is_ok(), "revoke replies always succeed");
-        self.revoke_reply_arrived(op, deleted, out)
-    }
-
-    fn revoke_reply_arrived(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
-        let Some(PendingOp::Revoke(rop)) = self.pending.get_mut(op) else {
+    /// Completion handler for [`KReply::Revoke`] and
+    /// [`KReply::RevokeBatch`]: decrements the operation's fan-in
+    /// (Algorithm 1, `receive_revoke_reply`) and sweeps when it drains.
+    pub(crate) fn revoke_reply_arrived(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
+        let Some(PendingOp::Revoke(Phase::Run(rop))) = self.pending.get_mut(op) else {
             debug_assert!(false, "revoke reply for unknown op {op}");
             return 0;
         };
-        rop.deleted += deleted;
-        rop.outstanding -= 1;
-        if rop.outstanding == 0 {
-            let Some(PendingOp::Revoke(rop)) = self.pending.remove(op) else {
+        if rop.fanin.complete_one(deleted) {
+            let Some(PendingOp::Revoke(Phase::Run(rop))) = self.pending.remove(op) else {
                 unreachable!("checked above");
             };
             self.complete_revoke(op, rop, out)

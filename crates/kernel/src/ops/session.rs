@@ -1,4 +1,4 @@
-//! Service registration and session establishment.
+//! Service registration and session establishment on the op engine.
 //!
 //! Services register with `CreateSrv`; their kernel announces the
 //! instance to every other kernel (inter-kernel call group 1/2, §4.1).
@@ -10,17 +10,85 @@
 //! resource; the child/parent link crosses the boundary via DDL keys.
 
 use semper_base::msg::{CapKindDesc, KReply, Kcall, Payload, SysReplyData, Upcall};
-use semper_base::{
-    CapType, Code, DdlKey, Error, KernelId, Msg, OpId, PeId, Result, ServiceId, VpeId,
-};
+use semper_base::{CapType, Code, DdlKey, Error, KernelId, Msg, OpId, Result, ServiceId, VpeId};
 use semper_caps::Capability;
 
 use crate::kernel::Kernel;
+use crate::ops::{Awaits, PendingOp, PhaseSpec, Thread};
 use crate::outbox::Outbox;
-use crate::pending::PendingOp;
 use crate::registry::ServiceInfo;
 
+/// The session protocol's phase table.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// Client side, remote service: awaiting `KReply::OpenSess`.
+    OpenRemote {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The connecting client VPE.
+        client: VpeId,
+        /// Pre-allocated key of the session capability.
+        child_key: DdlKey,
+        /// The chosen service instance.
+        srv: ServiceInfo,
+    },
+    /// Service side, on behalf of a remote client: awaiting the service
+    /// VPE's upcall reply.
+    AtService {
+        /// The client kernel's correlation id (echo in reply).
+        caller_op: OpId,
+        /// The client's kernel.
+        caller_kernel: KernelId,
+        /// Key of the session capability (allocated by the caller).
+        child_key: DdlKey,
+        /// The service instance.
+        srv: ServiceInfo,
+    },
+    /// Client and service in the same group: awaiting the service VPE's
+    /// upcall reply.
+    OpenLocal {
+        /// Tag of the initiating system call.
+        tag: u64,
+        /// The connecting client VPE.
+        client: VpeId,
+        /// Pre-allocated key of the session capability.
+        child_key: DdlKey,
+        /// The service instance.
+        srv: ServiceInfo,
+    },
+}
+
+impl Phase {
+    /// The declared spec of each phase.
+    pub fn spec(&self) -> &'static PhaseSpec {
+        match self {
+            Phase::OpenRemote { .. } => &PhaseSpec {
+                name: "open-sess-remote",
+                awaits: Awaits::KReply,
+                thread: Thread::Holds,
+            },
+            Phase::AtService { .. } => &PhaseSpec {
+                name: "session-at-service",
+                awaits: Awaits::UpcallReply,
+                thread: Thread::Holds,
+            },
+            Phase::OpenLocal { .. } => &PhaseSpec {
+                name: "session-local",
+                awaits: Awaits::UpcallReply,
+                thread: Thread::Holds,
+            },
+        }
+    }
+}
+
 impl Kernel {
+    /// Request handler for [`Kcall::AnnounceService`]: records a remote
+    /// service instance in the local registry.
+    pub(crate) fn announce_service(&mut self, info: ServiceInfo) -> u64 {
+        self.registry.add(info);
+        0
+    }
+
     /// Entry point for the `CreateSrv` system call.
     pub(crate) fn sys_create_srv(
         &mut self,
@@ -75,7 +143,7 @@ impl Kernel {
         self.cfg.cost.cap_create + self.cfg.cost.cap_insert + self.cfg.cost.syscall_exit
     }
 
-    /// Entry point for the `OpenSession` system call.
+    /// Entry point for the `OpenSession` system call (local start).
     pub(crate) fn sys_open_session(
         &mut self,
         vpe: VpeId,
@@ -95,12 +163,15 @@ impl Kernel {
         if srv.owner == self.id {
             // Service in our group: ask the service VPE directly.
             let op = self.alloc_op();
-            out.push(Msg::new(
-                self.pe,
+            self.send_upcall(
+                out,
                 srv.srv_pe,
-                Payload::Upcall(Upcall::SessionOpen { op, client_vpe: vpe, client_pe }),
-            ));
-            self.park(op, PendingOp::SessionLocalAccept { tag, client: vpe, child_key, srv });
+                Upcall::SessionOpen { op, client_vpe: vpe, client_pe },
+            );
+            self.park(
+                op,
+                PendingOp::Session(Phase::OpenLocal { tag, client: vpe, child_key, srv }),
+            );
             self.ref_cost()
         } else {
             let op = self.alloc_op();
@@ -109,13 +180,18 @@ impl Kernel {
                 srv.owner,
                 Kcall::OpenSessReq { op, child_key, service: srv.id, client_vpe: vpe },
             );
-            self.park(op, PendingOp::OpenSessRemote { tag, client: vpe, child_key, srv });
+            self.park(
+                op,
+                PendingOp::Session(Phase::OpenRemote { tag, client: vpe, child_key, srv }),
+            );
             self.ref_cost()
         }
     }
 
-    /// Service-side handling of a remote client's session request.
-    pub(crate) fn kcall_open_sess_req(
+    /// Request handler for [`Kcall::OpenSessReq`]: validate the service
+    /// instance, then fan out the notification upcall
+    /// ([`Phase::AtService`]).
+    pub(crate) fn open_sess_request(
         &mut self,
         from: KernelId,
         op: OpId,
@@ -141,104 +217,101 @@ impl Kernel {
             }
             Ok(srv) => {
                 let my_op = self.alloc_op();
-                let client_pe = self.pe_of_vpe(client_vpe).unwrap_or(PeId(0));
-                out.push(Msg::new(
-                    self.pe,
+                let client_pe = self.pe_of_vpe(client_vpe).unwrap_or(semper_base::PeId(0));
+                self.send_upcall(
+                    out,
                     srv.srv_pe,
-                    Payload::Upcall(Upcall::SessionOpen { op: my_op, client_vpe, client_pe }),
-                ));
+                    Upcall::SessionOpen { op: my_op, client_vpe, client_pe },
+                );
                 self.park(
                     my_op,
-                    PendingOp::SessionAtService {
+                    PendingOp::Session(Phase::AtService {
                         caller_op: op,
                         caller_kernel: from,
                         child_key,
                         srv,
-                    },
+                    }),
                 );
                 self.ref_cost()
             }
         }
     }
 
-    /// A service VPE answered a session-open upcall.
-    pub(crate) fn upcall_session_open(
+    /// Resumes [`Phase::OpenLocal`]: the service VPE answered the
+    /// session-open upcall for a same-group client.
+    pub(crate) fn session_local_accept(
         &mut self,
-        _src: PeId,
-        op: OpId,
+        tag: u64,
+        client: VpeId,
+        child_key: DdlKey,
+        srv: ServiceInfo,
         result: Result<u64>,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(state) = self.pending.remove(op) else {
-            return 0;
-        };
-        match state {
-            PendingOp::SessionLocalAccept { tag, client, child_key, srv } => match result {
-                Err(e) => {
-                    self.reply_sys(out, client, tag, Err(e));
-                    self.cfg.cost.syscall_exit
-                }
-                Ok(ident) => {
-                    if !self.vpe_alive(client) {
-                        // Client died while the service was deciding;
-                        // nothing inserted yet.
-                        return 0;
-                    }
-                    let sel = self.insert_session(client, child_key, srv, ident, true);
-                    self.stats.sessions_opened += 1;
-                    self.reply_sys(
-                        out,
-                        client,
-                        tag,
-                        Ok(SysReplyData::Session { sel, srv_pe: srv.srv_pe, ident }),
-                    );
-                    self.cfg.cost.cap_create
-                        + self.cfg.cost.cap_insert
-                        + self.cfg.cost.session_accept
-                        + self.cfg.cost.syscall_exit
-                }
-            },
-            PendingOp::SessionAtService { caller_op, caller_kernel, child_key, srv } => {
-                let reply = match result {
-                    Err(e) => Err(e),
-                    Ok(ident) => {
-                        // Link the (remote) session capability under the
-                        // service capability before replying — the same
-                        // ordering obtain uses.
-                        self.mapdb
-                            .link_child(srv.srv_key, child_key)
-                            .expect("service capability checked at request time");
-                        Ok(ident)
-                    }
-                };
-                self.send_kreply(
-                    out,
-                    caller_kernel,
-                    KReply::OpenSess { op: caller_op, result: reply },
-                );
-                self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
+        match result {
+            Err(e) => {
+                self.reply_sys(out, client, tag, Err(e));
+                self.cfg.cost.syscall_exit
             }
-            other => {
-                debug_assert!(false, "session-open reply for {:?}", other.class());
-                self.pending.insert(op, other);
-                0
+            Ok(ident) => {
+                if !self.vpe_alive(client) {
+                    // Client died while the service was deciding;
+                    // nothing inserted yet.
+                    return 0;
+                }
+                let sel = self.insert_session(client, child_key, srv, ident, true);
+                self.stats.sessions_opened += 1;
+                self.reply_sys(
+                    out,
+                    client,
+                    tag,
+                    Ok(SysReplyData::Session { sel, srv_pe: srv.srv_pe, ident }),
+                );
+                self.cfg.cost.cap_create
+                    + self.cfg.cost.cap_insert
+                    + self.cfg.cost.session_accept
+                    + self.cfg.cost.syscall_exit
             }
         }
     }
 
-    /// Client-side completion of a remote session open.
-    pub(crate) fn kreply_open_sess(
+    /// Resumes [`Phase::AtService`]: the service VPE answered the upcall
+    /// for a remote client; link the session capability under the
+    /// service capability before replying — the same ordering obtain
+    /// uses.
+    pub(crate) fn session_service_accept(
         &mut self,
-        op: OpId,
+        caller_op: OpId,
+        caller_kernel: KernelId,
+        child_key: DdlKey,
+        srv: ServiceInfo,
         result: Result<u64>,
         out: &mut Outbox,
     ) -> u64 {
-        let Some(PendingOp::OpenSessRemote { tag, client, child_key, srv }) =
-            self.pending.remove(op)
-        else {
-            debug_assert!(false, "open-sess reply without pending op");
-            return 0;
+        let reply = match result {
+            Err(e) => Err(e),
+            Ok(ident) => {
+                self.mapdb
+                    .link_child(srv.srv_key, child_key)
+                    .expect("service capability checked at request time");
+                Ok(ident)
+            }
         };
+        self.send_kreply(out, caller_kernel, KReply::OpenSess { op: caller_op, result: reply });
+        self.ref_cost() + self.cfg.cost.cap_insert + self.cfg.cost.kcall_exit
+    }
+
+    /// Resumes [`Phase::OpenRemote`]: client-side completion of a remote
+    /// session open.
+    pub(crate) fn open_sess_reply(
+        &mut self,
+        tag: u64,
+        client: VpeId,
+        child_key: DdlKey,
+        srv: ServiceInfo,
+        result: Result<u64>,
+        out: &mut Outbox,
+    ) -> u64 {
         match result {
             Err(e) => {
                 self.reply_sys(out, client, tag, Err(e));

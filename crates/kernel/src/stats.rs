@@ -32,6 +32,11 @@ pub struct KernelStats {
     pub pointless_denied: u64,
     /// Sessions opened for clients of this group.
     pub sessions_opened: u64,
+    /// Capability groups migrated out (ownership handed to another
+    /// kernel and acknowledged by every bystander).
+    pub migrations_out: u64,
+    /// Capability groups installed by an incoming migration.
+    pub migrations_in: u64,
     /// Cycles this kernel spent executing handlers.
     pub busy_cycles: u64,
     /// High-water mark of simultaneously pending operations (threads in

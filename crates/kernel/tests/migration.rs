@@ -1,0 +1,200 @@
+//! Capability-group migration protocol tests (`kernel::ops::migrate`).
+//!
+//! Migration hands a VPE's DDL partition — the VPE and every capability
+//! record it owns — to another kernel. These tests drive the protocol
+//! on the untimed [`TestCluster`] and check the properties the paper's
+//! DDL design promises: keys (and with them cross-kernel parent/child
+//! links) survive the move verbatim, routing follows the updated
+//! membership on *every* kernel, and the capability protocol keeps
+//! working against the new owner — including revocations that sweep
+//! pre-migration children and post-migration key allocations that stay
+//! globally unique.
+
+use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
+use semper_base::{CapSel, Code, KernelId, VpeId};
+use semper_kernel::harness::TestCluster;
+
+fn create_mem(c: &mut TestCluster, vpe: VpeId) -> CapSel {
+    match c.syscall(vpe, Syscall::CreateMem { size: 4096, perms: Perms::RW }).result {
+        Ok(SysReplyData::Mem { sel, .. }) => sel,
+        other => panic!("create_mem failed: {other:?}"),
+    }
+}
+
+fn delegate(c: &mut TestCluster, from: VpeId, to: VpeId, sel: CapSel) -> CapSel {
+    let r = c.syscall(
+        from,
+        Syscall::Exchange {
+            other: to,
+            own_sel: sel,
+            other_sel: CapSel::INVALID,
+            kind: ExchangeKind::Delegate,
+        },
+    );
+    match r.result {
+        Ok(SysReplyData::Delegated { recv_sel }) => recv_sel,
+        other => panic!("delegate failed: {other:?}"),
+    }
+}
+
+fn obtain(c: &mut TestCluster, to: VpeId, from: VpeId, sel: CapSel) -> CapSel {
+    let r = c.syscall(
+        to,
+        Syscall::Exchange {
+            other: from,
+            own_sel: CapSel::INVALID,
+            other_sel: sel,
+            kind: ExchangeKind::Obtain,
+        },
+    );
+    match r.result {
+        Ok(SysReplyData::Sel(s)) => s,
+        other => panic!("obtain failed: {other:?}"),
+    }
+}
+
+/// The records move wholesale: same selectors, same keys, same tree
+/// links; the source kernel forgets the VPE entirely.
+#[test]
+fn migration_moves_records_verbatim() {
+    let mut c = TestCluster::new(3, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+    let extra = create_mem(&mut c, a);
+    // A cross-kernel child under the root (owned by group 1).
+    let _child = delegate(&mut c, a, VpeId(1), root);
+
+    let key_root = c.kernels[0].table(a).unwrap().get(root).unwrap();
+    let key_extra = c.kernels[0].table(a).unwrap().get(extra).unwrap();
+    let caps_before = c.total_caps();
+
+    c.migrate(a, KernelId(2));
+    c.check_invariants();
+
+    // Source forgot the VPE; destination owns it, alive, same bindings.
+    assert!(c.kernels[0].table(a).is_none());
+    assert!(!c.kernels[0].vpe_alive(a));
+    assert!(c.kernels[2].vpe_alive(a));
+    let table = c.kernels[2].table(a).expect("table moved");
+    assert_eq!(table.get(root).unwrap(), key_root);
+    assert_eq!(table.get(extra).unwrap(), key_extra);
+    // Record count conserved (moved, not created).
+    assert_eq!(c.total_caps(), caps_before);
+    // The cross-kernel child link moved with the root.
+    assert!(c.kernels[2].mapdb().get(key_root).unwrap().child_count() == 1);
+    // Nothing is left pending anywhere.
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0, "kernel {} leaked a pending op", k.id());
+    }
+}
+
+/// After the membership fan-out, *every* kernel routes the moved keys
+/// to the new owner: a third-party obtain of the migrated capability
+/// reaches the destination kernel, and a follow-up revoke from the
+/// migrated VPE sweeps children created both before and after the move.
+#[test]
+fn protocol_keeps_working_against_the_new_owner() {
+    let mut c = TestCluster::new(3, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+    // Pre-migration child at group 1.
+    let _pre = delegate(&mut c, a, VpeId(1), root);
+
+    c.migrate(a, KernelId(2));
+
+    // Group 1's VPE obtains the migrated capability: its kernel must
+    // route the request to kernel 2 now.
+    let _post = obtain(&mut c, VpeId(1), a, root);
+    let k2_spanning = c.kernels[2].stats().kcalls_in;
+    assert!(k2_spanning > 0, "obtain after migration must reach the new owner");
+
+    // New allocations at the new owner keep the per-creator sequence:
+    // no key collision with pre-migration records.
+    let fresh = create_mem(&mut c, a);
+    assert_ne!(fresh, root);
+    c.check_invariants();
+
+    // The migrated VPE revokes the root: the sweep runs at kernel 2 and
+    // reaches the children held in group 1 (one pre-, one
+    // post-migration).
+    let r = c.syscall(a, Syscall::Revoke { sel: root, own: true });
+    assert!(r.result.is_ok(), "{r:?}");
+    c.check_invariants();
+    // Only the three self-caps plus the fresh cap survive.
+    assert_eq!(c.total_caps(), 4);
+    assert_eq!(c.kernels[2].stats().revokes_spanning, 1);
+}
+
+/// A VPE can migrate repeatedly, including back to its original group;
+/// each hop is acknowledged by every bystander before completing.
+#[test]
+fn repeated_migration_round_trips() {
+    let mut c = TestCluster::new(3, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+    let _child = delegate(&mut c, a, VpeId(2), root);
+
+    c.migrate(a, KernelId(1));
+    c.migrate(a, KernelId(2));
+    c.migrate(a, KernelId(0));
+    c.check_invariants();
+
+    assert!(c.kernels[0].vpe_alive(a));
+    assert_eq!(c.kernels[0].stats().migrations_out, 1);
+    assert_eq!(c.kernels[0].stats().migrations_in, 1);
+    assert_eq!(c.kernels[1].stats().migrations_out, 1);
+    assert_eq!(c.kernels[1].stats().migrations_in, 1);
+
+    // Everything still works at home.
+    let r = c.syscall(a, Syscall::Revoke { sel: root, own: true });
+    assert!(r.result.is_ok(), "{r:?}");
+    c.check_invariants();
+    assert_eq!(c.total_caps(), 3);
+}
+
+/// Migration is refused while any of the group's capabilities is under
+/// revocation, and for nonsensical destinations.
+#[test]
+fn migration_guards_reject_unsafe_moves() {
+    let mut c = TestCluster::new(2, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+    let _child = delegate(&mut c, a, VpeId(1), root);
+
+    // Mark the root revoking but leave the operation incomplete: issue
+    // the revoke and pump only the syscall itself (the remote child
+    // keeps the fan-in open).
+    c.syscall_async(a, Syscall::Revoke { sel: root, own: true });
+    c.pump_n(1);
+
+    let src = c.kernel_of(a);
+    let mut out = semper_kernel::Outbox::new();
+    let err = c.kernels[src.idx()]
+        .start_group_migration(a, KernelId(1), &mut out)
+        .expect_err("must refuse mid-revocation");
+    assert_eq!(err.code(), Code::RevokeInProgress);
+
+    let err = c.kernels[src.idx()]
+        .start_group_migration(a, KernelId(0), &mut out)
+        .expect_err("must refuse the own group");
+    assert_eq!(err.code(), Code::InvalidArgs);
+    assert!(out.is_empty(), "refused migrations must not emit messages");
+
+    // Drain the revocation; the cluster converges.
+    c.pump_all();
+    c.check_invariants();
+}
+
+/// Service VPEs are pinned: the registry names their kernel, so the
+/// engine refuses to migrate them.
+#[test]
+fn service_vpes_cannot_migrate() {
+    let mut c = TestCluster::new(2, 1);
+    let r = c.syscall(VpeId(0), Syscall::CreateSrv { name: 7 });
+    assert!(r.result.is_ok(), "{r:?}");
+    let mut out = semper_kernel::Outbox::new();
+    let err = c.kernels[0]
+        .start_group_migration(VpeId(0), KernelId(1), &mut out)
+        .expect_err("service VPEs are pinned");
+    assert_eq!(err.code(), Code::InvalidArgs);
+}

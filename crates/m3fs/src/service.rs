@@ -10,6 +10,7 @@
 //! and what generates the capability operations counted in Table 4.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use semper_base::msg::{
     ExchangeKind, FsOp, FsReplyData, FsReq, Outbox, Payload, Perms, SysReply, SysReplyData,
@@ -88,7 +89,12 @@ pub struct FsService {
     pe: PeId,
     kernel_pe: PeId,
     cost: CostModel,
-    image: FsImage,
+    /// The filesystem image. Shared (`Arc`) across instances at machine
+    /// build; the first runtime mutation of an instance's metadata
+    /// clones its private copy (`Arc::make_mut`), preserving the
+    /// paper's each-instance-has-its-own-copy semantics (§5.3.1)
+    /// without paying one deep clone per instance up front.
+    image: Arc<FsImage>,
 
     boot: BootState,
     image_sel: CapSel,
@@ -117,7 +123,7 @@ impl FsService {
         pe: PeId,
         kernel_pe: PeId,
         cost: CostModel,
-        image: FsImage,
+        image: Arc<FsImage>,
         image_size: u64,
     ) -> FsService {
         FsService {
@@ -231,7 +237,7 @@ impl FsService {
                 let result = (|| -> Result<FsReplyData> {
                     if !self.image.exists(path) {
                         if *create && *write {
-                            self.image.create_file(path)?;
+                            Arc::make_mut(&mut self.image).create_file(path)?;
                         } else {
                             return Err(Error::new(Code::NoSuchFile));
                         }
@@ -269,13 +275,13 @@ impl FsService {
             }
             FsOp::Mkdir { path } => {
                 self.stats.meta_ops += 1;
-                let result = self.image.mkdir(path).map(|_| FsReplyData::Ok);
+                let result = Arc::make_mut(&mut self.image).mkdir(path).map(|_| FsReplyData::Ok);
                 self.reply_fs(out, src, req.tag, result);
                 self.cost.fs_meta_op
             }
             FsOp::Unlink { path } => {
                 self.stats.meta_ops += 1;
-                let result = self.image.unlink(path).map(|_| FsReplyData::Ok);
+                let result = Arc::make_mut(&mut self.image).unlink(path).map(|_| FsReplyData::Ok);
                 self.reply_fs(out, src, req.tag, result);
                 self.cost.fs_meta_op
             }
@@ -287,7 +293,8 @@ impl FsService {
                     }
                     if *write {
                         // Appending: make sure the extent exists.
-                        self.image.grow_to(&file.path, offset + EXTENT_BYTES)?;
+                        Arc::make_mut(&mut self.image)
+                            .grow_to(&file.path, offset + EXTENT_BYTES)?;
                     }
                     let (ext, file_offset, len) = self.image.extent_at(&file.path, *offset)?;
                     Ok(Work::Extent {
@@ -504,7 +511,7 @@ mod tests {
             PeId(3),
             PeId(0),
             CostModel::calibrated(),
-            FsImage::build(&spec, size),
+            Arc::new(FsImage::build(&spec, size)),
             size,
         )
     }

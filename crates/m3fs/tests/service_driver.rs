@@ -21,7 +21,7 @@ fn booted_service() -> FsService {
         SVC_PE,
         KRN_PE,
         CostModel::calibrated(),
-        FsImage::build(&spec, size),
+        std::sync::Arc::new(FsImage::build(&spec, size)),
         size,
     );
     let mut out = Outbox::new();

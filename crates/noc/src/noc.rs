@@ -7,16 +7,27 @@
 //! least one cycle after the previous delivery on the same channel.
 
 use crate::mesh::Mesh;
-use semper_base::{CostModel, Msg, PeId};
+use semper_base::{CostModel, Msg};
 use semper_sim::Cycles;
-use std::collections::BTreeMap;
 
 /// The network-on-chip: computes delivery times for messages.
+///
+/// The per-channel FIFO floor is a flat dense table indexed by
+/// `src · PEs + dst`: the PE count is fixed when the mesh is built, and
+/// every routed message probes its channel, so the old
+/// `BTreeMap<(PeId, PeId), _>` put an O(log channels) tree walk plus
+/// pointer chasing on the per-message hot path. Each slot stores the
+/// channel's *floor* (last delivery + 1; `0` = channel never used), so
+/// the computed delivery times are bit-identical to the map-based
+/// implementation.
 #[derive(Debug, Clone)]
 pub struct Noc {
     mesh: Mesh,
     cost: CostModel,
-    last_delivery: BTreeMap<(PeId, PeId), Cycles>,
+    /// FIFO floor per (src, dst) channel, `src.idx() * pes + dst.idx()`.
+    fifo_floor: Vec<u64>,
+    /// PEs per side of the channel table (mesh capacity).
+    pes: usize,
     messages_routed: u64,
     bytes_routed: u64,
 }
@@ -24,7 +35,9 @@ pub struct Noc {
 impl Noc {
     /// Creates a NoC over the given mesh with the given cost model.
     pub fn new(mesh: Mesh, cost: CostModel) -> Noc {
-        Noc { mesh, cost, last_delivery: BTreeMap::new(), messages_routed: 0, bytes_routed: 0 }
+        // Mesh capacity bounds the PE ids that can ever be routed.
+        let pes = (mesh.width() as usize) * (mesh.width() as usize);
+        Noc { mesh, cost, fifo_floor: vec![0; pes * pes], pes, messages_routed: 0, bytes_routed: 0 }
     }
 
     /// The mesh underlying this NoC.
@@ -43,10 +56,9 @@ impl Noc {
         let wire = self.cost.noc_latency(hops, bytes);
         let arrival = now + self.cost.dtu_send + wire + self.cost.dtu_recv;
 
-        let chan = (msg.src, msg.dst);
-        let fifo_floor = self.last_delivery.get(&chan).map(|t| *t + 1u64).unwrap_or(Cycles::ZERO);
-        let delivery = arrival.max(fifo_floor);
-        self.last_delivery.insert(chan, delivery);
+        let chan = msg.src.idx() * self.pes + msg.dst.idx();
+        let delivery = arrival.max(Cycles(self.fifo_floor[chan]));
+        self.fifo_floor[chan] = delivery.0 + 1;
 
         self.messages_routed += 1;
         self.bytes_routed += bytes;
@@ -68,6 +80,7 @@ impl Noc {
 mod tests {
     use super::*;
     use semper_base::msg::{Payload, Syscall};
+    use semper_base::PeId;
 
     fn noop_msg(src: u16, dst: u16) -> Msg {
         Msg::new(PeId(src), PeId(dst), Payload::sys(0, Syscall::Noop))

@@ -144,6 +144,179 @@ fn cross_machine_revocation_matches_golden() {
     );
 }
 
+/// Golden cycle counts for [`session_open_close_matches_golden`],
+/// recorded on the hand-rolled per-module protocol state machines
+/// *before* the port onto the `kernel::ops` distributed-op engine
+/// (PR 3). The engine must reproduce the session-establishment protocol
+/// bit-identically: same upcalls, same inter-kernel messages, same
+/// costs. Re-record via `cargo test session_open -- --nocapture` only if
+/// the cost model or protocol intentionally changed.
+const GOLDEN_SESS_OPEN_REMOTE_A: u64 = 4441;
+const GOLDEN_SESS_OPEN_REMOTE_B: u64 = 4081;
+const GOLDEN_SESS_OPEN_LOCAL: u64 = 2040;
+const GOLDEN_SESS_CLOSE_CLIENT: u64 = 1267;
+const GOLDEN_SESS_CLOSE_SRV: u64 = 4678;
+const GOLDEN_SESS_FINAL_NOW: u64 = 17629;
+const GOLDEN_SESS_EVENTS: u64 = 30;
+
+/// A three-kernel machine runs the full session lifecycle: a service
+/// registers in group 1 (announced to every kernel), two clients in
+/// groups 0 and 2 open sessions across kernel boundaries, one client in
+/// group 1 opens locally, then one client closes (revokes its session
+/// capability — the parent link at the service's kernel goes stale), and
+/// finally the service capability is revoked, sweeping the remaining
+/// session children through the revocation protocol — including the
+/// vacuous revoke replies for the already-closed session. Pinned before
+/// the `kernel::ops` port so the refactor is locked to this exact
+/// message choreography.
+#[test]
+fn session_open_close_matches_golden() {
+    use semper_base::msg::{SysReplyData, Syscall};
+
+    const NAME: u64 = 77;
+    let run = || {
+        let mut m = MicroMachine::new(3, 2, KernelMode::SemperOS);
+        let srv = m.vpe(1, 0);
+        let client_a = m.vpe(0, 0);
+        let client_b = m.vpe(2, 0);
+        let client_local = m.vpe(1, 1);
+        let (r, _) = m.machine().syscall_blocking(srv, Syscall::CreateSrv { name: NAME });
+        let Ok(SysReplyData::Sel(srv_sel)) = r.result else { panic!("create_srv: {r:?}") };
+        // Let the service announcements reach every kernel before the
+        // first open (boot-time barrier, as in the application runs).
+        m.machine().run_until_idle();
+
+        let open = |m: &mut MicroMachine, vpe| {
+            let (r, cycles) =
+                m.machine().syscall_blocking(vpe, Syscall::OpenSession { name: NAME });
+            match r.result {
+                Ok(SysReplyData::Session { sel, .. }) => (sel, cycles),
+                other => panic!("open_session: {other:?}"),
+            }
+        };
+        let (sess_a, open_a) = open(&mut m, client_a);
+        let (_sess_b, open_b) = open(&mut m, client_b);
+        let (_sess_l, open_l) = open(&mut m, client_local);
+
+        // Close A's session: a client-side revoke of the session
+        // capability (the stale child reference stays at the service's
+        // kernel until the service capability goes).
+        let close_a = m.revoke(client_a, sess_a);
+        // Tear the service down: revoking the service capability sweeps
+        // the remaining sessions in groups 1 and 2.
+        let close_srv = m.revoke(srv, srv_sel);
+        m.machine().check_invariants();
+        let stats: Vec<KernelStats> = m.machine().kernel_stats();
+        let opened: u64 = stats.iter().map(|s| s.sessions_opened).sum();
+        let deleted: u64 = stats.iter().map(|s| s.caps_deleted).sum();
+        (
+            open_a,
+            open_b,
+            open_l,
+            close_a,
+            close_srv,
+            m.machine().now().0,
+            m.machine().events(),
+            opened,
+            deleted,
+            stats,
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "session lifecycle diverged between runs");
+    println!(
+        "golden: open_a={} open_b={} open_l={} close_a={} close_srv={} now={} events={}",
+        first.0, first.1, first.2, first.3, first.4, first.5, first.6
+    );
+    assert_eq!(first.7, 3, "three sessions opened");
+    assert_eq!(
+        (first.0, first.1, first.2, first.3, first.4, first.5, first.6),
+        (
+            GOLDEN_SESS_OPEN_REMOTE_A,
+            GOLDEN_SESS_OPEN_REMOTE_B,
+            GOLDEN_SESS_OPEN_LOCAL,
+            GOLDEN_SESS_CLOSE_CLIENT,
+            GOLDEN_SESS_CLOSE_SRV,
+            GOLDEN_SESS_FINAL_NOW,
+            GOLDEN_SESS_EVENTS,
+        ),
+        "session protocol cycle trace drifted from the pre-ops-engine golden"
+    );
+}
+
+/// Golden cycle counts for [`group_migration_matches_golden`], recorded
+/// when the capability-group migration protocol landed (PR 3, on the
+/// `kernel::ops` engine). Pins the full choreography: marshal, install,
+/// handover, membership fan-out/acks, and the post-migration routing of
+/// exchanges and revokes to the group's new owner.
+const GOLDEN_MIG_FIRST: u64 = 6918;
+const GOLDEN_MIG_SECOND: u64 = 6902;
+const GOLDEN_MIG_OBTAIN: u64 = 6548;
+const GOLDEN_MIG_REVOKE: u64 = 6671;
+const GOLDEN_MIG_FINAL_NOW: u64 = 48565;
+const GOLDEN_MIG_EVENTS: u64 = 46;
+
+/// A three-kernel machine migrates a VPE's capability group twice
+/// (kernel 0 → 1 → 2) while the group's capability tree has children in
+/// every other group, then exercises the protocol against the new
+/// owner: a spanning obtain routed by the updated membership tables and
+/// a revoke sweeping the pre-migration children. Cycle-pinned.
+#[test]
+fn group_migration_matches_golden() {
+    use semper_base::KernelId;
+
+    let run = || {
+        let mut m = MicroMachine::new(3, 2, KernelMode::SemperOS);
+        let a = m.vpe(0, 0);
+        let root = m.create_mem(a);
+        // Children in both remote groups plus one local sibling holder.
+        let (_, _) = m.delegate(a, m.vpe(1, 0), root);
+        let (_, _) = m.delegate(a, m.vpe(2, 0), root);
+        let (_, _) = m.delegate(a, m.vpe(0, 1), root);
+
+        let first = m.machine().migrate_vpe(a, KernelId(1));
+        let second = m.machine().migrate_vpe(a, KernelId(2));
+        // Routing after two hops: a spanning obtain from group 0 must
+        // find the group at kernel 2.
+        let (_, obtain_cycles) = m.obtain(m.vpe(0, 1), a, root);
+        let revoke_cycles = m.revoke(a, root);
+        m.machine().check_invariants();
+        let stats: Vec<KernelStats> = m.machine().kernel_stats();
+        let migrations: u64 = stats.iter().map(|s| s.migrations_out + s.migrations_in).sum();
+        (
+            first,
+            second,
+            obtain_cycles,
+            revoke_cycles,
+            m.machine().now().0,
+            m.machine().events(),
+            migrations,
+            stats,
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "group migration diverged between runs");
+    println!(
+        "golden: first={} second={} obtain={} revoke={} now={} events={}",
+        first.0, first.1, first.2, first.3, first.4, first.5
+    );
+    assert_eq!(first.6, 4, "two completed migrations, counted at source and destination");
+    assert_eq!(
+        (first.0, first.1, first.2, first.3, first.4, first.5),
+        (
+            GOLDEN_MIG_FIRST,
+            GOLDEN_MIG_SECOND,
+            GOLDEN_MIG_OBTAIN,
+            GOLDEN_MIG_REVOKE,
+            GOLDEN_MIG_FINAL_NOW,
+            GOLDEN_MIG_EVENTS,
+        ),
+        "migration cycle trace drifted from the PR 3 golden"
+    );
+}
+
 /// A measurement on a machine reused through [`MachinePool`] must
 /// yield the same simulated cycles as on a freshly built machine:
 /// selector free lists hand back freed selectors, credit budgets are
