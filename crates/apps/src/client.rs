@@ -15,6 +15,7 @@ use semper_base::msg::{
 };
 use semper_base::{Code, CostModel, Error, Msg, PeId, VpeId};
 
+use crate::conn::{Correlator, KernelConn};
 use crate::trace::{Trace, TraceOp};
 
 /// Lifecycle of an application client.
@@ -76,32 +77,26 @@ struct Io {
     write: bool,
 }
 
-/// What the replayer is currently waiting for.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Waiting {
-    /// Nothing — ready to execute the next op.
-    None,
-    /// The `OpenSession` system call.
-    Session,
-    /// A filesystem reply with the given tag.
-    Fs(u64),
-}
-
 /// Executes traces against the OS. See the module docs.
+///
+/// Reply correlation lives in [`crate::conn`]: `sys` is the kernel
+/// connection (the one blocking system call — here, `OpenSession`),
+/// `fs` correlates filesystem IPC over the session. A reply that
+/// matches neither is a hard error surfacing as
+/// [`ClientPhase::Failed`], never a silently dropped message.
 pub struct Replayer {
     vpe: VpeId,
     pe: PeId,
-    kernel_pe: PeId,
     cost: CostModel,
     service_name: u64,
+    sys: KernelConn,
+    fs: Correlator,
 
     session: Option<(u64, PeId)>,
     trace: Option<Trace>,
     ip: usize,
     files: BTreeMap<String, FileState>,
     io: Option<Io>,
-    waiting: Waiting,
-    next_tag: u64,
     stats: ClientStats,
     error: Option<Error>,
 }
@@ -118,16 +113,17 @@ impl Replayer {
         Replayer {
             vpe,
             pe,
-            kernel_pe,
             cost,
             service_name,
+            // Tag sequences match the hand-rolled counters this struct
+            // used to keep: session call 0, filesystem requests from 1.
+            sys: KernelConn::starting_at(pe, kernel_pe, 0),
+            fs: Correlator::new(1),
             session: None,
             trace: None,
             ip: 0,
             files: BTreeMap::new(),
             io: None,
-            waiting: Waiting::None,
-            next_tag: 1,
             stats: ClientStats::default(),
             error: None,
         }
@@ -161,12 +157,7 @@ impl Replayer {
     /// Issues the `OpenSession` system call.
     pub fn open_session(&mut self, out: &mut Outbox) -> u64 {
         debug_assert!(self.session.is_none());
-        self.waiting = Waiting::Session;
-        out.push(Msg::new(
-            self.pe,
-            self.kernel_pe,
-            Payload::sys(0, Syscall::OpenSession { name: self.service_name }),
-        ));
+        let _ = self.sys.submit(Syscall::OpenSession { name: self.service_name }, out);
         self.cost.fs_meta_op / 4
     }
 
@@ -183,7 +174,7 @@ impl Replayer {
     /// Returns `(cycle cost, finished)`.
     pub fn run(&mut self, out: &mut Outbox) -> (u64, bool) {
         let mut cost = 0u64;
-        if self.waiting != Waiting::None || self.error.is_some() {
+        if self.sys.busy() || self.fs.busy() || self.error.is_some() {
             return (cost, false);
         }
         loop {
@@ -305,9 +296,7 @@ impl Replayer {
 
     fn send_fs(&mut self, out: &mut Outbox, op: FsOp) -> u64 {
         let (session, srv_pe) = self.session.expect("session established before trace");
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        self.waiting = Waiting::Fs(tag);
+        let tag = self.fs.issue();
         self.stats.fs_requests += 1;
         out.push(Msg::new(self.pe, srv_pe, Payload::fs(FsReq { session, tag, op })));
         // Marshalling cost of one IPC request.
@@ -317,7 +306,8 @@ impl Replayer {
     fn fail(&mut self, e: Error) {
         self.error = Some(e);
         self.trace = None;
-        self.waiting = Waiting::None;
+        self.sys.reset();
+        self.fs.reset();
     }
 
     /// Handles one incoming message. Returns `(cost, trace_finished)`.
@@ -334,11 +324,15 @@ impl Replayer {
                 (self.cost.upcall_work, false)
             }
             Payload::SysReply(reply) => {
-                debug_assert_eq!(self.waiting, Waiting::Session);
+                // A reply that matches nothing in flight is a protocol
+                // violation — fail hard instead of dropping it.
+                if let Err(e) = self.sys.accept(reply) {
+                    self.fail(e);
+                    return (0, false);
+                }
                 match &reply.result {
                     Ok(SysReplyData::Session { srv_pe, ident, .. }) => {
                         self.session = Some((*ident, *srv_pe));
-                        self.waiting = Waiting::None;
                         let (c, done) = self.run(out);
                         (c + self.cost.fs_meta_op / 4, done)
                     }
@@ -360,14 +354,13 @@ impl Replayer {
     }
 
     fn on_fs_reply(&mut self, reply: &FsReply, out: &mut Outbox) -> (u64, bool) {
-        match self.waiting {
-            Waiting::Fs(tag) if tag == reply.tag => {}
-            _ => {
-                debug_assert!(false, "unexpected fs reply tag {}", reply.tag);
-                return (0, false);
-            }
+        // Previously a `debug_assert!` — a mismatched tag in a release
+        // build silently dropped the reply and wedged the client. Now
+        // it is a hard error surfaced through `ClientPhase::Failed`.
+        if let Err(e) = self.fs.accept(reply.tag) {
+            self.fail(e);
+            return (0, false);
         }
-        self.waiting = Waiting::None;
         let mut cost = self.cost.dtu_recv;
         match &reply.result {
             Ok(FsReplyData::Opened { fid, size }) => {

@@ -1,0 +1,287 @@
+//! The one kernel connection (and reply correlator) every client uses.
+//!
+//! Before this module, every actor that talked to a kernel or a service
+//! hand-rolled the same three pieces of state: a tag counter, a
+//! "waiting for tag X" marker, and a `debug_assert!` that the echoed
+//! tag matched — which meant a mismatched reply was *silently dropped*
+//! in release builds. [`KernelConn`] and [`Correlator`] are the single
+//! implementation of that bookkeeping: typed submission, completion
+//! matching that returns a hard [`Error`] on any mismatch, and a
+//! [`BatchBuilder`] for issuing several capability operations as one
+//! [`Syscall::Batch`].
+//!
+//! # Migrating from hand-rolled tags
+//!
+//! The pre-`KernelConn` pattern, repeated in the trace replayer, the
+//! webserver, and the m3fs service:
+//!
+//! ```text
+//! // before: every actor owned this state machine
+//! next_tag: u64,
+//! syscall_busy: bool,            // or: waiting: Waiting::Fs(tag)
+//! ...
+//! let tag = self.next_tag;
+//! self.next_tag += 1;
+//! self.syscall_busy = true;
+//! out.push(Msg::new(self.pe, self.kernel_pe, Payload::sys(tag, call)));
+//! ...
+//! // on reply: drops mismatches in release builds!
+//! debug_assert!(self.waiting == Waiting::Fs(reply.tag));
+//! ```
+//!
+//! becomes:
+//!
+//! ```
+//! # use semper_apps::conn::KernelConn;
+//! # use semper_base::msg::{Outbox, Payload, Syscall, SysReply, SysReplyData};
+//! # use semper_base::{Msg, PeId};
+//! let mut conn = KernelConn::new(PeId(3), PeId(0));
+//! let mut out = Outbox::new();
+//! let token = conn.submit(Syscall::Noop, &mut out);
+//! assert!(conn.busy());
+//! // ... the kernel replies ...
+//! let reply = SysReply { tag: token.tag(), result: Ok(SysReplyData::None) };
+//! conn.accept(&reply).expect("tag mismatch is a hard error, not a dropped reply");
+//! assert!(!conn.busy());
+//! ```
+//!
+//! VPEs have exactly one blocking system call in flight (the invariant
+//! the paper's thread-pool sizing rests on), so "completion polling" is
+//! a single-slot affair: [`KernelConn::pending`] names the in-flight
+//! token, [`KernelConn::accept`] resolves it.
+
+use semper_base::msg::{Outbox, Payload, SysReply, Syscall};
+use semper_base::{Code, Error, Msg, PeId, Result};
+
+/// Matches request tags to reply tags for a channel with one request in
+/// flight at a time (syscalls to a kernel, filesystem IPC over a
+/// session). Allocates tags monotonically; rejects replies that do not
+/// match the outstanding request with a hard error instead of a
+/// debug-only assertion.
+#[derive(Debug, Clone)]
+pub struct Correlator {
+    next_tag: u64,
+    waiting: Option<u64>,
+}
+
+impl Correlator {
+    /// A correlator whose first issued tag is `first_tag` (existing
+    /// actors keep their historical tag sequences, so message payloads
+    /// are byte-identical to the hand-rolled counters they replace).
+    pub fn new(first_tag: u64) -> Correlator {
+        Correlator { next_tag: first_tag, waiting: None }
+    }
+
+    /// True while a request is outstanding.
+    pub fn busy(&self) -> bool {
+        self.waiting.is_some()
+    }
+
+    /// The tag of the outstanding request, if any.
+    pub fn pending(&self) -> Option<u64> {
+        self.waiting
+    }
+
+    /// Allocates the next tag and marks it outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if a request is already outstanding (one blocking
+    /// request per channel).
+    pub fn issue(&mut self) -> u64 {
+        debug_assert!(self.waiting.is_none(), "one request in flight at a time");
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.waiting = Some(tag);
+        tag
+    }
+
+    /// Resolves the outstanding request against an echoed tag. A reply
+    /// that matches nothing — no request outstanding, or a different
+    /// tag — is a protocol violation and returns `InternalError`; the
+    /// caller surfaces it instead of dropping the reply.
+    pub fn accept(&mut self, tag: u64) -> Result<()> {
+        match self.waiting {
+            Some(t) if t == tag => {
+                self.waiting = None;
+                Ok(())
+            }
+            _ => Err(Error::new(Code::InternalError)),
+        }
+    }
+
+    /// Clears the outstanding marker (failure teardown).
+    pub fn reset(&mut self) {
+        self.waiting = None;
+    }
+}
+
+/// Handle for one submitted system call (resolved by the next matching
+/// [`KernelConn::accept`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token(u64);
+
+impl Token {
+    /// The wire tag carried by the submitted call.
+    pub fn tag(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A VPE's connection to its group's kernel: typed submission of
+/// [`Syscall`]s, single-slot completion tracking, hard-error reply
+/// matching. See the module docs for the migration story.
+#[derive(Debug, Clone)]
+pub struct KernelConn {
+    pe: PeId,
+    kernel_pe: PeId,
+    corr: Correlator,
+}
+
+impl KernelConn {
+    /// A connection from the VPE on `pe` to the kernel on `kernel_pe`,
+    /// issuing tags from 1 (the convention of the service actors).
+    pub fn new(pe: PeId, kernel_pe: PeId) -> KernelConn {
+        KernelConn::starting_at(pe, kernel_pe, 1)
+    }
+
+    /// Like [`KernelConn::new`] with an explicit first tag (the trace
+    /// replayer historically tags its session call 0).
+    pub fn starting_at(pe: PeId, kernel_pe: PeId, first_tag: u64) -> KernelConn {
+        KernelConn { pe, kernel_pe, corr: Correlator::new(first_tag) }
+    }
+
+    /// True while a system call is in flight (VPEs block on syscalls).
+    pub fn busy(&self) -> bool {
+        self.corr.busy()
+    }
+
+    /// The token of the in-flight system call, if any.
+    pub fn pending(&self) -> Option<Token> {
+        self.corr.pending().map(Token)
+    }
+
+    /// Submits a system call to the kernel; the message leaves with the
+    /// handler's output. Returns the token the reply will resolve.
+    pub fn submit(&mut self, call: Syscall, out: &mut Outbox) -> Token {
+        let tag = self.corr.issue();
+        out.push(Msg::new(self.pe, self.kernel_pe, Payload::sys(tag, call)));
+        Token(tag)
+    }
+
+    /// Resolves the in-flight call against a reply. Returns the token
+    /// on a match; a mismatched or unexpected reply is a hard error
+    /// (never silently dropped — the caller fails or panics).
+    pub fn accept(&mut self, reply: &SysReply) -> Result<Token> {
+        self.corr.accept(reply.tag)?;
+        Ok(Token(reply.tag))
+    }
+
+    /// Clears the in-flight marker (failure teardown).
+    pub fn reset(&mut self) {
+        self.corr.reset();
+    }
+}
+
+/// Builds a [`Syscall::Batch`]: N capability operations submitted as
+/// one message, answered by one
+/// [`SysReplyData::Batch`](semper_base::msg::SysReplyData::Batch) of
+/// per-item results. The m3fs service uses this to revoke all of a
+/// closed file's delegated extents in one round trip; see
+/// `semper_kernel::ops::bulk` for the kernel side.
+#[derive(Debug, Default, Clone)]
+pub struct BatchBuilder {
+    items: Vec<Syscall>,
+}
+
+impl BatchBuilder {
+    /// An empty batch.
+    pub fn new() -> BatchBuilder {
+        BatchBuilder::default()
+    }
+
+    /// Appends one operation; items execute in push order.
+    pub fn push(&mut self, call: Syscall) -> &mut BatchBuilder {
+        self.items.push(call);
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Submits the batch over `conn` as a single [`Syscall::Batch`].
+    pub fn submit(self, conn: &mut KernelConn, out: &mut Outbox) -> Token {
+        conn.submit(Syscall::Batch(self.items.into_boxed_slice()), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semper_base::msg::SysReplyData;
+
+    #[test]
+    fn submit_and_accept_roundtrip() {
+        let mut conn = KernelConn::new(PeId(5), PeId(0));
+        let mut out = Outbox::new();
+        let token = conn.submit(Syscall::Noop, &mut out);
+        assert_eq!(token.tag(), 1);
+        assert!(conn.busy());
+        assert_eq!(conn.pending(), Some(token));
+        let msgs = out.drain();
+        assert!(matches!(&msgs[0].0.payload, Payload::Sys { tag: 1, call: Syscall::Noop }));
+        assert_eq!(msgs[0].0.dst, PeId(0));
+        let reply = SysReply { tag: 1, result: Ok(SysReplyData::None) };
+        assert_eq!(conn.accept(&reply).unwrap(), token);
+        assert!(!conn.busy());
+    }
+
+    #[test]
+    fn mismatched_reply_is_a_hard_error() {
+        let mut conn = KernelConn::new(PeId(5), PeId(0));
+        let mut out = Outbox::new();
+        let _ = conn.submit(Syscall::Noop, &mut out);
+        let bogus = SysReply { tag: 42, result: Ok(SysReplyData::None) };
+        assert_eq!(conn.accept(&bogus).unwrap_err().code(), Code::InternalError);
+        // An unsolicited reply with nothing in flight is also an error.
+        conn.reset();
+        let reply = SysReply { tag: 1, result: Ok(SysReplyData::None) };
+        assert_eq!(conn.accept(&reply).unwrap_err().code(), Code::InternalError);
+    }
+
+    #[test]
+    fn correlator_tags_are_monotone_from_first() {
+        let mut c = Correlator::new(0);
+        assert_eq!(c.issue(), 0);
+        c.accept(0).unwrap();
+        assert_eq!(c.issue(), 1);
+        c.accept(1).unwrap();
+        assert!(!c.busy());
+    }
+
+    #[test]
+    fn batch_builder_wraps_items_in_order() {
+        let mut conn = KernelConn::new(PeId(5), PeId(0));
+        let mut out = Outbox::new();
+        let mut b = BatchBuilder::new();
+        assert!(b.is_empty());
+        b.push(Syscall::Noop);
+        b.push(Syscall::Revoke { sel: semper_base::CapSel(7), own: true });
+        assert_eq!(b.len(), 2);
+        let _ = b.submit(&mut conn, &mut out);
+        let msgs = out.drain();
+        let Payload::Sys { call: Syscall::Batch(items), .. } = &msgs[0].0.payload else {
+            panic!("expected a batch syscall");
+        };
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Syscall::Noop));
+        assert!(matches!(items[1], Syscall::Revoke { .. }));
+    }
+}

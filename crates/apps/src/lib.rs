@@ -16,11 +16,16 @@
 //!   delegated memory capabilities exactly like a real m3fs client.
 //! * [`nginx`] — the webserver experiment (§5.3.3): server VPEs that
 //!   replay a request-handling trace and closed-loop load generators.
+//! * [`conn`] — the one kernel-connection/reply-matching implementation
+//!   ([`KernelConn`], [`conn::Correlator`], [`conn::BatchBuilder`])
+//!   shared by every actor above and by the m3fs service.
 
 pub mod client;
+pub mod conn;
 pub mod nginx;
 pub mod trace;
 
 pub use client::{AppClient, ClientPhase, ClientStats};
+pub use conn::{BatchBuilder, KernelConn};
 pub use nginx::{LoadGen, NginxServer};
 pub use trace::{AppKind, Trace, TraceOp};

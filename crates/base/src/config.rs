@@ -45,6 +45,12 @@ pub enum Feature {
     /// the invalid-capability window of the naive protocol; never enable
     /// outside the ablation benchmark).
     OneWayDelegate,
+    /// Services issue their capability operations through
+    /// `Syscall::Batch` where the workload allows it (m3fs batches the
+    /// close-time revokes of a file's delegated extents into one
+    /// message). Off by default so the sequential scenarios stay
+    /// bit-identical; the `*_batched` bench scenarios enable it.
+    SyscallBatching,
 }
 
 /// Full description of a simulated machine and its OS deployment.

@@ -41,6 +41,10 @@ pub struct CostModel {
     pub syscall_entry: u64,
     /// Building and sending the system-call reply.
     pub syscall_exit: u64,
+    /// Decoding one item of a batched system call out of the batch
+    /// buffer ([`Syscall::Batch`] pays `syscall_entry` once plus this
+    /// per item; the item's own handler cost comes on top).
+    pub batch_item: u64,
     /// Decoding and dispatching an incoming inter-kernel call.
     pub kcall_entry: u64,
     /// Building and sending an inter-kernel reply.
@@ -102,6 +106,7 @@ impl CostModel {
 
             syscall_entry: 120,
             syscall_exit: 100,
+            batch_item: 35,
             kcall_entry: 520,
             kcall_exit: 400,
             thread_switch: 120,

@@ -217,6 +217,17 @@ pub enum Syscall {
     },
     /// Voluntary exit; the kernel revokes all capabilities of the VPE.
     Exit,
+    /// Several capability operations in one message (the paper's bulk
+    /// treatment of capability operations, §5.2): the kernel executes
+    /// the items in order and replies once with per-item results
+    /// ([`SysReplyData::Batch`]). Still one blocking system call from
+    /// the VPE's point of view — one request message, one reply message,
+    /// however many items. Runs of consecutive `Revoke` items are
+    /// coalesced into a single revocation fan-out whose cross-kernel
+    /// requests are grouped per destination kernel (see
+    /// `semper_kernel::ops::bulk`). `Batch` and `Exit` may not appear
+    /// as items.
+    Batch(Box<[Syscall]>),
 }
 
 /// Payload of a successful system-call reply.
@@ -252,6 +263,12 @@ pub enum SysReplyData {
         /// subsequent request on this session).
         ident: u64,
     },
+    /// Per-item outcomes of a [`Syscall::Batch`], in item order: entry
+    /// `i` is exactly the reply item `i` would have produced as a
+    /// standalone system call. Boxed *thin* (`Box<Vec<..>>`, one
+    /// pointer) so this variant does not widen `SysReplyData` — and
+    /// thereby every `Msg` — past the slim-layout budget.
+    Batch(Box<Vec<Result<SysReplyData>>>),
 }
 
 /// Reply to a system call.
@@ -770,21 +787,8 @@ impl Payload {
     pub fn wire_size(&self) -> u32 {
         const HDR: u32 = 16;
         HDR + match self {
-            Payload::Sys { call, .. } => match call {
-                Syscall::Noop => 8,
-                Syscall::CreateMem { .. } => 24,
-                Syscall::DeriveMem { .. } => 32,
-                Syscall::Exchange { .. } => 24,
-                Syscall::Revoke { .. } => 16,
-                Syscall::CreateSrv { .. } => 16,
-                Syscall::OpenSession { .. } => 16,
-                Syscall::Activate { .. } => 16,
-                Syscall::Exit => 8,
-            },
-            Payload::SysReply(r) => match &r.result {
-                Ok(SysReplyData::Session { .. }) => 32,
-                _ => 16,
-            },
+            Payload::Sys { call, .. } => syscall_size(call),
+            Payload::SysReply(r) => sys_reply_size(&r.result),
             Payload::Kcall(k) => match k.as_ref() {
                 Kcall::AnnounceService { .. } => 48,
                 Kcall::ObtainReq { .. } => 40,
@@ -833,6 +837,36 @@ impl Payload {
             Payload::Http(_) => 64,
             Payload::HttpReply(_) => 128,
         }
+    }
+}
+
+/// Architectural payload bytes of one system call (excluding the DTU
+/// header). A [`Syscall::Batch`] pays one 8-byte batch header plus the
+/// item payloads — the per-message DTU header is what batching
+/// amortizes.
+fn syscall_size(call: &Syscall) -> u32 {
+    match call {
+        Syscall::Noop => 8,
+        Syscall::CreateMem { .. } => 24,
+        Syscall::DeriveMem { .. } => 32,
+        Syscall::Exchange { .. } => 24,
+        Syscall::Revoke { .. } => 16,
+        Syscall::CreateSrv { .. } => 16,
+        Syscall::OpenSession { .. } => 16,
+        Syscall::Activate { .. } => 16,
+        Syscall::Exit => 8,
+        Syscall::Batch(items) => 8 + items.iter().map(syscall_size).sum::<u32>(),
+    }
+}
+
+/// Architectural payload bytes of one system-call reply (excluding the
+/// DTU header). A batch reply carries one 8-byte item count plus the
+/// per-item reply payloads.
+fn sys_reply_size(result: &Result<SysReplyData>) -> u32 {
+    match result {
+        Ok(SysReplyData::Session { .. }) => 32,
+        Ok(SysReplyData::Batch(items)) => 8 + items.iter().map(sys_reply_size).sum::<u32>(),
+        _ => 16,
     }
 }
 
@@ -899,6 +933,25 @@ mod tests {
             op: FsOp::Stat { path: "a/very/long/path/name".into() },
         });
         assert!(long.wire_size() > short.wire_size());
+    }
+
+    /// One batch of N calls must ride a single DTU header: cheaper on
+    /// the wire than N separate messages, but still charged for every
+    /// item's payload.
+    #[test]
+    fn batch_amortizes_the_message_header() {
+        let items: Box<[Syscall]> =
+            (0..4).map(|_| Syscall::Revoke { sel: crate::CapSel(3), own: true }).collect();
+        let batched = Payload::sys(0, Syscall::Batch(items));
+        let single = Payload::sys(0, Syscall::Revoke { sel: crate::CapSel(3), own: true });
+        assert!(batched.wire_size() < 4 * single.wire_size());
+        assert!(batched.wire_size() > single.wire_size());
+
+        let results: Vec<Result<SysReplyData>> = (0..4).map(|_| Ok(SysReplyData::None)).collect();
+        let breply = Payload::sys_reply(0, Ok(SysReplyData::Batch(Box::new(results))));
+        let sreply = Payload::sys_reply(0, Ok(SysReplyData::None));
+        assert!(breply.wire_size() < 4 * sreply.wire_size());
+        assert!(breply.wire_size() > sreply.wire_size());
     }
 
     #[test]

@@ -20,11 +20,22 @@
 //!   three-kernel ring (`kernel::ops::migrate`, new in PR 3). For this
 //!   scenario the `revoke_ms`/`revoke_sim_cycles` fields record the
 //!   migration sweep (field names kept stable for baseline comparison);
+//! * **spanning revoke, sequential vs batched** (new in PR 4) — a VPE
+//!   owns thousands of capabilities, each with one remote child;
+//!   teardown issues one `Revoke` syscall per capability, or the same
+//!   revokes as a single `Syscall::Batch` whose coalesced fan-out sends
+//!   one grouped request per peer kernel (`kernel::ops::bulk`). The
+//!   `kcalls_out` field quantifies the cross-kernel message reduction;
+//! * **file workload, sequential vs batched** (new in PR 4) — N tar
+//!   instances against m3fs; in the batched variant the service revokes
+//!   each closed file's delegated extents as one batch
+//!   (`Feature::SyscallBatching`). `revoke_sim_cycles` holds the run's
+//!   makespan;
 //! * a **data-structure A/B**: the owner-table reverse removal
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
 //!
-//! Results land in `BENCH_PR3.json` at the workspace root (override with
+//! Results land in `BENCH_PR4.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
 //! speedups are computed — this is how each PR's report compares
@@ -37,10 +48,14 @@
 
 use std::time::Instant;
 
-use semper_base::{CapSel, CapType, DdlKey, KernelId, KernelMode, PeId, VpeId};
+use semper_apps::AppKind;
+use semper_base::msg::{SysReplyData, Syscall};
+use semper_base::{
+    CapSel, CapType, DdlKey, Feature, KernelId, KernelMode, MachineConfig, PeId, VpeId,
+};
 use semper_bench::report::{render, Val};
 use semper_caps::CapTable;
-use semperos::experiment::MicroMachine;
+use semperos::experiment::{run_app_instances, MicroMachine};
 use semperos::machine::Machine;
 
 /// One scenario measurement.
@@ -52,6 +67,9 @@ struct Scenario {
     revoke_cycles: u64,
     events: u64,
     caps_deleted: u64,
+    /// Cross-kernel requests sent during the measured phase (the
+    /// batched scenarios exist to shrink this).
+    kcalls: u64,
 }
 
 impl Scenario {
@@ -72,6 +90,9 @@ impl Scenario {
             ("events", Val::U(self.events)),
             ("caps_deleted", Val::U(self.caps_deleted)),
             ("caps_deleted_per_sec", Val::F(self.caps_per_sec())),
+            // New fields append after the ones the baseline parser
+            // scans, so older reports stay comparable.
+            ("kcalls_out", Val::U(self.kcalls)),
         ])
     }
 }
@@ -82,6 +103,10 @@ fn ms(t: Instant) -> f64 {
 
 fn total_caps_deleted(m: &Machine) -> u64 {
     m.kernel_stats().iter().map(|s| s.caps_deleted).sum()
+}
+
+fn total_kcalls(m: &Machine) -> u64 {
+    m.kernel_stats().iter().map(|s| s.kcalls_out).sum()
 }
 
 /// Deep local chain: delegate root down `len` times, revoke once.
@@ -102,6 +127,7 @@ fn chain_revoke(len: u32, spanning: bool) -> Scenario {
     }
     let build_ms = ms(t);
 
+    let kcalls_before = total_kcalls(m.machine());
     let t = Instant::now();
     let revoke_cycles = m.revoke(a, root);
     let revoke_ms = ms(t);
@@ -113,6 +139,7 @@ fn chain_revoke(len: u32, spanning: bool) -> Scenario {
         revoke_cycles,
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
     }
 }
 
@@ -136,6 +163,7 @@ fn tree_revoke(children: u32, prefill: u32) -> Scenario {
     }
     let build_ms = ms(t);
 
+    let kcalls_before = total_kcalls(m.machine());
     let t = Instant::now();
     let revoke_cycles = m.revoke(a, root);
     let revoke_ms = ms(t);
@@ -147,6 +175,7 @@ fn tree_revoke(children: u32, prefill: u32) -> Scenario {
         revoke_cycles,
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
     }
 }
 
@@ -161,6 +190,7 @@ fn dense_table_teardown(caps: u32) -> Scenario {
     let sels: Vec<CapSel> = (0..caps).map(|_| m.create_mem(a)).collect();
     let build_ms = ms(t);
 
+    let kcalls_before = total_kcalls(m.machine());
     let t = Instant::now();
     let mut revoke_cycles = 0;
     for sel in sels.into_iter().rev() {
@@ -175,6 +205,7 @@ fn dense_table_teardown(caps: u32) -> Scenario {
         revoke_cycles,
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
     }
 }
 
@@ -196,6 +227,7 @@ fn group_migration(caps: u32) -> Scenario {
     }
     let build_ms = ms(t);
 
+    let kcalls_before = total_kcalls(m.machine());
     let t = Instant::now();
     let mut migrate_cycles = 0;
     for dst in [KernelId(1), KernelId(2), KernelId(0)] {
@@ -211,6 +243,92 @@ fn group_migration(caps: u32) -> Scenario {
         revoke_cycles: migrate_cycles,
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
+    }
+}
+
+/// Spanning revoke, sequential vs batched (the PR 4 bulk-API twins):
+/// VPE a of group 0 owns `n` capabilities, each delegated once to the
+/// VPE of group 1 — so every revoke has exactly one remote child.
+/// Teardown revokes all `n`: as `n` separate `Revoke` syscalls, or as
+/// one `Syscall::Batch` whose coalesced fan-out sends a single grouped
+/// revoke request to the peer kernel (`kernel::ops::bulk`). Same final
+/// state; `kcalls_out` counts the cross-kernel requests of the
+/// teardown phase.
+fn spanning_revoke(n: u32, batched: bool) -> Scenario {
+    let mut m = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    let a = m.vpe(0, 0);
+    let b = m.vpe(1, 0);
+
+    let t = Instant::now();
+    let sels: Vec<CapSel> = (0..n).map(|_| m.create_mem(a)).collect();
+    for sel in &sels {
+        let _ = m.delegate(a, b, *sel);
+    }
+    let build_ms = ms(t);
+
+    let kcalls_before = total_kcalls(m.machine());
+    let t = Instant::now();
+    let revoke_cycles = if batched {
+        let items: Box<[Syscall]> =
+            sels.iter().map(|sel| Syscall::Revoke { sel: *sel, own: true }).collect();
+        let (r, cycles) = m.machine().syscall_blocking(a, Syscall::Batch(items));
+        match r.result {
+            Ok(SysReplyData::Batch(results)) => {
+                assert_eq!(results.len(), n as usize);
+                assert!(results.iter().all(|i| i.is_ok()), "batched revoke item failed");
+            }
+            other => panic!("batched revoke failed: {other:?}"),
+        }
+        cycles
+    } else {
+        sels.into_iter().map(|sel| m.revoke(a, sel)).sum()
+    };
+    let revoke_ms = ms(t);
+    m.machine().check_invariants();
+    Scenario {
+        name: if batched { "spanning_revoke_batched" } else { "spanning_revoke_sequential" },
+        size: n,
+        build_ms,
+        revoke_ms,
+        revoke_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
+    }
+}
+
+/// File workload, sequential vs batched (the PR 4 service-side twins):
+/// `instances` tar replays against m3fs on a 4-kernel/2-service
+/// machine — fewer services than kernels, so half the clients open
+/// *cross-group* sessions and their extent capabilities span kernels.
+/// The batched variant enables `Feature::SyscallBatching`, so each
+/// file close revokes its delegated extents through one
+/// `Syscall::Batch` instead of one revoke syscall per extent (and the
+/// coalesced fan-out groups the cross-kernel revokes per peer).
+/// `revoke_sim_cycles` holds the run's makespan; `kcalls_out` the
+/// cross-kernel requests of the whole run.
+fn file_workload(instances: u32, batched: bool) -> Scenario {
+    let mut cfg = MachineConfig::small();
+    cfg.num_pes = 24;
+    cfg.kernels = 4;
+    cfg.services = 2;
+    cfg.mesh_width = semper_base::config::mesh_width_for(cfg.num_pes);
+    if batched {
+        cfg = cfg.with_feature(Feature::SyscallBatching);
+    }
+    let t = Instant::now();
+    let res = run_app_instances(&cfg, AppKind::Tar, instances);
+    let total_ms = ms(t);
+    Scenario {
+        name: if batched { "file_workload_batched" } else { "file_workload_sequential" },
+        size: instances,
+        build_ms: 0.0,
+        revoke_ms: total_ms,
+        revoke_cycles: res.makespan,
+        events: res.events,
+        caps_deleted: res.kernel_stats.iter().map(|s| s.caps_deleted).sum(),
+        kcalls: res.kernel_stats.iter().map(|s| s.kcalls_out).sum(),
     }
 }
 
@@ -301,21 +419,57 @@ fn main() {
         tree_revoke(10_000 / scale, 10_000 / scale),
         dense_table_teardown(10_000 / scale),
         group_migration(4096 / scale),
+        spanning_revoke(2048 / scale, false),
+        spanning_revoke(2048 / scale, true),
+        // Floor of 4 instances: with fewer, every client sits in a
+        // group that hosts a service instance and no close ever crosses
+        // a kernel — the twins would measure nothing.
+        file_workload((8 / scale).max(4), false),
+        file_workload((8 / scale).max(4), true),
     ];
 
     println!(
-        "{:<24} {:>7} {:>12} {:>12} {:>16} {:>14}",
-        "Scenario", "Size", "Build (ms)", "Revoke (ms)", "Caps deleted/s", "Sim cycles"
+        "{:<26} {:>7} {:>12} {:>12} {:>16} {:>14} {:>8}",
+        "Scenario", "Size", "Build (ms)", "Revoke (ms)", "Caps deleted/s", "Sim cycles", "Kcalls"
     );
     for s in &scenarios {
         println!(
-            "{:<24} {:>7} {:>12.1} {:>12.1} {:>16.0} {:>14}",
+            "{:<26} {:>7} {:>12.1} {:>12.1} {:>16.0} {:>14} {:>8}",
             s.name,
             s.size,
             s.build_ms,
             s.revoke_ms,
             s.caps_per_sec(),
-            s.revoke_cycles
+            s.revoke_cycles,
+            s.kcalls
+        );
+    }
+
+    // The bulk API's acceptance gate: each batched scenario must move
+    // strictly fewer cross-kernel messages than its sequential twin
+    // (deterministic — these are simulated message counts, not timings).
+    for (seq_name, bat_name) in [
+        ("spanning_revoke_sequential", "spanning_revoke_batched"),
+        ("file_workload_sequential", "file_workload_batched"),
+    ] {
+        let seq = scenarios.iter().find(|s| s.name == seq_name).expect("sequential twin");
+        let bat = scenarios.iter().find(|s| s.name == bat_name).expect("batched twin");
+        assert!(
+            bat.kcalls < seq.kcalls,
+            "{bat_name}: {} cross-kernel messages, not fewer than {seq_name}'s {}",
+            bat.kcalls,
+            seq.kcalls
+        );
+        println!();
+        println!(
+            "{bat_name} vs {seq_name}: kcalls {} -> {} ({:.1}x fewer), \
+             sim cycles {} -> {} ({:.2}x)",
+            seq.kcalls,
+            bat.kcalls,
+            seq.kcalls as f64 / bat.kcalls.max(1) as f64,
+            seq.revoke_cycles,
+            bat.revoke_cycles,
+            seq.revoke_cycles as f64 / bat.revoke_cycles.max(1) as f64,
         );
     }
 
@@ -328,7 +482,7 @@ fn main() {
     );
 
     let mut fields = vec![
-        ("pr", Val::U(3)),
+        ("pr", Val::U(4)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
         ("scenarios", Val::Arr(scenarios.iter().map(Scenario::to_val).collect())),
@@ -409,7 +563,7 @@ fn main() {
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR3.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");

@@ -204,6 +204,8 @@ pub struct AppRunResult {
     /// Capability operations per instance trace, summed over kernels:
     /// exchanges + revokes + sessions.
     pub cap_ops: u64,
+    /// Events processed by the machine over the whole run.
+    pub events: u64,
     /// Per-kernel statistics.
     pub kernel_stats: Vec<KernelStats>,
 }
@@ -244,7 +246,13 @@ pub fn run_app_instances(cfg: &MachineConfig, app: AppKind, instances: u32) -> A
     }
     let kernel_stats = m.kernel_stats();
     let cap_ops: u64 = kernel_stats.iter().map(|s| s.cap_ops() + s.sessions_opened).sum();
-    AppRunResult { durations, makespan: (m.now() - base).0, cap_ops, kernel_stats }
+    AppRunResult {
+        durations,
+        makespan: (m.now() - base).0,
+        cap_ops,
+        events: m.events(),
+        kernel_stats,
+    }
 }
 
 /// Parallel efficiency (§5.3.1): mean single-instance runtime divided by

@@ -149,14 +149,18 @@ impl Machine {
                     let kernel_pe = topo.membership.kernel_pe(topo.kernel_of(pe));
                     let (image, region_size) =
                         image_parts.get_or_insert_with(|| build_image(app_clients.max(clients)));
-                    Node::Service(Box::new(FsService::new(
+                    let mut svc = FsService::new(
                         vpe,
                         pe,
                         kernel_pe,
                         cfg.cost,
                         std::sync::Arc::clone(image),
                         *region_size,
-                    )))
+                    );
+                    // The service-side half of syscall batching: close
+                    // one file = one batched revoke of its extents.
+                    svc.set_batched_ops(cfg.has_feature(semper_base::Feature::SyscallBatching));
+                    Node::Service(Box::new(svc))
                 }
                 Role::Client(c) => {
                     let vpe = topo.client_vpes[c as usize];
@@ -548,15 +552,20 @@ impl Machine {
         }
     }
 
-    /// Enables an optional protocol feature on every kernel (ablation
-    /// benchmarks).
+    /// Enables an optional protocol feature on every kernel — and, for
+    /// the features with an actor-side half, on the affected actors
+    /// (ablation benchmarks).
     pub fn enable_feature_everywhere(&mut self, f: semper_base::Feature) {
         if !self.cfg.features.contains(&f) {
             self.cfg.features.push(f);
         }
         for node in &mut self.nodes {
-            if let Node::Kernel(k) = node {
-                k.enable_feature_for_test(f);
+            match node {
+                Node::Kernel(k) => k.enable_feature_for_test(f),
+                Node::Service(s) if f == semper_base::Feature::SyscallBatching => {
+                    s.set_batched_ops(true)
+                }
+                _ => {}
             }
         }
     }

@@ -53,6 +53,17 @@ pub struct Kernel {
     /// Revokes waiting for a capability another operation is already
     /// revoking: packed key → waiting op ids, in registration order.
     pub(crate) revoke_waiters: DetHashMap<RawDdlKey, Vec<OpId>>,
+    /// Active batched system call per VPE (at most one: a batch *is*
+    /// the VPE's blocking syscall). While an entry exists, every
+    /// syscall reply addressed to that VPE is a batch-item completion
+    /// and is folded into the batch instead of leaving as a message
+    /// (see [`Kernel::reply_sys`] and [`crate::ops::bulk`]).
+    pub(crate) bulk_by_vpe: DetHashMap<VpeId, OpId>,
+    /// Modeled cycles of batch continuations executed from within reply
+    /// handlers (a resumed item completes and the batch advances to the
+    /// next one). Drained into the surrounding handler's cost by
+    /// [`Kernel::handle`] / [`Kernel::kill_vpe`].
+    pub(crate) bulk_extra_cost: u64,
 
     /// Send credits towards each peer kernel (bounds in-flight requests
     /// to `M_inflight`, §4.1).
@@ -105,6 +116,8 @@ impl Kernel {
             pending: PendingTable::default(),
             next_op: 1,
             revoke_waiters: DetHashMap::default(),
+            bulk_by_vpe: DetHashMap::default(),
+            bulk_extra_cost: 0,
             kcredits,
             kqueue: DetHashMap::default(),
             eps: crate::epbind::EpBindings::new(),
@@ -262,7 +275,13 @@ impl Kernel {
         out.push(Msg::new(self.pe, dst_pe, Payload::Upcall(up)));
     }
 
-    /// Sends a system-call reply to a VPE.
+    /// Sends a system-call reply to a VPE — the single completion
+    /// funnel of every syscall path. If the VPE is blocked on a
+    /// [`Syscall::Batch`](semper_base::msg::Syscall::Batch), the
+    /// "reply" is one item's completion: it is recorded in the batch
+    /// (whose combined reply leaves when all items are done) instead of
+    /// leaving as a message. With no batch active this is the plain
+    /// single-call path, byte-for-byte as before.
     pub(crate) fn reply_sys(
         &mut self,
         out: &mut Outbox,
@@ -270,6 +289,10 @@ impl Kernel {
         tag: u64,
         result: Result<SysReplyData>,
     ) {
+        if let Some(&op) = self.bulk_by_vpe.get(&vpe) {
+            self.bulk_item_done(op, tag as usize, result, out);
+            return;
+        }
         if let Ok(pe) = self.pe_of_vpe(vpe) {
             out.push(Msg::new(self.pe, pe, Payload::sys_reply(tag, result)));
         }
@@ -367,6 +390,10 @@ impl Kernel {
                 0
             }
         };
+        // Batch continuations triggered by this handler (a resumed item
+        // completed and the next items ran) execute within the same
+        // handler window; fold their cost in.
+        let cost = cost + std::mem::take(&mut self.bulk_extra_cost);
         self.stats.busy_cycles += cost;
         cost
     }
@@ -385,6 +412,19 @@ impl Kernel {
                 return entry;
             }
         };
+        if self.bulk_by_vpe.contains_key(&vpe) {
+            // The VPE is blocked on an active batch; any further system
+            // call from it is a protocol violation. Refuse it directly:
+            // running a handler here would funnel its completion through
+            // `reply_sys`, which — seeing the active batch — would
+            // misroute the reply into the batch as a (possibly
+            // out-of-range) item completion.
+            if let Ok(pe) = self.pe_of_vpe(vpe) {
+                let reply = Payload::sys_reply(tag, Err(Error::new(Code::InvalidArgs)));
+                out.push(Msg::new(self.pe, pe, reply));
+            }
+            return entry + self.cfg.cost.syscall_exit;
+        }
         entry
             + match call {
                 Syscall::Noop => {
@@ -405,6 +445,7 @@ impl Kernel {
                 Syscall::OpenSession { name } => self.sys_open_session(vpe, tag, *name, out),
                 Syscall::Activate { sel, ep } => self.sys_activate(vpe, tag, *sel, *ep, out),
                 Syscall::Exit => self.sys_exit(vpe, out),
+                Syscall::Batch(items) => self.sys_batch(vpe, tag, items, out),
             }
     }
 
@@ -422,7 +463,7 @@ impl Kernel {
         if !self.vpe_alive(vpe) {
             return 0;
         }
-        let cost = self.terminate_vpe(vpe, out);
+        let cost = self.terminate_vpe(vpe, out) + std::mem::take(&mut self.bulk_extra_cost);
         self.stats.busy_cycles += cost;
         cost
     }
@@ -432,6 +473,13 @@ impl Kernel {
             v.life = VpeLife::Dead;
         } else {
             return 0;
+        }
+        // A batch the dying VPE was blocked on has nobody left to reply
+        // to: tear it down. Items still suspended in other protocols
+        // resolve through their own dead-VPE paths; their late results
+        // are dropped.
+        if let Some(op) = self.bulk_by_vpe.remove(&vpe) {
+            self.pending.remove(op);
         }
         // Cancel pending operations waiting on this VPE's upcalls (the
         // engine's sweep); other protocol stages detect death via
@@ -448,6 +496,33 @@ impl Kernel {
             cost += self.revoke_for_exit(vpe, sel, out);
         }
         cost + self.cfg.cost.revoke_finish
+    }
+
+    /// Deterministic digest of the protocol-visible capability state:
+    /// one line per capability record (key, resource, owner, selector,
+    /// parent, children in creation order) and per table binding,
+    /// sorted. Two kernels with equal digests are indistinguishable to
+    /// the capability protocol — the equivalence the batched-vs-
+    /// sequential property tests compare (`tests/proptests.rs`).
+    pub fn state_digest(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .mapdb
+            .iter()
+            .map(|c| {
+                let children: Vec<semper_base::DdlKey> = c.children().collect();
+                format!(
+                    "cap {:?} kind={:?} owner={} sel={:?} parent={:?} children={children:?}",
+                    c.key, c.kind, c.owner, c.sel, c.parent
+                )
+            })
+            .collect();
+        for (vpe, table) in &self.tables {
+            for (sel, key) in table.iter() {
+                lines.push(format!("bind {vpe} {sel:?} -> {key:?}"));
+            }
+        }
+        lines.sort_unstable();
+        lines
     }
 
     /// Structural self-check used by tests: mapping-database invariants,

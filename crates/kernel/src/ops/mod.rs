@@ -39,6 +39,7 @@
 //! | §3.4 session capability attachment | [`session::Phase::OpenRemote`] → [`session::Phase::AtService`], [`session::Phase::OpenLocal`] |
 //! | §4.3.3 Algorithm 1 mark/sweep + reply counting | [`revoke::Phase::Run`] / [`revoke::Phase::Batch`] |
 //! | §4.2 group migration (ownership handover) | [`migrate::Phase::AwaitInstall`] → [`migrate::Phase::AwaitAcks`] |
+//! | §5.2 bulk capability operations (`Syscall::Batch`) | [`bulk::Phase::Run`] |
 //!
 //! # What a new protocol costs
 //!
@@ -57,6 +58,7 @@
 //! `tests/determinism.rs` and the full-trace fingerprints in
 //! `crates/kernel/tests/ops_trace.rs`.
 
+pub mod bulk;
 pub mod exchange;
 pub mod ledger;
 pub mod memops;
@@ -182,6 +184,9 @@ pub enum PendingOp {
     Revoke(revoke::Phase),
     /// Capability-group migration (§4.2 ownership handover).
     Migrate(migrate::Phase),
+    /// A batched system call ([`bulk`]): N capability operations in one
+    /// message, executed in order with coalesced revoke fan-outs.
+    Bulk(bulk::Phase),
 }
 
 impl PendingOp {
@@ -192,6 +197,7 @@ impl PendingOp {
             PendingOp::Session(p) => p.spec(),
             PendingOp::Revoke(p) => p.spec(),
             PendingOp::Migrate(p) => p.spec(),
+            PendingOp::Bulk(p) => p.spec(),
         }
     }
 
@@ -202,9 +208,15 @@ impl PendingOp {
             Thread::Holds => true,
             Thread::Free => false,
             Thread::PerInitiator => match self {
+                // Bulk-initiated revokes carry the batch syscall's
+                // thread: the batch op itself is declared `Free`, and
+                // ordered execution guarantees at most one coalesced
+                // run is suspended per batch.
                 PendingOp::Revoke(revoke::Phase::Run(op)) => matches!(
                     op.initiator,
-                    revoke::Initiator::Syscall { .. } | revoke::Initiator::Internal
+                    revoke::Initiator::Syscall { .. }
+                        | revoke::Initiator::Internal
+                        | revoke::Initiator::Bulk { .. }
                 ),
                 other => unreachable!("{} has no initiator", other.spec().name),
             },

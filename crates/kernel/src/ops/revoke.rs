@@ -62,6 +62,20 @@ pub enum Initiator {
         /// The local batch-tracker operation.
         batch: OpId,
     },
+    /// A coalesced run of consecutive `Revoke` items of a local VPE's
+    /// [`Syscall::Batch`](semper_base::msg::Syscall::Batch): one
+    /// combined operation covering all the run's subtree roots, with
+    /// cross-kernel requests grouped per destination kernel (see
+    /// [`crate::ops::bulk`]). Completion reports to the batch op, which
+    /// resolves the run's items.
+    Bulk {
+        /// The local batch operation.
+        batch: OpId,
+        /// First item index of the coalesced run.
+        first_item: u32,
+        /// Number of items in the run.
+        items: u32,
+    },
 }
 
 /// A revocation in progress (Algorithm 1 state).
@@ -148,7 +162,7 @@ impl Kernel {
 
     /// Resolves the subtree roots of a revoke call: the capability itself
     /// (`own = true`) or each of its children (`own = false`).
-    fn revoke_roots(&self, vpe: VpeId, sel: CapSel, own: bool) -> Result<Vec<DdlKey>> {
+    pub(crate) fn revoke_roots(&self, vpe: VpeId, sel: CapSel, own: bool) -> Result<Vec<DdlKey>> {
         let key = self.tables.get(&vpe).ok_or(Error::new(Code::NoSuchVpe))?.get(sel)?;
         if own {
             return Ok(vec![key]);
@@ -185,6 +199,18 @@ impl Kernel {
         let mut cost = 0;
         // Remote children grouped by owning kernel, for optional batching.
         let mut remote: Vec<(KernelId, DdlKey)> = Vec::new();
+        // A coalesced bulk run may name overlapping roots (duplicates,
+        // or one root inside another root's subtree). Keys this call
+        // marked itself are tracked so a later root that is already
+        // `Revoking` *by us* folds into the earlier subtree instead of
+        // registering a dependency on itself — which would deadlock.
+        // Single-root operations (every non-bulk path) skip the
+        // tracking entirely.
+        let mut marked: Option<semper_base::DetHashSet<semper_base::RawDdlKey>> =
+            match (&initiator, roots.len()) {
+                (Initiator::Bulk { .. }, n) if n > 1 => Some(Default::default()),
+                _ => None,
+            };
 
         for root in roots {
             if !self.mapdb.contains(root) {
@@ -192,13 +218,17 @@ impl Kernel {
                 continue;
             }
             if self.mapdb.get(root).expect("checked").revoking() {
+                if marked.as_ref().is_some_and(|m| m.contains(&root.raw())) {
+                    // Covered by an earlier root of this same operation.
+                    continue;
+                }
                 // A running revocation owns this subtree: wait for the
                 // capability to be deleted.
                 self.revoke_waiters.entry(root.raw()).or_default().push(op_id);
                 op.fanin.arm();
                 continue;
             }
-            cost += self.mark_subtree(root, op_id, &mut op, &mut remote);
+            cost += self.mark_subtree(root, op_id, &mut op, &mut remote, marked.as_mut());
             op.local_roots.push(root);
         }
 
@@ -217,13 +247,16 @@ impl Kernel {
 
     /// Depth-first mark of the local subtree under `root` (which must be
     /// present and not yet revoking). Remote children are collected;
-    /// already-revoking capabilities become dependencies.
+    /// already-revoking capabilities become dependencies — unless this
+    /// same operation marked them (`marked`, coalesced bulk runs only),
+    /// in which case they are already covered.
     fn mark_subtree(
         &mut self,
         root: DdlKey,
         op_id: OpId,
         op: &mut RevokeOp,
         remote: &mut Vec<(KernelId, DdlKey)>,
+        mut marked: Option<&mut semper_base::DetHashSet<semper_base::RawDdlKey>>,
     ) -> u64 {
         let mut cost = 0;
         let mut stack = vec![root];
@@ -239,6 +272,11 @@ impl Kernel {
             cost += 2 * self.ref_cost();
             if cap.revoking() {
                 debug_assert_ne!(key, root, "caller checked the root");
+                if marked.as_ref().is_some_and(|m| m.contains(&key.raw())) {
+                    // Marked by an earlier root of this same operation
+                    // (a bulk run revoking a child before its ancestor).
+                    continue;
+                }
                 // Another operation owns this subtree; depend on it.
                 self.revoke_waiters.entry(key.raw()).or_default().push(op_id);
                 op.fanin.arm();
@@ -248,6 +286,9 @@ impl Kernel {
                 stack.push(child);
             }
             self.mapdb.mark_revoking(key).expect("present");
+            if let Some(m) = marked.as_deref_mut() {
+                m.insert(key.raw());
+            }
             cost += self.cfg.cost.revoke_mark;
         }
         cost
@@ -255,7 +296,9 @@ impl Kernel {
 
     /// Sends revoke requests for remote children — one message per child,
     /// or one batch per kernel when [`Feature::RevokeBatching`] is on
-    /// (the optimisation §5.2 proposes).
+    /// (the optimisation §5.2 proposes). Bulk-initiated operations
+    /// ([`Initiator::Bulk`]) always group per kernel: coalescing the
+    /// cross-kernel fan-out is the point of batching the system calls.
     fn send_revoke_requests(
         &mut self,
         op_id: OpId,
@@ -264,7 +307,9 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let mut cost = 0;
-        if self.cfg.has_feature(Feature::RevokeBatching) {
+        if self.cfg.has_feature(Feature::RevokeBatching)
+            || matches!(op.initiator, Initiator::Bulk { .. })
+        {
             let mut by_kernel: std::collections::BTreeMap<KernelId, Vec<DdlKey>> =
                 std::collections::BTreeMap::new();
             for (k, key) in remote {
@@ -354,7 +399,9 @@ impl Kernel {
                     self.stats.revokes_local += 1;
                 }
             }
-            Initiator::Kcall { .. } | Initiator::Batch { .. } => {}
+            // Bulk runs count one revocation per *item*, recorded when
+            // the items resolve (see `Kernel::bulk_revokes_done`).
+            Initiator::Kcall { .. } | Initiator::Batch { .. } | Initiator::Bulk { .. } => {}
         }
         match op.initiator {
             Initiator::Syscall { vpe, tag } => {
@@ -375,6 +422,9 @@ impl Kernel {
             Initiator::Internal => {}
             Initiator::Batch { batch } => {
                 self.batch_entry_done(batch, op.fanin.tally(), out);
+            }
+            Initiator::Bulk { batch, first_item, items } => {
+                self.bulk_revokes_done(batch, first_item, items, op.spanning, out);
             }
         }
     }

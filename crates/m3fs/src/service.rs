@@ -12,6 +12,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use semper_apps::conn::{BatchBuilder, KernelConn};
 use semper_base::msg::{
     ExchangeKind, FsOp, FsReplyData, FsReq, Outbox, Payload, Perms, SysReply, SysReplyData,
     Syscall, Upcall, UpcallReply,
@@ -87,7 +88,6 @@ enum Work {
 pub struct FsService {
     vpe: VpeId,
     pe: PeId,
-    kernel_pe: PeId,
     cost: CostModel,
     /// The filesystem image. Shared (`Arc`) across instances at machine
     /// build; the first runtime mutation of an instance's metadata
@@ -106,11 +106,17 @@ pub struct FsService {
     files: BTreeMap<u64, OpenFile>,
     next_fid: u64,
 
-    /// True while a system call is in flight (VPEs block on syscalls).
-    syscall_busy: bool,
+    /// The kernel connection: tag allocation, the one-blocking-syscall
+    /// marker, and hard-error reply matching (`semper_apps::conn` — the
+    /// hand-rolled `syscall_busy`/`next_tag` pair this actor used to
+    /// keep).
+    conn: KernelConn,
+    /// When set, the close path revokes all of a file's delegated
+    /// extents as one `Syscall::Batch` instead of one revoke syscall
+    /// per extent (`Feature::SyscallBatching`'s service-side half).
+    batch_ops: bool,
     queue: VecDeque<Work>,
     current: Option<Work>,
-    next_tag: u64,
 
     stats: FsServiceStats,
 }
@@ -129,7 +135,6 @@ impl FsService {
         FsService {
             vpe,
             pe,
-            kernel_pe,
             cost,
             image,
             boot: BootState::Cold,
@@ -140,12 +145,20 @@ impl FsService {
             next_ident: 1,
             files: BTreeMap::new(),
             next_fid: 1,
-            syscall_busy: false,
+            conn: KernelConn::new(pe, kernel_pe),
+            batch_ops: false,
             queue: VecDeque::new(),
             current: None,
-            next_tag: 1,
             stats: FsServiceStats::default(),
         }
+    }
+
+    /// Switches the close path to batched revocation: one
+    /// `Syscall::Batch` revokes every delegated extent of a closed file
+    /// in a single kernel round trip. Off by default — the sequential
+    /// path is the baseline the determinism goldens pin.
+    pub fn set_batched_ops(&mut self, on: bool) {
+        self.batch_ops = on;
     }
 
     /// This instance's VPE.
@@ -178,12 +191,7 @@ impl FsService {
     }
 
     fn syscall(&mut self, call: Syscall, out: &mut Outbox) -> u64 {
-        debug_assert!(!self.syscall_busy, "VPEs issue one syscall at a time");
-        self.syscall_busy = true;
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        out.push(Msg::new(self.pe, self.kernel_pe, Payload::sys(tag, call)));
-        tag
+        self.conn.submit(call, out).tag()
     }
 
     /// Handles one incoming message; returns the modeled cycle cost.
@@ -346,7 +354,7 @@ impl FsService {
 
     /// Starts the next queued work item if no system call is in flight.
     fn kick(&mut self, out: &mut Outbox) {
-        if self.syscall_busy || self.current.is_some() {
+        if self.conn.busy() || self.current.is_some() {
             return;
         }
         let Some(work) = self.queue.pop_front() else { return };
@@ -362,15 +370,33 @@ impl FsService {
                 self.syscall(call, out);
             }
             Work::Close { remaining, .. } => {
-                let sel = remaining[0];
-                self.current = Some(work);
-                self.syscall(Syscall::Revoke { sel, own: true }, out);
+                if self.batch_ops && remaining.len() > 1 {
+                    // Bulk path: revoke every delegated extent of the
+                    // file in one batched system call — one round trip,
+                    // and the kernel coalesces the cross-kernel fan-out.
+                    let mut batch = BatchBuilder::new();
+                    for sel in remaining {
+                        batch.push(Syscall::Revoke { sel: *sel, own: true });
+                    }
+                    self.current = Some(work);
+                    batch.submit(&mut self.conn, out);
+                } else {
+                    let sel = remaining[0];
+                    self.current = Some(work);
+                    self.syscall(Syscall::Revoke { sel, own: true }, out);
+                }
             }
         }
     }
 
     fn handle_sys_reply(&mut self, reply: &SysReply, out: &mut Outbox) -> u64 {
-        self.syscall_busy = false;
+        // Previously `syscall_busy = false` with no tag check — a
+        // mismatched reply was silently absorbed. A reply the connection
+        // cannot match is a protocol violation; fail loudly in every
+        // build.
+        if let Err(e) = self.conn.accept(reply) {
+            panic!("m3fs: unmatched syscall reply tag {}: {e}", reply.tag);
+        }
         match self.boot {
             BootState::Registering => {
                 debug_assert!(reply.result.is_ok(), "CreateSrv failed: {:?}", reply.result);
@@ -473,15 +499,31 @@ impl FsService {
                 }
             },
             Work::Close { client_pe, tag, fid, mut remaining } => {
-                debug_assert!(reply.result.is_ok(), "revoke failed: {:?}", reply.result);
-                self.stats.revokes += 1;
-                remaining.remove(0);
-                if remaining.is_empty() {
-                    self.reply_fs(out, client_pe, tag, Ok(FsReplyData::Ok));
+                if let Ok(SysReplyData::Batch(results)) = &reply.result {
+                    // Batched close: one reply covers every delegated
+                    // extent of the file. A failed item must reach the
+                    // client as an error — swallowing it in release
+                    // builds would report a close as clean while extent
+                    // capabilities survive.
+                    debug_assert_eq!(results.len(), remaining.len());
+                    self.stats.revokes += results.iter().filter(|r| r.is_ok()).count() as u64;
+                    let failed = results.iter().find_map(|r| r.as_ref().err().copied());
+                    let outcome = match failed {
+                        None => Ok(FsReplyData::Ok),
+                        Some(e) => Err(e),
+                    };
+                    self.reply_fs(out, client_pe, tag, outcome);
                 } else {
-                    let sel = remaining[0];
-                    self.current = Some(Work::Close { client_pe, tag, fid, remaining });
-                    self.syscall(Syscall::Revoke { sel, own: true }, out);
+                    debug_assert!(reply.result.is_ok(), "revoke failed: {:?}", reply.result);
+                    self.stats.revokes += 1;
+                    remaining.remove(0);
+                    if remaining.is_empty() {
+                        self.reply_fs(out, client_pe, tag, Ok(FsReplyData::Ok));
+                    } else {
+                        let sel = remaining[0];
+                        self.current = Some(Work::Close { client_pe, tag, fid, remaining });
+                        self.syscall(Syscall::Revoke { sel, own: true }, out);
+                    }
                 }
                 self.cost.fs_meta_op
             }
