@@ -51,6 +51,14 @@ pub enum Feature {
     /// message). Off by default so the sequential scenarios stay
     /// bit-identical; the `*_batched` bench scenarios enable it.
     SyscallBatching,
+    /// Partitioned parallel revocation sweeps: a revoke whose subtree
+    /// spans several kernels (or exceeds a fan-out threshold) is driven
+    /// as a two-phase mark → delete protocol with one grouped request
+    /// per owning kernel, so the partitions are swept concurrently in
+    /// sim time (the GC-style parallel sweep of ROADMAP item 2). Off by
+    /// default so every pre-existing scenario and golden stays
+    /// bit-identical; the `*_parallel` bench scenarios enable it.
+    ParallelSweep,
 }
 
 /// Full description of a simulated machine and its OS deployment.

@@ -31,11 +31,21 @@
 //!   each closed file's delegated extents as one batch
 //!   (`Feature::SyscallBatching`). `revoke_sim_cycles` holds the run's
 //!   makespan;
+//! * **dense table teardown, sequential vs parallel** (new in PR 6) — a
+//!   VPE owns thousands of capabilities, each delegated once so the
+//!   children spread over three peer kernels; teardown revokes all of
+//!   them one blocking syscall at a time, or as one `Syscall::Batch`
+//!   with `Feature::ParallelSweep` enabled so the coalesced revoke
+//!   partitions the subtree by owning kernel and drives the two-phase
+//!   mark → delete sweep (`kernel::ops::sweep`). The appended
+//!   `sweep_*` fields record fan-out, round depth, and partition
+//!   count; `handler_dispatches` counts host-side kernel handler
+//!   entries (the batched-dispatch win);
 //! * a **data-structure A/B**: the owner-table reverse removal
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
 //!
-//! Results land in `BENCH_PR4.json` at the workspace root (override with
+//! Results land in `BENCH_PR6.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
 //! speedups are computed — this is how each PR's report compares
@@ -70,6 +80,20 @@ struct Scenario {
     /// Cross-kernel requests sent during the measured phase (the
     /// batched scenarios exist to shrink this).
     kcalls: u64,
+    /// Sweep observability of the measured phase (PR 6): all zero for
+    /// scenarios that never trigger the parallel sweep.
+    sweep: SweepObs,
+}
+
+/// Parallel-sweep observability counters (PR 6): fan-out width, round
+/// depth, partitions used, and host-side handler dispatches of the
+/// measured phase.
+#[derive(Default)]
+struct SweepObs {
+    fanout: u64,
+    depth: u64,
+    partitions: u64,
+    dispatches: u64,
 }
 
 impl Scenario {
@@ -93,6 +117,10 @@ impl Scenario {
             // New fields append after the ones the baseline parser
             // scans, so older reports stay comparable.
             ("kcalls_out", Val::U(self.kcalls)),
+            ("sweep_fanout", Val::U(self.sweep.fanout)),
+            ("sweep_depth", Val::U(self.sweep.depth)),
+            ("sweep_partitions", Val::U(self.sweep.partitions)),
+            ("handler_dispatches", Val::U(self.sweep.dispatches)),
         ])
     }
 }
@@ -107,6 +135,23 @@ fn total_caps_deleted(m: &Machine) -> u64 {
 
 fn total_kcalls(m: &Machine) -> u64 {
     m.kernel_stats().iter().map(|s| s.kcalls_out).sum()
+}
+
+fn total_dispatches(m: &Machine) -> u64 {
+    m.kernel_stats().iter().map(|s| s.handler_dispatches).sum()
+}
+
+/// Snapshots the sweep counters after the measured phase.
+/// `dispatches_before` is the dispatch total at the start of the phase
+/// (the cumulative counters cover machine construction too).
+fn sweep_obs(m: &Machine, dispatches_before: u64) -> SweepObs {
+    let st = m.kernel_stats();
+    SweepObs {
+        fanout: st.iter().map(|s| s.sweep_fanout).sum(),
+        depth: st.iter().map(|s| s.sweep_depth).max().unwrap_or(0),
+        partitions: st.iter().map(|s| s.sweep_partitions).sum(),
+        dispatches: total_dispatches(m) - dispatches_before,
+    }
 }
 
 /// Deep local chain: delegate root down `len` times, revoke once.
@@ -128,6 +173,7 @@ fn chain_revoke(len: u32, spanning: bool) -> Scenario {
     let build_ms = ms(t);
 
     let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
     let t = Instant::now();
     let revoke_cycles = m.revoke(a, root);
     let revoke_ms = ms(t);
@@ -140,6 +186,7 @@ fn chain_revoke(len: u32, spanning: bool) -> Scenario {
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
     }
 }
 
@@ -164,6 +211,7 @@ fn tree_revoke(children: u32, prefill: u32) -> Scenario {
     let build_ms = ms(t);
 
     let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
     let t = Instant::now();
     let revoke_cycles = m.revoke(a, root);
     let revoke_ms = ms(t);
@@ -176,6 +224,7 @@ fn tree_revoke(children: u32, prefill: u32) -> Scenario {
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
     }
 }
 
@@ -191,6 +240,7 @@ fn dense_table_teardown(caps: u32) -> Scenario {
     let build_ms = ms(t);
 
     let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
     let t = Instant::now();
     let mut revoke_cycles = 0;
     for sel in sels.into_iter().rev() {
@@ -206,6 +256,70 @@ fn dense_table_teardown(caps: u32) -> Scenario {
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
+    }
+}
+
+/// Dense spanning teardown, sequential vs parallel (the PR 6 sweep
+/// twins): VPE a of group 0 owns `caps` capabilities, each delegated
+/// once round-robin to the VPEs of groups 1–3, so the revocation
+/// subtree spans three peer kernels. Teardown revokes all of them:
+/// one blocking `Revoke` syscall at a time (reverse allocation order,
+/// like `dense_table_teardown`), or as one `Syscall::Batch` with
+/// `Feature::ParallelSweep` enabled — the coalesced revoke partitions
+/// the subtree by owning kernel and drives the two-phase mark → delete
+/// sweep, so the three peers sweep their partitions concurrently in
+/// sim time and the host touches each partition as one grouped
+/// handler dispatch instead of one per capability.
+fn dense_table_spanning(caps: u32, parallel: bool) -> Scenario {
+    let mut m = MicroMachine::new(4, 2, KernelMode::SemperOS);
+    if parallel {
+        m.machine().enable_feature_everywhere(Feature::ParallelSweep);
+    }
+    let a = m.vpe(0, 0);
+
+    let t = Instant::now();
+    let sels: Vec<CapSel> = (0..caps).map(|_| m.create_mem(a)).collect();
+    for (i, sel) in sels.iter().enumerate() {
+        let to = m.vpe(1 + (i as u16 % 3), 0);
+        let _ = m.delegate(a, to, *sel);
+    }
+    let build_ms = ms(t);
+
+    let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
+    let t = Instant::now();
+    let revoke_cycles = if parallel {
+        let items: Box<[Syscall]> =
+            sels.iter().map(|sel| Syscall::Revoke { sel: *sel, own: true }).collect();
+        let (r, cycles) = m.machine().syscall_blocking(a, Syscall::Batch(items));
+        match r.result {
+            Ok(SysReplyData::Batch(results)) => {
+                assert_eq!(results.len(), caps as usize);
+                assert!(results.iter().all(|i| i.is_ok()), "parallel teardown item failed");
+            }
+            other => panic!("parallel teardown failed: {other:?}"),
+        }
+        cycles
+    } else {
+        sels.into_iter().rev().map(|sel| m.revoke(a, sel)).sum()
+    };
+    let revoke_ms = ms(t);
+    m.machine().check_invariants();
+    Scenario {
+        name: if parallel {
+            "dense_table_teardown_parallel"
+        } else {
+            "dense_table_teardown_sequential"
+        },
+        size: caps,
+        build_ms,
+        revoke_ms,
+        revoke_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
     }
 }
 
@@ -228,6 +342,7 @@ fn group_migration(caps: u32) -> Scenario {
     let build_ms = ms(t);
 
     let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
     let t = Instant::now();
     let mut migrate_cycles = 0;
     for dst in [KernelId(1), KernelId(2), KernelId(0)] {
@@ -244,6 +359,7 @@ fn group_migration(caps: u32) -> Scenario {
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
     }
 }
 
@@ -268,6 +384,7 @@ fn spanning_revoke(n: u32, batched: bool) -> Scenario {
     let build_ms = ms(t);
 
     let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
     let t = Instant::now();
     let revoke_cycles = if batched {
         let items: Box<[Syscall]> =
@@ -295,6 +412,7 @@ fn spanning_revoke(n: u32, batched: bool) -> Scenario {
         events: m.machine().events(),
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
     }
 }
 
@@ -329,6 +447,12 @@ fn file_workload(instances: u32, batched: bool) -> Scenario {
         events: res.events,
         caps_deleted: res.kernel_stats.iter().map(|s| s.caps_deleted).sum(),
         kcalls: res.kernel_stats.iter().map(|s| s.kcalls_out).sum(),
+        sweep: SweepObs {
+            fanout: res.kernel_stats.iter().map(|s| s.sweep_fanout).sum(),
+            depth: res.kernel_stats.iter().map(|s| s.sweep_depth).max().unwrap_or(0),
+            partitions: res.kernel_stats.iter().map(|s| s.sweep_partitions).sum(),
+            dispatches: res.kernel_stats.iter().map(|s| s.handler_dispatches).sum(),
+        },
     }
 }
 
@@ -426,6 +550,8 @@ fn main() {
         // a kernel — the twins would measure nothing.
         file_workload((8 / scale).max(4), false),
         file_workload((8 / scale).max(4), true),
+        dense_table_spanning(10_000 / scale, false),
+        dense_table_spanning(10_000 / scale, true),
     ];
 
     println!(
@@ -473,6 +599,49 @@ fn main() {
         );
     }
 
+    // The parallel sweep's acceptance gates: the parallel twin must
+    // finish in at most 1/1.5 of the sequential twin's simulated
+    // cycles, and must reach the final state in at most half the
+    // host-side handler dispatches (both deterministic counters).
+    {
+        let seq = scenarios
+            .iter()
+            .find(|s| s.name == "dense_table_teardown_sequential")
+            .expect("sequential sweep twin");
+        let par = scenarios
+            .iter()
+            .find(|s| s.name == "dense_table_teardown_parallel")
+            .expect("parallel sweep twin");
+        assert!(
+            par.revoke_cycles * 3 <= seq.revoke_cycles * 2,
+            "parallel sweep: {} sim cycles, needed <= {} (1.5x under sequential's {})",
+            par.revoke_cycles,
+            seq.revoke_cycles * 2 / 3,
+            seq.revoke_cycles
+        );
+        assert!(
+            par.sweep.dispatches * 2 <= seq.sweep.dispatches,
+            "parallel sweep: {} handler dispatches, not half of sequential's {}",
+            par.sweep.dispatches,
+            seq.sweep.dispatches
+        );
+        println!();
+        println!(
+            "dense_table_teardown_parallel vs sequential: sim cycles {} -> {} ({:.2}x fewer), \
+             handler dispatches {} -> {} ({:.1}x fewer), \
+             partitions {}, fan-out {}, depth {}",
+            seq.revoke_cycles,
+            par.revoke_cycles,
+            seq.revoke_cycles as f64 / par.revoke_cycles.max(1) as f64,
+            seq.sweep.dispatches,
+            par.sweep.dispatches,
+            seq.sweep.dispatches as f64 / par.sweep.dispatches.max(1) as f64,
+            par.sweep.partitions,
+            par.sweep.fanout,
+            par.sweep.depth,
+        );
+    }
+
     let ab_n = 10_000 / scale;
     let (naive_ms, optimized_ms, speedup) = table_sweep_ab(ab_n);
     println!();
@@ -482,7 +651,7 @@ fn main() {
     );
 
     let mut fields = vec![
-        ("pr", Val::U(4)),
+        ("pr", Val::U(6)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
         ("scenarios", Val::Arr(scenarios.iter().map(Scenario::to_val).collect())),
@@ -511,6 +680,22 @@ fn main() {
                 let cycles_comparable = row.size == u64::from(s.size);
                 comparable_rows += u32::from(cycles_comparable);
                 let cycles_identical = s.revoke_cycles == row.revoke_sim_cycles;
+                // Host wall-clock is noisy, so regressions only warn —
+                // but a >1.5x slowdown at identical size and identical
+                // simulated work means the host-side implementation got
+                // slower (the PR 4 -> PR 6 dense-table case) and
+                // deserves a look.
+                if cycles_comparable && row.revoke_ms > 0.0 && s.revoke_ms > 1.5 * row.revoke_ms {
+                    eprintln!(
+                        "warning: {} host time {:.1} ms is {:.1}x the baseline's {:.1} ms \
+                         (soft gate; sim cycles {})",
+                        s.name,
+                        s.revoke_ms,
+                        s.revoke_ms / row.revoke_ms,
+                        row.revoke_ms,
+                        if cycles_identical { "identical" } else { "differ" }
+                    );
+                }
                 if cycles_comparable && !cycles_identical {
                     cycle_drift.push(format!(
                         "{}: {} cycles vs baseline {}",
@@ -563,7 +748,7 @@ fn main() {
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR4.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR6.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");

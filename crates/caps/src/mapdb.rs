@@ -138,19 +138,43 @@ impl MappingDb {
     /// root from its (possibly local) parent. Returns the deleted
     /// capabilities in deletion order.
     pub fn delete_local_subtree(&mut self, key: DdlKey) -> Vec<Capability> {
-        let (local, _) = self.local_subtree(key);
+        let mut stack = Vec::new();
+        let mut deleted = Vec::new();
+        self.delete_local_subtree_into(key, &mut stack, &mut deleted);
+        deleted
+    }
+
+    /// [`MappingDb::delete_local_subtree`] with caller-provided buffers:
+    /// the walk stack and the deleted-capability collection are reused
+    /// across calls, so a teardown revoking thousands of subtrees stops
+    /// paying two allocations per revoke. `stack` must be empty;
+    /// `deleted` is appended to (callers batching several roots drain it
+    /// between roots or at the end). Deletion order is the same preorder
+    /// [`MappingDb::local_subtree`] yields; remote children are skipped.
+    pub fn delete_local_subtree_into(
+        &mut self,
+        key: DdlKey,
+        stack: &mut Vec<DdlKey>,
+        deleted: &mut Vec<Capability>,
+    ) {
+        debug_assert!(stack.is_empty());
         if let Some(root) = self.caps.get(&key.raw()) {
             if let Some(parent) = root.parent {
                 self.unlink_child(parent, key);
             }
         }
-        let mut deleted = Vec::with_capacity(local.len());
-        for k in local {
+        stack.push(key);
+        while let Some(k) = stack.pop() {
+            // Remote children are not in this database: skipped, exactly
+            // as the collect-then-remove implementation skipped them.
             if let Some(cap) = self.caps.remove(&k.raw()) {
+                // Reverse keeps preorder left-to-right after pop().
+                for child in cap.children().rev() {
+                    stack.push(child);
+                }
                 deleted.push(cap);
             }
         }
-        deleted
     }
 
     /// Checks structural invariants; returns a description of the first

@@ -53,6 +53,13 @@ pub struct Kernel {
     /// Revokes waiting for a capability another operation is already
     /// revoking: packed key → waiting op ids, in registration order.
     pub(crate) revoke_waiters: DetHashMap<RawDdlKey, Vec<OpId>>,
+    /// Partitions of remote parallel sweeps this kernel participates
+    /// in: (coordinator, coordinator's op) → local partition op. Later
+    /// mark rounds and the delete order resolve through this index.
+    pub(crate) sweep_parts: DetHashMap<(KernelId, OpId), OpId>,
+    /// Reusable work buffers for the revocation paths (host-side
+    /// allocation reuse; no modeled cost).
+    pub(crate) scratch: crate::ops::revoke::RevokeScratch,
     /// Active batched system call per VPE (at most one: a batch *is*
     /// the VPE's blocking syscall). While an entry exists, every
     /// syscall reply addressed to that VPE is a batch-item completion
@@ -116,6 +123,8 @@ impl Kernel {
             pending: PendingTable::default(),
             next_op: 1,
             revoke_waiters: DetHashMap::default(),
+            sweep_parts: DetHashMap::default(),
+            scratch: Default::default(),
             bulk_by_vpe: DetHashMap::default(),
             bulk_extra_cost: 0,
             kcredits,
@@ -374,6 +383,7 @@ impl Kernel {
     /// owning protocol's request handler, replies resume the phase
     /// parked in the shared ledger.
     pub fn handle(&mut self, msg: &Msg, out: &mut Outbox) -> u64 {
+        self.stats.handler_dispatches += 1;
         let cost = match &msg.payload {
             Payload::Sys { tag, call } => {
                 self.stats.syscalls += 1;

@@ -38,6 +38,7 @@
 //! | §4.3.2 two-way delegate handshake, second leg | [`exchange::Phase::DelegatePendingInsert`] / [`exchange::Phase::DelegateWaitDone`] / [`exchange::Phase::DelegateAborted`] |
 //! | §3.4 session capability attachment | [`session::Phase::OpenRemote`] → [`session::Phase::AtService`], [`session::Phase::OpenLocal`] |
 //! | §4.3.3 Algorithm 1 mark/sweep + reply counting | [`revoke::Phase::Run`] / [`revoke::Phase::Batch`] |
+//! | §5.2 partitioned parallel sweep (mark → delete) | [`sweep::Phase::Coordinate`] → [`sweep::Phase::Collect`], [`sweep::Phase::Partition`] |
 //! | §4.2 group migration (ownership handover) | [`migrate::Phase::AwaitInstall`] → [`migrate::Phase::AwaitAcks`] |
 //! | §5.2 bulk capability operations (`Syscall::Batch`) | [`bulk::Phase::Run`] |
 //!
@@ -65,6 +66,7 @@ pub mod memops;
 pub mod migrate;
 pub mod revoke;
 pub mod session;
+pub mod sweep;
 
 use semper_base::msg::{KReply, Kcall, UpcallReply};
 use semper_base::{OpId, PeId, VpeId};
@@ -182,6 +184,8 @@ pub enum PendingOp {
     Session(session::Phase),
     /// Revocation (§4.3.3, Algorithm 1).
     Revoke(revoke::Phase),
+    /// Partitioned parallel revocation sweep ([`sweep`]).
+    Sweep(sweep::Phase),
     /// Capability-group migration (§4.2 ownership handover).
     Migrate(migrate::Phase),
     /// A batched system call ([`bulk`]): N capability operations in one
@@ -196,6 +200,7 @@ impl PendingOp {
             PendingOp::Exchange(p) => p.spec(),
             PendingOp::Session(p) => p.spec(),
             PendingOp::Revoke(p) => p.spec(),
+            PendingOp::Sweep(p) => p.spec(),
             PendingOp::Migrate(p) => p.spec(),
             PendingOp::Bulk(p) => p.spec(),
         }
@@ -214,6 +219,15 @@ impl PendingOp {
                 // run is suspended per batch.
                 PendingOp::Revoke(revoke::Phase::Run(op)) => matches!(
                     op.initiator,
+                    revoke::Initiator::Syscall { .. }
+                        | revoke::Initiator::Internal
+                        | revoke::Initiator::Bulk { .. }
+                ),
+                // A sweep coordinator carries whatever its classic
+                // counterpart would have carried.
+                PendingOp::Sweep(sweep::Phase::Coordinate(s))
+                | PendingOp::Sweep(sweep::Phase::Collect(s)) => matches!(
+                    s.initiator,
                     revoke::Initiator::Syscall { .. }
                         | revoke::Initiator::Internal
                         | revoke::Initiator::Bulk { .. }
@@ -285,6 +299,11 @@ impl Kernel {
                 Kcall::RevokeBatchReq { op, cap_keys } => {
                     self.revoke_batch_request(from, *op, cap_keys, out)
                 }
+                Kcall::SweepMarkReq { op, cap_keys } => {
+                    self.sweep_mark_request(from, *op, cap_keys, out)
+                }
+                Kcall::SweepDeleteReq { op } => self.sweep_delete_request(from, *op, out),
+                Kcall::SweepDoneNotice { op } => self.sweep_done_notice(from, *op, out),
                 Kcall::OpenSessReq { op, child_key, service, client_vpe } => {
                     self.open_sess_request(from, *op, *child_key, *service, *client_vpe, out)
                 }
@@ -304,7 +323,9 @@ impl Kernel {
         // `receive_revoke_reply`), far cheaper to dispatch than the
         // protocol replies that resume full continuations.
         let entry = match reply {
-            KReply::Revoke { .. } | KReply::RevokeBatch { .. } => self.cfg.cost.thread_switch,
+            KReply::Revoke { .. } | KReply::RevokeBatch { .. } | KReply::SweepDelete { .. } => {
+                self.cfg.cost.thread_switch
+            }
             _ => self.cfg.cost.kcall_entry,
         };
         entry
@@ -317,6 +338,11 @@ impl Kernel {
                     debug_assert!(result.is_ok(), "revoke replies always succeed");
                     self.revoke_reply_arrived(*op, *deleted, out)
                 }
+                // The mark reply resumes the coordinator's regrouping
+                // work (a full continuation, like the protocol
+                // replies); the delete reply is a counter decrement.
+                KReply::SweepMark { op, frontier, .. } => self.sweep_mark_reply(*op, frontier, out),
+                KReply::SweepDelete { op, deleted } => self.sweep_delete_reply(*op, *deleted, out),
                 other => self.resume_from_kreply(from, other, out),
             }
     }

@@ -28,11 +28,54 @@
 
 use semper_base::config::Feature;
 use semper_base::msg::{KReply, Kcall, SysReplyData};
-use semper_base::{CapSel, Code, DdlKey, Error, KernelId, OpId, Result, VpeId};
+use semper_base::{
+    CapSel, Code, DdlKey, DetHashSet, Error, KernelId, OpId, RawDdlKey, Result, VpeId,
+};
+use semper_caps::Capability;
 
 use crate::kernel::Kernel;
-use crate::ops::{Awaits, FanIn, PendingOp, PhaseSpec, Thread};
+use crate::ops::{sweep, Awaits, FanIn, PendingOp, PhaseSpec, Thread};
 use crate::outbox::Outbox;
+
+/// Reusable host-side work buffers for the revocation paths.
+///
+/// A dense teardown runs thousands of mark walks and sweeps back to
+/// back; allocating a fresh stack, deletion list, and remote-child list
+/// for each of them dominated the *host* wall clock of the
+/// `dense_table_teardown` benchmark without changing any modeled cycle.
+/// The buffers live on the kernel and are taken/restored around each
+/// use (`std::mem::take`), so re-entrant completions — a revoke's
+/// notification advancing a batch, which starts the next revoke — each
+/// see an empty buffer and restores stay balanced.
+#[derive(Debug, Default)]
+pub(crate) struct RevokeScratch {
+    /// DFS stack shared by mark and delete walks.
+    pub(crate) stack: Vec<DdlKey>,
+    /// Deleted capabilities of one sweep, processed in one batched pass.
+    pub(crate) deleted: Vec<Capability>,
+    /// Remote children collected by one mark phase.
+    pub(crate) remote: Vec<(KernelId, DdlKey)>,
+    /// Waiters woken by one sweep.
+    pub(crate) woken: Vec<OpId>,
+    /// Keys marked by the current operation (overlapping-root folding).
+    pub(crate) marked: DetHashSet<RawDdlKey>,
+}
+
+/// An operation whose fan-in drained and is ready to run its completion
+/// step. The shared worklist in [`Kernel::run_ready`] bounds the
+/// cascade of wake-ups (a completed revoke wakes dependents, whose
+/// completions wake more) that recursion would otherwise nest.
+#[derive(Debug)]
+pub(crate) enum ReadyOp {
+    /// A classic revocation: sweep its marked subtrees and notify.
+    Revoke(OpId, RevokeOp),
+    /// A parallel-sweep coordinator whose mark phase finished: order
+    /// the partition deletions ([`Kernel::sweep_begin_delete`]).
+    SweepCoord(OpId),
+    /// A sweep partition whose delete order arrived and whose
+    /// dependencies drained ([`Kernel::sweep_part_finish`]).
+    SweepPart(OpId),
+}
 
 /// Who started a revocation, and therefore who must be notified when it
 /// completes.
@@ -198,19 +241,30 @@ impl Kernel {
             RevokeOp { initiator, fanin: FanIn::new(), local_roots: Vec::new(), spanning: false };
         let mut cost = 0;
         // Remote children grouped by owning kernel, for optional batching.
-        let mut remote: Vec<(KernelId, DdlKey)> = Vec::new();
+        let mut remote = std::mem::take(&mut self.scratch.remote);
+        debug_assert!(remote.is_empty());
         // A coalesced bulk run may name overlapping roots (duplicates,
         // or one root inside another root's subtree). Keys this call
         // marked itself are tracked so a later root that is already
         // `Revoking` *by us* folds into the earlier subtree instead of
         // registering a dependency on itself — which would deadlock.
         // Single-root operations (every non-bulk path) skip the
-        // tracking entirely.
-        let mut marked: Option<semper_base::DetHashSet<semper_base::RawDdlKey>> =
-            match (&initiator, roots.len()) {
-                (Initiator::Bulk { .. }, n) if n > 1 => Some(Default::default()),
-                _ => None,
-            };
+        // tracking — except under [`Feature::ParallelSweep`], where the
+        // marked set is always kept: if the operation converts into a
+        // partitioned sweep, the coordinator needs it to fold later
+        // frontier keys that bounce back into its own marked region.
+        // (For operations that never revisit a node — every single-root
+        // walk — the set is dead weight with no modeled cost.)
+        let parallel = self.cfg.has_feature(Feature::ParallelSweep);
+        let mut marked: Option<DetHashSet<RawDdlKey>> = match (&initiator, roots.len(), parallel) {
+            (Initiator::Bulk { .. }, n, _) if n > 1 => Some(Default::default()),
+            (_, _, true) => {
+                let mut m = std::mem::take(&mut self.scratch.marked);
+                m.clear();
+                Some(m)
+            }
+            _ => None,
+        };
 
         for root in roots {
             if !self.mapdb.contains(root) {
@@ -234,7 +288,28 @@ impl Kernel {
 
         if !remote.is_empty() {
             op.spanning = true;
-            cost += self.send_revoke_requests(op_id, &mut op, remote, out);
+            // A wide or multi-kernel fan-out is driven as a partitioned
+            // parallel sweep when the feature is on: one grouped mark
+            // request per owning kernel, swept concurrently.
+            let first = remote[0].0;
+            if parallel
+                && (remote.len() >= sweep::SWEEP_MIN_FANOUT
+                    || remote.iter().any(|(k, _)| *k != first))
+            {
+                let marked = marked.take().expect("tracked whenever the feature is on");
+                let c = self.start_sweep(op_id, op, &mut remote, marked, out);
+                self.scratch.remote = remote;
+                return cost + c;
+            }
+            cost += self.send_revoke_requests(op_id, &mut op, &mut remote, out);
+        }
+
+        // Restore the scratch buffers before the completion path: the
+        // initiator's notification can re-enter `start_revoke` (a batch
+        // advancing to its next item).
+        self.scratch.remote = remote;
+        if let Some(m) = marked {
+            self.scratch.marked = m;
         }
 
         if op.fanin.idle() {
@@ -256,10 +331,12 @@ impl Kernel {
         op_id: OpId,
         op: &mut RevokeOp,
         remote: &mut Vec<(KernelId, DdlKey)>,
-        mut marked: Option<&mut semper_base::DetHashSet<semper_base::RawDdlKey>>,
+        mut marked: Option<&mut DetHashSet<RawDdlKey>>,
     ) -> u64 {
         let mut cost = 0;
-        let mut stack = vec![root];
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        debug_assert!(stack.is_empty());
+        stack.push(root);
         while let Some(key) = stack.pop() {
             let Ok(cap) = self.mapdb.get(key) else {
                 // Not ours: a remote child — one reference to classify it.
@@ -291,6 +368,7 @@ impl Kernel {
             }
             cost += self.cfg.cost.revoke_mark;
         }
+        self.scratch.stack = stack;
         cost
     }
 
@@ -303,7 +381,7 @@ impl Kernel {
         &mut self,
         op_id: OpId,
         op: &mut RevokeOp,
-        remote: Vec<(KernelId, DdlKey)>,
+        remote: &mut Vec<(KernelId, DdlKey)>,
         out: &mut Outbox,
     ) -> u64 {
         let mut cost = 0;
@@ -312,7 +390,7 @@ impl Kernel {
         {
             let mut by_kernel: std::collections::BTreeMap<KernelId, Vec<DdlKey>> =
                 std::collections::BTreeMap::new();
-            for (k, key) in remote {
+            for (k, key) in remote.drain(..) {
                 by_kernel.entry(k).or_default().push(key);
             }
             for (k, cap_keys) in by_kernel {
@@ -321,7 +399,7 @@ impl Kernel {
                 self.send_kcall(out, k, Kcall::RevokeBatchReq { op: op_id, cap_keys });
             }
         } else {
-            for (k, cap_key) in remote {
+            for (k, cap_key) in remote.drain(..) {
                 op.fanin.arm();
                 // Marshalling one revoke request: compose the message,
                 // inject it through the DTU, and record the outstanding
@@ -340,60 +418,144 @@ impl Kernel {
     /// initiator. Completion of waiters can cascade; a worklist keeps the
     /// recursion bounded.
     fn complete_revoke(&mut self, op_id: OpId, op: RevokeOp, out: &mut Outbox) -> u64 {
+        self.run_ready(vec![ReadyOp::Revoke(op_id, op)], out)
+    }
+
+    /// Runs completion steps from a worklist until it drains: classic
+    /// revokes sweep and notify; sweep coordinators order their
+    /// partition deletions; sweep partitions delete and reply. Each step
+    /// may push further ready operations (woken dependents). LIFO order
+    /// matches the pre-sweep completion cascade exactly.
+    pub(crate) fn run_ready(&mut self, mut ready: Vec<ReadyOp>, out: &mut Outbox) -> u64 {
         let mut cost = 0;
-        let mut completions: Vec<(OpId, RevokeOp)> = vec![(op_id, op)];
-
-        while let Some((_id, mut op)) = completions.pop() {
-            let mut woken: Vec<OpId> = Vec::new();
-            for root in std::mem::take(&mut op.local_roots) {
-                for cap in self.mapdb.delete_local_subtree(root) {
-                    op.fanin.add(1);
-                    self.stats.caps_deleted += 1;
-                    // Each deletion resolves the owner's table binding
-                    // and the parent unlink through DDL keys, and
-                    // deconfigures any DTU endpoint activated for the
-                    // capability — the step that severs hardware access.
-                    cost += self.cfg.cost.revoke_delete + 2 * self.ref_cost();
-                    cost += self.invalidate_eps_for(cap.key);
-                    // Remove the owner's table binding.
-                    if let Some(t) = self.tables.get_mut(&cap.owner) {
-                        t.remove_key(cap.key);
-                    }
-                    // Wake operations waiting for this capability.
-                    if let Some(ws) = self.revoke_waiters.remove(&cap.key.raw()) {
-                        woken.extend(ws);
-                    }
-                }
-            }
-            cost += self.cfg.cost.revoke_finish;
-            self.notify_revoke_done(&op, out);
-
-            for waiter in woken {
-                if let Some(PendingOp::Revoke(Phase::Run(wop))) = self.pending.get_mut(waiter) {
-                    if wop.fanin.complete_one(0) {
-                        let Some(PendingOp::Revoke(Phase::Run(wop))) = self.pending.remove(waiter)
-                        else {
-                            unreachable!("checked above");
-                        };
-                        completions.push((waiter, wop));
-                    }
-                } else {
-                    debug_assert!(false, "waiter {waiter} is not a pending revoke");
-                }
+        while let Some(r) = ready.pop() {
+            match r {
+                ReadyOp::Revoke(id, op) => cost += self.finish_one_revoke(id, op, &mut ready, out),
+                ReadyOp::SweepCoord(id) => cost += self.sweep_begin_delete(id, out),
+                ReadyOp::SweepPart(id) => cost += self.sweep_part_finish(id, out),
             }
         }
         cost
     }
 
-    /// Notifies whoever started the revocation (Algorithm 1, lines
-    /// 19-23).
-    fn notify_revoke_done(&mut self, op: &RevokeOp, out: &mut Outbox) {
+    /// Sweeps one classic revocation's marked subtrees in a single
+    /// batched pass, notifies the initiator, and queues woken waiters.
+    fn finish_one_revoke(
+        &mut self,
+        _id: OpId,
+        mut op: RevokeOp,
+        ready: &mut Vec<ReadyOp>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let mut cost = 0;
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut deleted = std::mem::take(&mut self.scratch.deleted);
+        let mut woken = std::mem::take(&mut self.scratch.woken);
+        debug_assert!(deleted.is_empty() && woken.is_empty());
+        for root in std::mem::take(&mut op.local_roots) {
+            self.mapdb.delete_local_subtree_into(root, &mut stack, &mut deleted);
+        }
+        op.fanin.add(deleted.len() as u64);
+        cost += self.sweep_deleted(&mut deleted, &mut woken);
+        cost += self.cfg.cost.revoke_finish;
+        self.notify_initiator(op.initiator, op.spanning, op.fanin.tally(), out);
+        for waiter in woken.drain(..) {
+            self.wake_waiter(waiter, ready);
+        }
+        self.scratch.stack = stack;
+        self.scratch.deleted = deleted;
+        self.scratch.woken = woken;
+        cost
+    }
+
+    /// Processes a batch of deleted capabilities: per-capability cost
+    /// and endpoint invalidation, waiter collection, and the owners'
+    /// table bindings removed with **one table lookup per run of
+    /// consecutive same-owner capabilities** — the batched host-side
+    /// dispatch that a dense teardown (thousands of same-table
+    /// capabilities) collapses into a handful of lookups. Clears
+    /// `deleted`; waiters are appended to `woken` for the caller to
+    /// fire (or defer, for partitioned sweeps).
+    pub(crate) fn sweep_deleted(
+        &mut self,
+        deleted: &mut Vec<Capability>,
+        woken: &mut Vec<OpId>,
+    ) -> u64 {
+        let mut cost = 0;
+        for cap in deleted.iter() {
+            self.stats.caps_deleted += 1;
+            // Each deletion resolves the owner's table binding and the
+            // parent unlink through DDL keys, and deconfigures any DTU
+            // endpoint activated for the capability — the step that
+            // severs hardware access.
+            cost += self.cfg.cost.revoke_delete + 2 * self.ref_cost();
+            cost += self.invalidate_eps_for(cap.key);
+            // Wake operations waiting for this capability.
+            if let Some(ws) = self.revoke_waiters.remove(&cap.key.raw()) {
+                woken.extend(ws);
+            }
+        }
+        // Remove the owners' table bindings, grouped by run.
+        let mut i = 0;
+        while i < deleted.len() {
+            let owner = deleted[i].owner;
+            let mut table = self.tables.get_mut(&owner);
+            while i < deleted.len() && deleted[i].owner == owner {
+                if let Some(t) = table.as_deref_mut() {
+                    t.remove_key(deleted[i].key);
+                }
+                i += 1;
+            }
+        }
+        deleted.clear();
+        cost
+    }
+
+    /// Resolves one woken waiter: a classic revoke's fan-in completes;
+    /// a sweep coordinator or partition drops a dependency. Operations
+    /// whose last wait drained are pushed onto the ready worklist.
+    pub(crate) fn wake_waiter(&mut self, waiter: OpId, ready: &mut Vec<ReadyOp>) {
+        match self.pending.get_mut(waiter) {
+            Some(PendingOp::Revoke(Phase::Run(wop))) => {
+                if wop.fanin.complete_one(0) {
+                    let Some(PendingOp::Revoke(Phase::Run(wop))) = self.pending.remove(waiter)
+                    else {
+                        unreachable!("checked above");
+                    };
+                    ready.push(ReadyOp::Revoke(waiter, wop));
+                }
+            }
+            Some(PendingOp::Sweep(sweep::Phase::Coordinate(s))) => {
+                s.deps -= 1;
+                if s.deps == 0 && s.marks_outstanding == 0 {
+                    ready.push(ReadyOp::SweepCoord(waiter));
+                }
+            }
+            Some(PendingOp::Sweep(sweep::Phase::Partition(p))) => {
+                p.deps -= 1;
+                if p.deps == 0 && p.delete_requested {
+                    ready.push(ReadyOp::SweepPart(waiter));
+                }
+            }
+            _ => debug_assert!(false, "waiter {waiter} is not a pending revoke"),
+        }
+    }
+
+    /// Notifies whoever started a revocation (Algorithm 1, lines
+    /// 19-23) — shared by classic revokes and partitioned sweeps.
+    pub(crate) fn notify_initiator(
+        &mut self,
+        initiator: Initiator,
+        spanning: bool,
+        deleted: u64,
+        out: &mut Outbox,
+    ) {
         // Only top-level revocations count as capability operations;
         // kcall- and batch-initiated sub-revokes are part of a revoke
         // already counted at the initiating kernel.
-        match op.initiator {
+        match initiator {
             Initiator::Syscall { .. } | Initiator::Internal => {
-                if op.spanning {
+                if spanning {
                     self.stats.revokes_spanning += 1;
                 } else {
                     self.stats.revokes_local += 1;
@@ -403,7 +565,7 @@ impl Kernel {
             // the items resolve (see `Kernel::bulk_revokes_done`).
             Initiator::Kcall { .. } | Initiator::Batch { .. } | Initiator::Bulk { .. } => {}
         }
-        match op.initiator {
+        match initiator {
             Initiator::Syscall { vpe, tag } => {
                 self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
             }
@@ -411,20 +573,15 @@ impl Kernel {
                 self.send_kreply(
                     out,
                     from,
-                    KReply::Revoke {
-                        op: caller_op,
-                        cap_key,
-                        deleted: op.fanin.tally(),
-                        result: Ok(()),
-                    },
+                    KReply::Revoke { op: caller_op, cap_key, deleted, result: Ok(()) },
                 );
             }
             Initiator::Internal => {}
             Initiator::Batch { batch } => {
-                self.batch_entry_done(batch, op.fanin.tally(), out);
+                self.batch_entry_done(batch, deleted, out);
             }
             Initiator::Bulk { batch, first_item, items } => {
-                self.bulk_revokes_done(batch, first_item, items, op.spanning, out);
+                self.bulk_revokes_done(batch, first_item, items, spanning, out);
             }
         }
     }

@@ -1,0 +1,586 @@
+//! Partitioned parallel revocation sweeps
+//! ([`Feature::ParallelSweep`](semper_base::config::Feature::ParallelSweep)).
+//!
+//! The classic protocol ([`super::revoke`]) drives a spanning
+//! revocation as a chain of per-subtree requests: each remote child
+//! becomes one `RevokeReq`, whose handler recursively fans out again.
+//! A *dense* subtree spanning many kernels therefore pays one request
+//! round trip per remote edge, serialised through the initiating
+//! kernel's credit window — the adversarial chain of §5.2.
+//!
+//! This module is the GC-style alternative the paper's revocation
+//! design invites (two cooperating phases over a partitioned heap): the
+//! initiating kernel becomes the **coordinator** and drives the whole
+//! revocation as a two-phase **mark → delete** protocol:
+//!
+//! 1. **Mark.** The coordinator marks its local region, then partitions
+//!    the remote children *by owning kernel* and sends each owner one
+//!    [`Kcall::SweepMarkReq`] covering its whole partition. Each
+//!    participant marks its partition in one handler dispatch and
+//!    replies with the *frontier* — remote children it encountered —
+//!    which the coordinator regroups and forwards as the next round.
+//!    Rounds touch only the kernels on the subtree's ownership
+//!    boundary, so the partitions mark concurrently in sim time.
+//! 2. **Delete.** When every mark round has completed and the
+//!    coordinator's dependencies on concurrent revocations drained, it
+//!    orders each participant to delete its partition
+//!    ([`Kcall::SweepDeleteReq`]) — again one message and one batched
+//!    deletion pass per partition — and deletes its own region. The
+//!    shared [`FanIn`] collects the per-partition deletion counts.
+//!
+//! # Completeness (Table 2) and dependency deferral
+//!
+//! A revoke must never be acknowledged while part of its subtree
+//! survives. The sweep preserves this the same way the classic
+//! protocol does — the initiator is notified only after every
+//! partition reported deletion — but *dependencies* need one extra
+//! rule: an operation that found a sweep-marked capability waits in
+//! `revoke_waiters` like before, yet a participant deleting its
+//! partition must **not** fire those waiters locally. The capability's
+//! descendants may live in other partitions that are still being
+//! deleted; releasing a dependent early would let it acknowledge an
+//! incomplete revocation. Participants therefore collect woken waiters
+//! into their partition state and fire them only on the coordinator's
+//! [`Kcall::SweepDoneNotice`], sent after the whole sweep completed.
+//!
+//! # Deadlock freedom
+//!
+//! Dependencies are only created when a mark walk finds a capability
+//! another operation already marked. For single-root operations the
+//! marked regions are contiguous subtree territories entered at their
+//! topmost node, which gives the same acyclic ordering as the classic
+//! protocol: an operation can depend only on operations rooted inside
+//! its own subtree, which cannot depend back (their walks never reach
+//! the outer root). Multi-root bulk runs fold their own overlaps via
+//! the per-operation marked set, exactly as the classic coalesced path
+//! does.
+
+use std::collections::BTreeMap;
+
+use semper_base::msg::{KReply, Kcall};
+use semper_base::{DdlKey, DetHashSet, KernelId, OpId, RawDdlKey};
+
+use crate::kernel::Kernel;
+use crate::ops::revoke::{Initiator, ReadyOp, RevokeOp};
+use crate::ops::{Awaits, FanIn, PendingOp, PhaseSpec, Thread};
+use crate::outbox::Outbox;
+
+/// Minimum fan-out (remote children) at which a single-kernel-bound
+/// revocation is still worth partitioning; any fan-out that spans two
+/// or more kernels converts unconditionally.
+pub(crate) const SWEEP_MIN_FANOUT: usize = 8;
+
+/// Coordinator state of a partitioned sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOp {
+    /// Who to notify when the whole sweep completed.
+    pub initiator: Initiator,
+    /// Dependencies on concurrent revocations found by the
+    /// coordinator's own mark walks; deletion is ordered only once they
+    /// drained.
+    pub deps: u32,
+    /// Mark requests (rounds × partitions) without a reply yet.
+    pub marks_outstanding: u32,
+    /// Delete-phase fan-in: one arm per participant, tallying deleted
+    /// capabilities (including the coordinator's own region).
+    pub fanin: FanIn,
+    /// Roots of the coordinator's marked local region.
+    pub local_roots: Vec<DdlKey>,
+    /// Participant kernels in first-contact order (delete orders and
+    /// the completion notice walk this list).
+    pub participants: Vec<KernelId>,
+    /// Waiters on coordinator-deleted capabilities, deferred to sweep
+    /// completion.
+    pub woken: Vec<OpId>,
+    /// Keys the coordinator marked (folds frontier keys that bounce
+    /// back into the coordinator's own region).
+    pub marked: DetHashSet<RawDdlKey>,
+    /// Frontier-expansion rounds run so far (statistics: sweep depth).
+    pub rounds: u64,
+}
+
+/// Participant state: one kernel's partition of a remote sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPart {
+    /// The coordinating kernel.
+    pub caller: KernelId,
+    /// The coordinator's correlation id (identifies the sweep).
+    pub caller_op: OpId,
+    /// Roots of the partition's marked subtrees.
+    pub roots: Vec<DdlKey>,
+    /// Keys this partition marked (folds later-round keys that land
+    /// inside an already marked region — and keeps them from becoming
+    /// self-dependencies).
+    pub marked: DetHashSet<RawDdlKey>,
+    /// Dependencies on concurrent revocations; the delete reply waits
+    /// for them.
+    pub deps: u32,
+    /// True once the coordinator ordered deletion.
+    pub delete_requested: bool,
+    /// True once the partition was deleted (awaiting the done notice).
+    pub swept: bool,
+    /// Waiters on partition-deleted capabilities, deferred to the
+    /// coordinator's done notice.
+    pub woken: Vec<OpId>,
+}
+
+/// The sweep protocol's phase table.
+#[derive(Debug, Clone)]
+pub enum Phase {
+    /// Coordinator, mark phase: awaiting mark replies and dependency
+    /// drains.
+    Coordinate(SweepOp),
+    /// Coordinator, delete phase: awaiting per-partition delete
+    /// replies.
+    Collect(SweepOp),
+    /// Participant: one partition, alive from the first mark request
+    /// until the done notice.
+    Partition(SweepPart),
+}
+
+impl Phase {
+    /// The declared spec of each phase.
+    pub fn spec(&self) -> &'static PhaseSpec {
+        match self {
+            Phase::Coordinate(_) => &PhaseSpec {
+                name: "sweep-mark",
+                awaits: Awaits::FanIn,
+                thread: Thread::PerInitiator,
+            },
+            Phase::Collect(_) => &PhaseSpec {
+                name: "sweep-delete",
+                awaits: Awaits::FanIn,
+                thread: Thread::PerInitiator,
+            },
+            Phase::Partition(_) => {
+                &PhaseSpec { name: "sweep-part", awaits: Awaits::FanIn, thread: Thread::Free }
+            }
+        }
+    }
+}
+
+impl Kernel {
+    /// Converts a freshly marked revocation into a partitioned sweep:
+    /// the local mark is done, `remote` holds the round-0 frontier, and
+    /// the revoke's fan-in carries only dependency arms (no requests
+    /// were sent). Groups the frontier by owning kernel, fires one mark
+    /// request per partition, and parks as coordinator.
+    pub(crate) fn start_sweep(
+        &mut self,
+        op_id: OpId,
+        rop: RevokeOp,
+        remote: &mut Vec<(KernelId, DdlKey)>,
+        marked: DetHashSet<RawDdlKey>,
+        out: &mut Outbox,
+    ) -> u64 {
+        debug_assert_eq!(rop.fanin.tally(), 0, "no completions before conversion");
+        self.stats.sweeps += 1;
+        let mut s = SweepOp {
+            initiator: rop.initiator,
+            deps: rop.fanin.outstanding(),
+            marks_outstanding: 0,
+            fanin: FanIn::new(),
+            local_roots: rop.local_roots,
+            participants: Vec::new(),
+            woken: Vec::new(),
+            marked,
+            rounds: 0,
+        };
+        let mut by_kernel: BTreeMap<KernelId, Vec<DdlKey>> = BTreeMap::new();
+        for (k, key) in remote.drain(..) {
+            debug_assert_ne!(k, self.id, "local children are marked, not partitioned");
+            by_kernel.entry(k).or_default().push(key);
+        }
+        let cost = self.sweep_send_marks(op_id, &mut s, by_kernel, out);
+        self.park(op_id, PendingOp::Sweep(Phase::Coordinate(s)));
+        cost + self.cfg.cost.thread_switch
+    }
+
+    /// Sends one grouped mark request per partition of `by_kernel`,
+    /// arming the coordinator's mark counter and recording first-time
+    /// participants.
+    fn sweep_send_marks(
+        &mut self,
+        op_id: OpId,
+        s: &mut SweepOp,
+        by_kernel: BTreeMap<KernelId, Vec<DdlKey>>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let mut cost = 0;
+        for (k, cap_keys) in by_kernel {
+            self.stats.sweep_fanout += cap_keys.len() as u64;
+            s.marks_outstanding += 1;
+            if !s.participants.contains(&k) {
+                s.participants.push(k);
+                self.stats.sweep_partitions += 1;
+            }
+            cost += self.cfg.cost.kcall_exit + self.cfg.cost.sweep_key * cap_keys.len() as u64;
+            self.send_kcall(out, k, Kcall::SweepMarkReq { op: op_id, cap_keys });
+        }
+        cost
+    }
+
+    /// Request handler for [`Kcall::SweepMarkReq`]: marks the partition
+    /// extension rooted at `cap_keys` in one dispatch and replies with
+    /// the frontier of remote children. The partition op is created on
+    /// first contact and lives until the done notice.
+    pub(crate) fn sweep_mark_request(
+        &mut self,
+        from: KernelId,
+        caller_op: OpId,
+        cap_keys: &[DdlKey],
+        out: &mut Outbox,
+    ) -> u64 {
+        let local = match self.sweep_parts.get(&(from, caller_op)) {
+            Some(&id) => id,
+            None => {
+                let id = self.alloc_op();
+                self.sweep_parts.insert((from, caller_op), id);
+                self.park(
+                    id,
+                    PendingOp::Sweep(Phase::Partition(SweepPart {
+                        caller: from,
+                        caller_op,
+                        roots: Vec::new(),
+                        marked: Default::default(),
+                        deps: 0,
+                        delete_requested: false,
+                        swept: false,
+                        woken: Vec::new(),
+                    })),
+                );
+                id
+            }
+        };
+        // Take the partition out of the ledger for the walk (the walk
+        // borrows the mapping database mutably); reinserted below.
+        let Some(PendingOp::Sweep(Phase::Partition(mut part))) = self.pending.remove(local) else {
+            unreachable!("sweep_parts points at a partition");
+        };
+        let mut cost = self.cfg.cost.sweep_key * cap_keys.len() as u64;
+        let mut frontier: Vec<DdlKey> = Vec::new();
+        let mut marked_count: u64 = 0;
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        debug_assert!(stack.is_empty());
+        for &root in cap_keys {
+            if !self.mapdb.contains(root) {
+                // Already deleted by a concurrent operation: vacuous.
+                cost += self.ref_cost();
+                continue;
+            }
+            if self.mapdb.get(root).expect("checked").revoking() {
+                cost += self.ref_cost();
+                if part.marked.contains(&root.raw()) {
+                    // A later round landed inside an already marked
+                    // region of this same partition.
+                    continue;
+                }
+                // A concurrent revocation owns this subtree: the delete
+                // reply waits for the capability to be deleted.
+                self.revoke_waiters.entry(root.raw()).or_default().push(local);
+                part.deps += 1;
+                continue;
+            }
+            stack.push(root);
+            while let Some(key) = stack.pop() {
+                let Ok(cap) = self.mapdb.get(key) else {
+                    // Not ours: the next frontier, reported back to the
+                    // coordinator.
+                    cost += self.ref_cost();
+                    frontier.push(key);
+                    continue;
+                };
+                cost += 2 * self.ref_cost();
+                if cap.revoking() {
+                    if part.marked.contains(&key.raw()) {
+                        continue;
+                    }
+                    self.revoke_waiters.entry(key.raw()).or_default().push(local);
+                    part.deps += 1;
+                    continue;
+                }
+                for child in cap.children().rev() {
+                    stack.push(child);
+                }
+                self.mapdb.mark_revoking(key).expect("present");
+                part.marked.insert(key.raw());
+                marked_count += 1;
+                cost += self.cfg.cost.revoke_mark;
+            }
+            part.roots.push(root);
+        }
+        self.scratch.stack = stack;
+        self.pending.insert(local, PendingOp::Sweep(Phase::Partition(part)));
+        self.send_kreply(
+            out,
+            from,
+            KReply::SweepMark { op: caller_op, marked: marked_count, frontier },
+        );
+        cost + self.cfg.cost.kcall_exit
+    }
+
+    /// Completion handler for [`KReply::SweepMark`]: regroups the
+    /// reported frontier into the next mark round; when the last mark
+    /// reply arrived and no dependencies are pending, deletion begins.
+    pub(crate) fn sweep_mark_reply(
+        &mut self,
+        op: OpId,
+        frontier: &[DdlKey],
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(PendingOp::Sweep(Phase::Coordinate(mut s))) = self.pending.remove(op) else {
+            debug_assert!(false, "mark reply for unknown sweep {op}");
+            return 0;
+        };
+        s.marks_outstanding -= 1;
+        let mut cost = 0;
+        if !frontier.is_empty() {
+            s.rounds += 1;
+            cost += self.cfg.cost.sweep_round;
+            cost += self.sweep_expand(op, &mut s, frontier.to_vec(), out);
+        }
+        let mark_done = s.marks_outstanding == 0 && s.deps == 0;
+        self.pending.insert(op, PendingOp::Sweep(Phase::Coordinate(s)));
+        if mark_done {
+            cost += self.run_ready(vec![ReadyOp::SweepCoord(op)], out);
+        }
+        cost
+    }
+
+    /// Expands one frontier: keys owned by other kernels extend their
+    /// partitions (one grouped request each); keys that bounced back to
+    /// the coordinator are marked locally, and any remote children
+    /// *they* expose feed the next iteration.
+    fn sweep_expand(
+        &mut self,
+        op: OpId,
+        s: &mut SweepOp,
+        mut work: Vec<DdlKey>,
+        out: &mut Outbox,
+    ) -> u64 {
+        let mut cost = 0;
+        loop {
+            let mut by_kernel: BTreeMap<KernelId, Vec<DdlKey>> = BTreeMap::new();
+            let mut local_keys: Vec<DdlKey> = Vec::new();
+            for key in work.drain(..) {
+                let k = self.membership.kernel_of_key(key);
+                if k == self.id {
+                    local_keys.push(key);
+                } else {
+                    by_kernel.entry(k).or_default().push(key);
+                }
+            }
+            cost += self.sweep_send_marks(op, s, by_kernel, out);
+            if local_keys.is_empty() {
+                return cost;
+            }
+            let mut stack = std::mem::take(&mut self.scratch.stack);
+            debug_assert!(stack.is_empty());
+            for root in local_keys {
+                if !self.mapdb.contains(root) {
+                    cost += self.ref_cost();
+                    continue;
+                }
+                if self.mapdb.get(root).expect("checked").revoking() {
+                    cost += self.ref_cost();
+                    if s.marked.contains(&root.raw()) {
+                        continue;
+                    }
+                    self.revoke_waiters.entry(root.raw()).or_default().push(op);
+                    s.deps += 1;
+                    continue;
+                }
+                stack.push(root);
+                while let Some(key) = stack.pop() {
+                    let Ok(cap) = self.mapdb.get(key) else {
+                        cost += self.ref_cost();
+                        work.push(key);
+                        continue;
+                    };
+                    cost += 2 * self.ref_cost();
+                    if cap.revoking() {
+                        if s.marked.contains(&key.raw()) {
+                            continue;
+                        }
+                        self.revoke_waiters.entry(key.raw()).or_default().push(op);
+                        s.deps += 1;
+                        continue;
+                    }
+                    for child in cap.children().rev() {
+                        stack.push(child);
+                    }
+                    self.mapdb.mark_revoking(key).expect("present");
+                    s.marked.insert(key.raw());
+                    cost += self.cfg.cost.revoke_mark;
+                }
+                s.local_roots.push(root);
+            }
+            self.scratch.stack = stack;
+            if work.is_empty() {
+                return cost;
+            }
+            // The local walk exposed further remote children: another
+            // regrouping round.
+            s.rounds += 1;
+            cost += self.cfg.cost.sweep_round;
+        }
+    }
+
+    /// The coordinator's delete step (runs off the ready worklist once
+    /// marking finished and dependencies drained): deletes the local
+    /// region in one batched pass and orders every participant to
+    /// delete its partition.
+    pub(crate) fn sweep_begin_delete(&mut self, op: OpId, out: &mut Outbox) -> u64 {
+        let Some(PendingOp::Sweep(Phase::Coordinate(mut s))) = self.pending.remove(op) else {
+            debug_assert!(false, "delete step for unknown sweep {op}");
+            return 0;
+        };
+        debug_assert!(s.marks_outstanding == 0 && s.deps == 0);
+        if s.rounds > self.stats.sweep_depth {
+            self.stats.sweep_depth = s.rounds;
+        }
+        let mut cost = 0;
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut deleted = std::mem::take(&mut self.scratch.deleted);
+        debug_assert!(deleted.is_empty());
+        for root in std::mem::take(&mut s.local_roots) {
+            self.mapdb.delete_local_subtree_into(root, &mut stack, &mut deleted);
+        }
+        s.fanin.add(deleted.len() as u64);
+        // Waiters on the coordinator's region defer to sweep completion
+        // like everyone else's: parts of their subtrees may live in
+        // partitions that are still being deleted.
+        let mut woken = std::mem::take(&mut s.woken);
+        cost += self.sweep_deleted(&mut deleted, &mut woken);
+        s.woken = woken;
+        s.marked.clear();
+        self.scratch.stack = stack;
+        self.scratch.deleted = deleted;
+        for i in 0..s.participants.len() {
+            let k = s.participants[i];
+            s.fanin.arm();
+            cost += self.cfg.cost.kcall_exit;
+            self.send_kcall(out, k, Kcall::SweepDeleteReq { op });
+        }
+        debug_assert!(!s.fanin.idle(), "a sweep always has participants");
+        self.park(op, PendingOp::Sweep(Phase::Collect(s)));
+        cost
+    }
+
+    /// Request handler for [`Kcall::SweepDeleteReq`]: deletes the
+    /// partition immediately, or once its dependencies drain.
+    pub(crate) fn sweep_delete_request(
+        &mut self,
+        from: KernelId,
+        caller_op: OpId,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(&local) = self.sweep_parts.get(&(from, caller_op)) else {
+            debug_assert!(false, "delete order for unknown sweep ({from}, {caller_op})");
+            return 0;
+        };
+        let ready_now = {
+            let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.get_mut(local) else {
+                unreachable!("sweep_parts points at a partition");
+            };
+            debug_assert!(!p.delete_requested, "delete ordered twice");
+            p.delete_requested = true;
+            p.deps == 0
+        };
+        if ready_now {
+            self.run_ready(vec![ReadyOp::SweepPart(local)], out)
+        } else {
+            0
+        }
+    }
+
+    /// Deletes one partition in a single batched pass and reports the
+    /// count to the coordinator. Woken waiters are deferred into the
+    /// partition (fired on the done notice); the partition op stays
+    /// parked until then.
+    pub(crate) fn sweep_part_finish(&mut self, local: OpId, out: &mut Outbox) -> u64 {
+        let (caller, caller_op, roots) = {
+            let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.get_mut(local) else {
+                debug_assert!(false, "partition delete for unknown op {local}");
+                return 0;
+            };
+            debug_assert!(p.delete_requested && p.deps == 0 && !p.swept);
+            (p.caller, p.caller_op, std::mem::take(&mut p.roots))
+        };
+        let mut cost = 0;
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut deleted = std::mem::take(&mut self.scratch.deleted);
+        let mut woken = std::mem::take(&mut self.scratch.woken);
+        debug_assert!(deleted.is_empty() && woken.is_empty());
+        for root in roots {
+            self.mapdb.delete_local_subtree_into(root, &mut stack, &mut deleted);
+        }
+        let count = deleted.len() as u64;
+        cost += self.sweep_deleted(&mut deleted, &mut woken);
+        self.scratch.stack = stack;
+        self.scratch.deleted = deleted;
+        if let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.get_mut(local) {
+            p.swept = true;
+            p.marked.clear();
+            p.woken.append(&mut woken);
+        }
+        self.scratch.woken = woken;
+        self.send_kreply(out, caller, KReply::SweepDelete { op: caller_op, deleted: count });
+        cost + self.cfg.cost.kcall_exit + self.cfg.cost.revoke_finish
+    }
+
+    /// Completion handler for [`KReply::SweepDelete`]: collects the
+    /// per-partition counts; when the last partition reported, the
+    /// subtree is gone — notify the initiator, tell every participant
+    /// to release its deferred waiters, and fire our own.
+    pub(crate) fn sweep_delete_reply(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
+        let drained = {
+            let Some(PendingOp::Sweep(Phase::Collect(s))) = self.pending.get_mut(op) else {
+                debug_assert!(false, "delete reply for unknown sweep {op}");
+                return 0;
+            };
+            s.fanin.complete_one(deleted)
+        };
+        if !drained {
+            return 0;
+        }
+        let Some(PendingOp::Sweep(Phase::Collect(s))) = self.pending.remove(op) else {
+            unreachable!("checked above");
+        };
+        let mut cost = self.cfg.cost.revoke_finish;
+        for i in 0..s.participants.len() {
+            let k = s.participants[i];
+            cost += self.cfg.cost.kcall_exit;
+            self.send_kcall(out, k, Kcall::SweepDoneNotice { op });
+        }
+        self.notify_initiator(s.initiator, true, s.fanin.tally(), out);
+        let mut ready: Vec<ReadyOp> = Vec::new();
+        for w in s.woken {
+            self.wake_waiter(w, &mut ready);
+        }
+        cost + self.run_ready(ready, out)
+    }
+
+    /// Request handler for [`Kcall::SweepDoneNotice`]: the whole sweep
+    /// completed; retire the partition and fire its deferred waiters.
+    pub(crate) fn sweep_done_notice(
+        &mut self,
+        from: KernelId,
+        caller_op: OpId,
+        out: &mut Outbox,
+    ) -> u64 {
+        let Some(local) = self.sweep_parts.remove(&(from, caller_op)) else {
+            debug_assert!(false, "done notice for unknown sweep ({from}, {caller_op})");
+            return 0;
+        };
+        let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.remove(local) else {
+            unreachable!("sweep_parts points at a partition");
+        };
+        debug_assert!(p.swept, "done notice before the partition was deleted");
+        let mut ready: Vec<ReadyOp> = Vec::new();
+        for w in p.woken {
+            self.wake_waiter(w, &mut ready);
+        }
+        self.run_ready(ready, out)
+    }
+}

@@ -47,6 +47,22 @@ pub struct KernelStats {
     /// DTU endpoints deconfigured because their backing capability was
     /// revoked (the enforcement action of a revoke).
     pub eps_invalidated: u64,
+    /// Host-side handler dispatches: one per message handled by this
+    /// kernel (syscalls, kcalls, replies, upcall answers). The batched
+    /// sweep's host-cost metric — a partitioned sweep processes a whole
+    /// partition per dispatch instead of one capability per dispatch.
+    pub handler_dispatches: u64,
+    /// Partitioned parallel sweeps coordinated by this kernel.
+    pub sweeps: u64,
+    /// Partitions (per-kernel mark requests, counting each participant
+    /// once per sweep) fanned out by sweeps this kernel coordinated.
+    pub sweep_partitions: u64,
+    /// Total subtree-root keys partitioned out by sweeps this kernel
+    /// coordinated (fan-out width).
+    pub sweep_fanout: u64,
+    /// High-water mark of frontier-expansion rounds in one sweep — the
+    /// cross-kernel depth of the deepest swept subtree.
+    pub sweep_depth: u64,
 }
 
 impl KernelStats {

@@ -656,3 +656,120 @@ fn activate_denied_during_revocation() {
     assert!(c.take_reply(VpeId(0), rt).unwrap().result.is_ok());
     c.check_invariants();
 }
+
+// ----- parallel partitioned sweep (PR 6) ---------------------------------
+
+/// Builds a 4-kernel cluster with `Feature::ParallelSweep` enabled
+/// everywhere, a root at VPE 0 whose children spread over the three
+/// peer kernels (which triggers the partitioned mark → delete sweep on
+/// revoke), and a second-level copy under each child.
+fn spanning_sweep_cluster() -> (TestCluster, CapSel, Vec<(VpeId, CapSel)>) {
+    let mut c = TestCluster::new(4, 2);
+    for k in &mut c.kernels {
+        k.enable_feature_for_test(Feature::ParallelSweep);
+    }
+    let root = create_mem(&mut c, VpeId(0));
+    let mut copies = Vec::new();
+    for to in [2u16, 4, 6, 3, 5, 7] {
+        let s = delegate(&mut c, VpeId(0), VpeId(to), root);
+        copies.push((VpeId(to), s));
+        // One more hop so the participants' partitions have depth.
+        let grandchild = VpeId(if to % 2 == 0 { to + 1 } else { to - 1 });
+        let g = delegate(&mut c, VpeId(to), grandchild, s);
+        copies.push((grandchild, g));
+    }
+    (c, root, copies)
+}
+
+#[test]
+fn parallel_sweep_spanning_revoke() {
+    // Baseline behavior: the sweep deletes exactly the subtree and
+    // quiesces (and really ran — the sweep counter moved).
+    let (mut c, root, copies) = spanning_sweep_cluster();
+    let before = c.total_caps();
+    revoke(&mut c, VpeId(0), root);
+    assert_eq!(c.total_caps(), before - 1 - copies.len());
+    assert!(c.kernels[0].stats().sweeps >= 1, "revoke did not take the sweep path");
+    c.check_invariants();
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0);
+    }
+}
+
+#[test]
+fn kill_mid_parallel_sweep() {
+    // The initiating VPE dies while its sweep is in flight: the sweep
+    // must still run to completion (the kill's own teardown revoke
+    // waits on the in-progress subtree instead of deadlocking), and no
+    // capability of the dead VPE may survive.
+    let (mut c, root, copies) = spanning_sweep_cluster();
+    c.syscall_async(VpeId(0), Syscall::Revoke { sel: root, own: true });
+    // A few pumps: the mark requests are out, partitions exist at the
+    // peers, but the delete phase has not completed.
+    c.pump_n(3);
+    c.kill(VpeId(0));
+    c.pump_all();
+    c.check_invariants();
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0, "kernel {} left suspended ops", k.id());
+    }
+    if let Some(t) = c.kernels[0].table(VpeId(0)) {
+        assert_eq!(t.len(), 0, "dead VPE still holds capabilities");
+    }
+    for (vpe, sel) in copies {
+        let k = c.kernel_of(vpe);
+        assert!(
+            c.kernels[k.idx()].table(vpe).unwrap().get(sel).is_err(),
+            "{vpe} still holds swept capability {sel}"
+        );
+    }
+}
+
+#[test]
+fn overlapping_parallel_sweeps_no_deadlock() {
+    // Two concurrent sweeps whose subtrees overlap (B's root lives
+    // inside A's subtree), in both firing orders: the inner op must
+    // chain onto the outer one's progress (Table 2 "Incomplete"), both
+    // must be acknowledged, and nothing may deadlock.
+    for inner_first in [false, true] {
+        let mut c = TestCluster::new(4, 2);
+        for k in &mut c.kernels {
+            k.enable_feature_for_test(Feature::ParallelSweep);
+        }
+        let a = create_mem(&mut c, VpeId(0));
+        // B: a copy of A at VPE 2 (kernel 1), itself fanned out across
+        // kernels 2 and 3 — revoking B triggers its own sweep.
+        let b = delegate(&mut c, VpeId(0), VpeId(2), a);
+        for to in [4u16, 6, 5, 7] {
+            let _ = delegate(&mut c, VpeId(2), VpeId(to), b);
+        }
+        // A's other children span kernels 1-3 so A sweeps too.
+        for to in [3u16, 4, 6, 5, 7] {
+            let _ = delegate(&mut c, VpeId(0), VpeId(to), a);
+        }
+        let before = c.total_caps();
+        let (ta, tb);
+        if inner_first {
+            tb = c.syscall_async(VpeId(2), Syscall::Revoke { sel: b, own: true });
+            ta = c.syscall_async(VpeId(0), Syscall::Revoke { sel: a, own: true });
+        } else {
+            ta = c.syscall_async(VpeId(0), Syscall::Revoke { sel: a, own: true });
+            tb = c.syscall_async(VpeId(2), Syscall::Revoke { sel: b, own: true });
+        }
+        c.pump_all();
+        assert!(
+            c.take_reply(VpeId(0), ta).unwrap().result.is_ok(),
+            "outer sweep failed (inner_first={inner_first})"
+        );
+        assert!(
+            c.take_reply(VpeId(2), tb).unwrap().result.is_ok(),
+            "inner sweep failed (inner_first={inner_first})"
+        );
+        // The whole structure is gone: root + 10 delegated copies.
+        assert_eq!(c.total_caps(), before - 11, "inner_first={inner_first}");
+        c.check_invariants();
+        for k in &c.kernels {
+            assert_eq!(k.pending_ops(), 0, "inner_first={inner_first}: suspended ops");
+        }
+    }
+}

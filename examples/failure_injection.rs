@@ -9,6 +9,7 @@
 //! capabilities are removed, the two-way delegate handshake aborts
 //! cleanly, and overlapping revocations complete exactly once.
 
+use semper_base::config::Feature;
 use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
 use semper_base::{CapSel, VpeId};
 use semper_kernel::harness::TestCluster;
@@ -92,6 +93,49 @@ fn main() {
     c.check_invariants();
     println!(
         "  -> recursive revocation crossed three kernels; {} capabilities remain",
+        c.total_caps()
+    );
+
+    // Scenario 4: a peer kernel's whole workload dies while a parallel
+    // partitioned sweep (PR 6, `kernel::ops::sweep`) is marking its
+    // partition. VPE death is the failure unit the model supports, so a
+    // "kernel crash" is every VPE hosted by that kernel dying at once:
+    // the victims' teardown revokes overlap the in-flight sweep and
+    // must chain onto it instead of racing it, and the sweep must still
+    // complete and acknowledge the initiator.
+    let mut c = TestCluster::new(4, 2);
+    for k in &mut c.kernels {
+        k.enable_feature_for_test(Feature::ParallelSweep);
+    }
+    let root = create_mem(&mut c, VpeId(0));
+    for to in [2u16, 3, 4, 5, 6, 7] {
+        let r = c.syscall(
+            VpeId(0),
+            Syscall::Exchange {
+                other: VpeId(to),
+                own_sel: root,
+                other_sel: CapSel::INVALID,
+                kind: ExchangeKind::Delegate,
+            },
+        );
+        assert!(r.result.is_ok(), "delegate failed: {:?}", r.result);
+    }
+    let before = c.total_caps();
+    let tag = c.syscall_async(VpeId(0), Syscall::Revoke { sel: root, own: true });
+    c.pump_n(3); // mark requests are out; the partitions are not yet swept
+    println!("scenario 4: kernel 1's VPEs all die mid-parallel-sweep");
+    c.kill(VpeId(2));
+    c.kill(VpeId(3));
+    c.pump_all();
+    assert!(c.take_reply(VpeId(0), tag).unwrap().result.is_ok(), "sweep not acknowledged");
+    c.check_invariants();
+    assert!(c.kernels[0].stats().sweeps >= 1, "revoke did not take the sweep path");
+    assert_eq!(c.total_caps(), before - 7 - 2, "subtree + the dead VPEs' self-caps gone");
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0, "kernel {} left suspended ops", k.id());
+    }
+    println!(
+        "  -> sweep completed despite the crash; {} capabilities remain, all kernels quiescent",
         c.total_caps()
     );
     println!();
