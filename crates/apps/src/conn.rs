@@ -151,6 +151,14 @@ impl KernelConn {
         KernelConn { pe, kernel_pe, corr: Correlator::new(first_tag) }
     }
 
+    /// Re-homes the connection after the VPE's capability group
+    /// migrated: subsequent system calls go to the new owner's PE. An
+    /// in-flight call is unaffected — the old owner forwards it and the
+    /// reply carries the original correlation tag.
+    pub fn set_kernel_pe(&mut self, kernel_pe: PeId) {
+        self.kernel_pe = kernel_pe;
+    }
+
     /// True while a system call is in flight (VPEs block on syscalls).
     pub fn busy(&self) -> bool {
         self.corr.busy()

@@ -459,6 +459,27 @@ pub enum Kcall {
         /// Its new owning kernel.
         new_kernel: crate::ids::KernelId,
     },
+    /// A request relayed by a kernel that no longer owns the target
+    /// group (§4.2 live migration): the group migrated away, so the old
+    /// owner forwards the request to the new owner instead of erroring.
+    /// `from` is the *original* caller kernel — the receiver handles the
+    /// inner call on its behalf and replies directly to it (the
+    /// re-homed reply path), carrying the original correlation id.
+    Forwarded {
+        /// The kernel that originally issued the inner call.
+        from: crate::ids::KernelId,
+        /// The relayed request.
+        call: Box<Kcall>,
+    },
+    /// Terminate a VPE hosted by the receiving kernel. Sent by a
+    /// migration source replaying a kill that arrived while the VPE's
+    /// group was mid-handover (the group — and with it the kill — now
+    /// belongs to the destination). Fire-and-forget: teardown completes
+    /// through the ordinary revocation protocol.
+    KillVpe {
+        /// The VPE to terminate.
+        vpe: VpeId,
+    },
 }
 
 /// Replies to inter-kernel calls.
@@ -844,25 +865,7 @@ impl Payload {
         HDR + match self {
             Payload::Sys { call, .. } => syscall_size(call),
             Payload::SysReply(r) => sys_reply_size(&r.result),
-            Payload::Kcall(k) => match k.as_ref() {
-                Kcall::AnnounceService { .. } => 48,
-                Kcall::ObtainReq { .. } => 40,
-                Kcall::OrphanNotice { .. } => 24,
-                Kcall::DelegateReq { .. } => 48,
-                Kcall::DelegateAck { .. } => 16,
-                Kcall::RevokeReq { .. } => 24,
-                Kcall::RevokeBatchReq { cap_keys, .. } => 16 + 8 * cap_keys.len() as u32,
-                Kcall::SweepMarkReq { cap_keys, .. } => 16 + 8 * cap_keys.len() as u32,
-                Kcall::SweepDeleteReq { .. } => 16,
-                Kcall::SweepDoneNotice { .. } => 16,
-                Kcall::OpenSessReq { .. } => 32,
-                // Per record: key + kind + selector + parent (32 bytes)
-                // plus one key per child reference.
-                Kcall::MigrateReq { caps, .. } => {
-                    32 + caps.iter().map(|c| 32 + 8 * c.children.len() as u32).sum::<u32>()
-                }
-                Kcall::MembershipUpdate { .. } => 16,
-            },
+            Payload::Kcall(k) => kcall_size(k),
             Payload::KReply(r) => match r.as_ref() {
                 KReply::Obtain { .. } => 40,
                 KReply::Delegate { .. } => 32,
@@ -897,6 +900,34 @@ impl Payload {
             Payload::Http(_) => 64,
             Payload::HttpReply(_) => 128,
         }
+    }
+}
+
+/// Architectural payload bytes of one inter-kernel call (excluding the
+/// DTU header). Batched revokes and sweep marks count 8 bytes per key;
+/// a forwarded request pays an 8-byte relay header (original caller id)
+/// plus the inner call's payload.
+fn kcall_size(call: &Kcall) -> u32 {
+    match call {
+        Kcall::AnnounceService { .. } => 48,
+        Kcall::ObtainReq { .. } => 40,
+        Kcall::OrphanNotice { .. } => 24,
+        Kcall::DelegateReq { .. } => 48,
+        Kcall::DelegateAck { .. } => 16,
+        Kcall::RevokeReq { .. } => 24,
+        Kcall::RevokeBatchReq { cap_keys, .. } => 16 + 8 * cap_keys.len() as u32,
+        Kcall::SweepMarkReq { cap_keys, .. } => 16 + 8 * cap_keys.len() as u32,
+        Kcall::SweepDeleteReq { .. } => 16,
+        Kcall::SweepDoneNotice { .. } => 16,
+        Kcall::OpenSessReq { .. } => 32,
+        // Per record: key + kind + selector + parent (32 bytes)
+        // plus one key per child reference.
+        Kcall::MigrateReq { caps, .. } => {
+            32 + caps.iter().map(|c| 32 + 8 * c.children.len() as u32).sum::<u32>()
+        }
+        Kcall::MembershipUpdate { .. } => 16,
+        Kcall::Forwarded { call, .. } => 8 + kcall_size(call),
+        Kcall::KillVpe { .. } => 8,
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use semper_apps::client::ClientPhase;
 use semper_apps::{AppClient, LoadGen, NginxServer, Trace};
 use semper_base::msg::{Outbox, Payload, SysReply, Upcall, UpcallReply};
-use semper_base::{KernelId, MachineConfig, Msg, PeId, VpeId};
+use semper_base::{Code, Error, KernelId, MachineConfig, Msg, PeId, VpeId};
 use semper_kernel::{Kernel, KernelStats};
 use semper_m3fs::{FsImage, FsService, FsSpec, M3FS_NAME};
 use semper_noc::{GlobalMemory, Mesh, Noc};
@@ -87,6 +87,28 @@ pub struct Machine {
     /// injection order (credits first, handler output second) is
     /// preserved exactly.
     credit_scratch: Outbox,
+    /// Message-level tracing to stderr (`MACHINE_TRACE=1`), cached at
+    /// build time. A diagnostics aid for stalls: prints every event as
+    /// it is dispatched and every handler emission as it is scheduled,
+    /// so lost-versus-parked messages can be told apart.
+    trace: bool,
+}
+
+/// A group migration whose handover window is open: returned by
+/// [`Machine::start_vpe_migration`], consumed by
+/// [`Machine::finish_vpe_migration`].
+#[must_use = "a started migration must be finished via finish_vpe_migration"]
+pub struct MigrationTicket {
+    vpe: VpeId,
+    dst: KernelId,
+    /// The migrating VPE's PE (re-homed at completion).
+    vpe_pe: PeId,
+    /// The source kernel's PE, polled for completion.
+    src_pe: PeId,
+    /// `migrations_out` at the source before the start was injected.
+    before: u64,
+    /// When the start was injected (elapsed-cycle accounting).
+    start: Cycles,
 }
 
 impl Machine {
@@ -204,6 +226,7 @@ impl Machine {
             booted_os: false,
             scratch: Outbox::new(),
             credit_scratch: Outbox::new(),
+            trace: std::env::var_os("MACHINE_TRACE").is_some(),
         };
         if let Some(depth) = nginx_depth {
             m.assign_loadgen_targets(depth);
@@ -300,6 +323,9 @@ impl Machine {
             Some(d) => self.sched.pop_ready_before(d),
         };
         let Some((t, pe, msg)) = popped else { return false };
+        if self.trace {
+            eprintln!("[{t}] {} -> {} (pe {pe}): {:?}", msg.src, msg.dst, msg.payload);
+        }
         debug_assert!(self.scratch.is_empty() && self.credit_scratch.is_empty());
         let cost = match &mut self.nodes[pe] {
             Node::Kernel(k) => k.handle(&msg, &mut self.scratch),
@@ -350,6 +376,12 @@ impl Machine {
             };
             let delivery = self.noc.route(&m, at);
             let dst = m.dst.idx();
+            if self.trace {
+                eprintln!(
+                    "  [emit@{at} deliver@{delivery}] {} -> {}: {:?}",
+                    m.src, m.dst, m.payload
+                );
+            }
             self.sched.schedule(delivery, dst, m);
         }
         true
@@ -444,42 +476,134 @@ impl Machine {
     // ----- capability-group migration (machine control) --------------------
 
     /// Migrates `vpe`'s capability group to kernel `dst` and runs the
-    /// machine until the migration protocol quiesces (install at the
-    /// destination, record handover, membership acks from every
-    /// bystander kernel — see `semper_kernel::ops::migrate`). Returns
-    /// the elapsed simulated cycles.
+    /// machine until the handover completes (install at the destination,
+    /// record handover, membership acks from every bystander kernel —
+    /// see `semper_kernel::ops::migrate`). Returns the elapsed simulated
+    /// cycles.
     ///
-    /// Migration is a control operation like boot: the caller must
-    /// ensure the group is quiescent (no in-flight operation references
-    /// the moving VPE).
+    /// The group need not be quiescent: the source holds or forwards
+    /// operations that race the handover window, so this can be called
+    /// while clients are mid-trace. If the group is busy when the
+    /// migration is requested, the start retries (bounded) while
+    /// in-flight operations referencing the group drain. Events not on
+    /// the migration's critical path stay queued — the caller's workload
+    /// keeps running.
+    ///
+    /// # Errors
+    ///
+    /// Returns the kernel's refusal when the source rejects the start
+    /// (service VPE, active endpoints, a capability under revocation
+    /// that never drains) or the destination rejects the install; on
+    /// error the group stays at the source with membership untouched.
     ///
     /// # Panics
     ///
-    /// Panics if the VPE is already in `dst`'s group or the source
-    /// kernel rejects the migration (service VPE, active endpoints, a
-    /// capability under revocation).
-    pub fn migrate_vpe(&mut self, vpe: VpeId, dst: KernelId) -> u64 {
+    /// Panics if the VPE is already in `dst`'s group.
+    pub fn migrate_vpe(&mut self, vpe: VpeId, dst: KernelId) -> Result<u64, Error> {
+        let ticket = self.start_vpe_migration(vpe, dst)?;
+        self.finish_vpe_migration(ticket)
+    }
+
+    /// Opens the handover window for `vpe`'s group without driving it to
+    /// completion: injects the migration start at the source kernel and
+    /// returns a ticket for [`Machine::finish_vpe_migration`]. Between
+    /// the two calls the caller may keep running the machine — traffic
+    /// that races the open window rides the source kernel's hold queue
+    /// or is forwarded (see `semper_kernel::ops::migrate`), which is how
+    /// benchmarks exercise non-quiescent handovers under live load.
+    ///
+    /// The start retries (bounded) while in-flight operations still
+    /// reference the group, draining one event per retry; validation is
+    /// side-effect free, so a refused attempt leaves no trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the source kernel's refusal (service VPE, active
+    /// endpoints, a capability under revocation that never drains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VPE is already in `dst`'s group.
+    pub fn start_vpe_migration(
+        &mut self,
+        vpe: VpeId,
+        dst: KernelId,
+    ) -> Result<MigrationTicket, Error> {
         let pe = self.topo.vpe_dir[vpe.idx()];
         let src_kernel = self.topo.kernel_of(pe);
         assert_ne!(src_kernel, dst, "{vpe} is already in {dst}'s group");
         let src_pe = self.topo.membership.kernel_pe(src_kernel);
-        let start = self.sched.now().max(self.sched.busy_until(src_pe.idx()));
         let mut out = Outbox::new();
-        let cost = match &mut self.nodes[src_pe.idx()] {
-            Node::Kernel(k) => k
-                .start_group_migration(vpe, dst, &mut out)
-                .unwrap_or_else(|e| panic!("migration of {vpe} to {dst} rejected: {e}")),
-            _ => unreachable!("kernel PE hosts a kernel"),
+        let mut retries = 0u32;
+        let (start, cost) = loop {
+            let start = self.sched.now().max(self.sched.busy_until(src_pe.idx()));
+            let res = match &mut self.nodes[src_pe.idx()] {
+                Node::Kernel(k) => k.start_group_migration(vpe, dst, &mut out),
+                _ => unreachable!("kernel PE hosts a kernel"),
+            };
+            match res {
+                Ok(cost) => break (start, cost),
+                Err(e) if e.code() == Code::RevokeInProgress && retries < 4096 => {
+                    retries += 1;
+                    if !self.step() {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         };
         self.sched.extend_busy(src_pe.idx(), start + cost);
         self.send_at(out.drain(), start + cost);
-        self.run_until_idle();
+        let before = match &self.nodes[src_pe.idx()] {
+            Node::Kernel(k) => k.stats().migrations_out,
+            _ => unreachable!("kernel PE hosts a kernel"),
+        };
+        Ok(MigrationTicket { vpe, dst, vpe_pe: pe, src_pe, before, start })
+    }
+
+    /// Drives a migration started by [`Machine::start_vpe_migration`] to
+    /// completion (install at the destination, record handover,
+    /// membership acks from every bystander kernel), then re-homes
+    /// machine-level routing. Returns the simulated cycles elapsed since
+    /// the start was injected — including any window the caller ran
+    /// between the two calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns the install-side failure; the group stays at the source
+    /// with membership untouched.
+    pub fn finish_vpe_migration(&mut self, ticket: MigrationTicket) -> Result<u64, Error> {
+        let MigrationTicket { vpe, dst, vpe_pe: pe, src_pe, before, start } = ticket;
+        loop {
+            let (failure, done) = match &mut self.nodes[src_pe.idx()] {
+                Node::Kernel(k) => {
+                    (k.take_migration_failure(vpe), k.stats().migrations_out > before)
+                }
+                _ => unreachable!("kernel PE hosts a kernel"),
+            };
+            if let Some(e) = failure {
+                return Err(e);
+            }
+            if done {
+                break;
+            }
+            assert!(self.step(), "queue drained while migration of {vpe} was pending");
+        }
         // Mirror the membership change for machine-level routing
         // (syscall injection and credit returns use the topology's
-        // copy). Kernel PEs never migrate, so doing this after the
-        // protocol ran cannot misroute in-flight credit returns.
+        // copy). Kernel PEs never migrate, so in-flight credit returns
+        // cannot be misrouted; VPE traffic still heading for the old
+        // owner is forwarded by it.
         self.topo.membership.set_kernel_of(pe, dst);
-        (self.sched.now() - start).0
+        // Re-home the moved VPE's actor so new system calls go straight
+        // to the new owner.
+        let new_kernel_pe = self.topo.membership.kernel_pe(dst);
+        match &mut self.nodes[pe.idx()] {
+            Node::Server(s) => s.set_kernel_pe(new_kernel_pe),
+            Node::Client(c) => c.set_kernel_pe(new_kernel_pe),
+            _ => {}
+        }
+        Ok((self.sched.now() - start).0)
     }
 
     // ----- direct syscall injection (microbenchmarks) ----------------------
@@ -529,6 +653,45 @@ impl Machine {
             }
         }
         v
+    }
+
+    /// True while `vpe` (a server or client node) has a kernel syscall
+    /// or filesystem request in flight — the moment a non-quiescent
+    /// migration wants to start so that the operation's capability
+    /// traffic races the handover window (the rebalancing bench keys
+    /// on this; an arbitrary instant usually finds the VPE in modeled
+    /// compute with nothing outstanding).
+    pub fn vpe_op_inflight(&self, vpe: VpeId) -> bool {
+        let pe = self.topo.vpe_dir[vpe.idx()];
+        match &self.nodes[pe.idx()] {
+            Node::Server(s) => s.op_inflight(),
+            Node::Client(c) => c.op_inflight(),
+            _ => false,
+        }
+    }
+
+    /// True while `vpe` has an extent request outstanding at its m3fs
+    /// service: the service's answer is a capability delegation into
+    /// `vpe`'s group, so a handover window opened now is guaranteed to
+    /// race inter-kernel traffic (see `Replayer::awaiting_extent` in
+    /// `semper_apps`).
+    pub fn vpe_awaiting_extent(&self, vpe: VpeId) -> bool {
+        let pe = self.topo.vpe_dir[vpe.idx()];
+        match &self.nodes[pe.idx()] {
+            Node::Server(s) => s.awaiting_extent(),
+            Node::Client(c) => c.awaiting_extent(),
+            _ => false,
+        }
+    }
+
+    /// One-line node state dump for stall diagnostics (tests/benches).
+    pub fn vpe_debug(&self, vpe: VpeId) -> String {
+        let pe = self.topo.vpe_dir[vpe.idx()];
+        match &self.nodes[pe.idx()] {
+            Node::Server(s) => s.debug_state(),
+            Node::Service(s) => s.debug_state(),
+            _ => "non-server".to_string(),
+        }
     }
 
     /// Total requests completed by all load generators.

@@ -84,6 +84,17 @@ pub struct Kernel {
     /// (see [`crate::epbind::EpBindings`] and the `gates` module).
     pub(crate) eps: crate::epbind::EpBindings,
 
+    /// Outbound group migrations in their handover window, as
+    /// `(vpe, pe, op)`: from `start_group_migration` until the
+    /// bystander fan-in drains (or the install is refused). While
+    /// non-empty, the dispatch paths apply the forward-or-hold rules
+    /// (see [`crate::ops::migrate`]); the common `is_empty()` fast
+    /// path keeps the classic paths cost-free.
+    pub(crate) active_migrations: Vec<(VpeId, PeId, OpId)>,
+    /// Failed migrations not yet collected by the initiating driver
+    /// (see [`Kernel::take_migration_failure`]).
+    pub(crate) migration_failures: Vec<(VpeId, Error)>,
+
     pub(crate) stats: KernelStats,
 }
 
@@ -130,6 +141,8 @@ impl Kernel {
             kcredits,
             kqueue: DetHashMap::default(),
             eps: crate::epbind::EpBindings::new(),
+            active_migrations: Vec::new(),
+            migration_failures: Vec::new(),
             stats: KernelStats::default(),
         }
     }
@@ -408,8 +421,27 @@ impl Kernel {
         cost
     }
 
-    fn handle_syscall(&mut self, src: PeId, tag: u64, call: &Syscall, out: &mut Outbox) -> u64 {
+    pub(crate) fn handle_syscall(
+        &mut self,
+        src: PeId,
+        tag: u64,
+        call: &Syscall,
+        out: &mut Outbox,
+    ) -> u64 {
         let entry = self.cfg.cost.syscall_entry;
+        // A call from a PE whose group is mid-handover is held before
+        // resolution: during the drain the VPE's local bookkeeping is
+        // already gone, but the call belongs to the moving group and
+        // must replay (possibly forwarded) in arrival order.
+        if !self.active_migrations.is_empty() {
+            if let Some(mig) = self.migration_of_pe(src) {
+                self.hold_op(
+                    mig,
+                    crate::ops::migrate::Held::Syscall { src, tag, call: call.clone() },
+                );
+                return entry;
+            }
+        }
         let vpe = match self.vpe_on_pe(src) {
             Ok(v) if self.vpe_alive(v) => v,
             Ok(v) => {
@@ -417,7 +449,15 @@ impl Kernel {
                 return entry + self.cfg.cost.syscall_exit;
             }
             Err(e) => {
-                // Unknown PE: nothing to reply to; charge decode cost.
+                // Unknown PE. If the membership table routes it to
+                // another kernel, the VPE's group migrated away and
+                // this is a stale endpoint racing the update: relay
+                // the call to the current owner (the reply re-homes to
+                // the VPE directly).
+                let owner = self.membership.kernel_of(src);
+                if owner != self.id {
+                    return entry + self.forward_syscall(src, tag, call, owner, out);
+                }
                 debug_assert!(false, "syscall from unknown PE {src}: {e}");
                 return entry;
             }
@@ -434,6 +474,18 @@ impl Kernel {
                 out.push(Msg::new(self.pe, pe, reply));
             }
             return entry + self.cfg.cost.syscall_exit;
+        }
+        // A call from a bystander VPE that resolves into a moving group
+        // (exchange peer, revoke subtree, exit teardown) is held for
+        // replay once the handover window closes.
+        if !self.active_migrations.is_empty() {
+            if let Some(mig) = self.syscall_touches_migrating(vpe, call) {
+                self.hold_op(
+                    mig,
+                    crate::ops::migrate::Held::Syscall { src, tag, call: call.clone() },
+                );
+                return entry;
+            }
         }
         entry
             + match call {
@@ -468,17 +520,42 @@ impl Kernel {
     }
 
     /// Kills a VPE (failure injection / machine control). Safe to call
-    /// for VPEs of other groups (no-op) or dead VPEs (no-op).
+    /// for VPEs of other groups (no-op) or dead VPEs (no-op). A kill
+    /// that resolves into a group mid-handover is held and replayed
+    /// when the window closes — at the destination if the VPE moved.
     pub fn kill_vpe(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
         if !self.vpe_alive(vpe) {
             return 0;
+        }
+        if !self.active_migrations.is_empty() {
+            if let Some(mig) = self.migration_holding_kill(vpe) {
+                self.hold_op(mig, crate::ops::migrate::Held::Kill { vpe });
+                return 0;
+            }
         }
         let cost = self.terminate_vpe(vpe, out) + std::mem::take(&mut self.bulk_extra_cost);
         self.stats.busy_cycles += cost;
         cost
     }
 
-    fn terminate_vpe(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
+    /// Request handler for [`Kcall::KillVpe`]: a kill that chased a
+    /// migrated group to this kernel (either relayed directly or
+    /// replayed from a source kernel's hold queue). Re-applies the
+    /// hold rule — the group may be mid-handover *again*.
+    pub(crate) fn kill_vpe_request(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
+        if !self.vpe_alive(vpe) {
+            return 0;
+        }
+        if !self.active_migrations.is_empty() {
+            if let Some(mig) = self.migration_holding_kill(vpe) {
+                self.hold_op(mig, crate::ops::migrate::Held::Kill { vpe });
+                return 0;
+            }
+        }
+        self.terminate_vpe(vpe, out)
+    }
+
+    pub(crate) fn terminate_vpe(&mut self, vpe: VpeId, out: &mut Outbox) -> u64 {
         if let Some(v) = self.vpes.get_mut(&vpe) {
             v.life = VpeLife::Dead;
         } else {

@@ -103,6 +103,27 @@ impl Phase {
             }
         }
     }
+
+    /// True if resuming this phase would touch `vpe`'s capability
+    /// group (see [`crate::ops::PendingOp::references_vpe`]).
+    /// Conservative: open items' selectors cannot be resolved without
+    /// kernel context, so any open revoke or exit item counts as
+    /// referencing every group.
+    pub fn references_vpe(&self, vpe: VpeId) -> bool {
+        match self {
+            Phase::Run(b) => {
+                b.vpe == vpe
+                    || b.items.iter().enumerate().any(|(i, item)| {
+                        b.results[i].is_none()
+                            && match item {
+                                Syscall::Exchange { other, .. } => *other == vpe,
+                                Syscall::Revoke { .. } | Syscall::Exit => true,
+                                _ => false,
+                            }
+                    })
+            }
+        }
+    }
 }
 
 /// What the advance loop decided to do next (computed under the ledger

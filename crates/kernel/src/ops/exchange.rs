@@ -189,6 +189,31 @@ impl Phase {
             _ => None,
         }
     }
+
+    /// True if resuming this phase would touch `vpe`'s capability
+    /// group (see [`crate::ops::PendingOp::references_vpe`]).
+    pub fn references_vpe(&self, vpe: VpeId) -> bool {
+        match self {
+            Phase::LocalAccept { initiator, peer, .. } => *initiator == vpe || *peer == vpe,
+            Phase::ObtainRemote { requester, child_key, .. } => {
+                *requester == vpe || child_key.vpe() == vpe
+            }
+            Phase::ObtainAtOwner { child_key, parent_key, owner, .. } => {
+                *owner == vpe || child_key.vpe() == vpe || parent_key.vpe() == vpe
+            }
+            Phase::DelegateRemote { delegator, parent_key, .. } => {
+                *delegator == vpe || parent_key.vpe() == vpe
+            }
+            Phase::DelegateWaitDone { delegator, parent_key, child_key, .. } => {
+                *delegator == vpe || parent_key.vpe() == vpe || child_key.vpe() == vpe
+            }
+            Phase::DelegateAtRecv { parent_key, recv, .. } => {
+                *recv == vpe || parent_key.vpe() == vpe
+            }
+            Phase::DelegatePendingInsert { cap, .. } => cap.owner == vpe,
+            Phase::DelegateAborted { delegator, .. } => *delegator == vpe,
+        }
+    }
 }
 
 impl Kernel {
@@ -494,10 +519,10 @@ impl Kernel {
     /// group-spanning obtain.
     pub(crate) fn obtain_reply(
         &mut self,
+        from: KernelId,
         tag: u64,
         requester: VpeId,
         child_key: DdlKey,
-        peer_kernel: KernelId,
         result: &Result<CapDesc>,
         out: &mut Outbox,
     ) -> u64 {
@@ -508,11 +533,15 @@ impl Kernel {
             }
             Ok(desc) => {
                 if !self.vpe_alive(requester) {
-                    // Orphaned: tell the owner's kernel to unlink the
-                    // child reference it optimistically created.
+                    // Orphaned: tell the kernel that answered — the
+                    // parent's current owner, which may differ from the
+                    // kernel the request was first sent to if the
+                    // owner's group migrated and the request was
+                    // forwarded — to unlink the child reference it
+                    // optimistically created.
                     self.send_kcall(
                         out,
-                        peer_kernel,
+                        from,
                         Kcall::OrphanNotice { parent_key: desc.key, child_key },
                     );
                     return self.cfg.cost.kcall_exit;
@@ -647,19 +676,19 @@ impl Kernel {
 
     /// Resumes [`Phase::DelegateRemote`]: delegator-side handling of the
     /// first-leg reply — validate the parent is still alive, then
-    /// commit or abort.
-    #[allow(clippy::too_many_arguments)]
+    /// commit or abort. The ack goes to `from`, the kernel that
+    /// actually answered: if the receiver's group migrated mid-leg and
+    /// the request was forwarded, that is the new owner, not the
+    /// kernel the request was first sent to.
     pub(crate) fn delegate_reply(
         &mut self,
         from: KernelId,
         tag: u64,
         delegator: VpeId,
         parent_key: DdlKey,
-        peer_kernel: KernelId,
         result: &Result<(DdlKey, OpId)>,
         out: &mut Outbox,
     ) -> u64 {
-        debug_assert_eq!(from, peer_kernel);
         match result {
             Err(e) => {
                 self.reply_sys(out, delegator, tag, Err(*e));
@@ -688,7 +717,7 @@ impl Kernel {
                     self.mapdb.link_child(parent_key, *child_key).expect("parent checked above");
                     self.send_kcall(
                         out,
-                        peer_kernel,
+                        from,
                         Kcall::DelegateAck { op: *peer_op, reply_op, commit: true },
                     );
                     self.park(
@@ -712,7 +741,7 @@ impl Kernel {
                     };
                     self.send_kcall(
                         out,
-                        peer_kernel,
+                        from,
                         Kcall::DelegateAck { op: *peer_op, reply_op, commit: false },
                     );
                     self.park(

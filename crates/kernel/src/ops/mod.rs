@@ -39,7 +39,7 @@
 //! | §3.4 session capability attachment | [`session::Phase::OpenRemote`] → [`session::Phase::AtService`], [`session::Phase::OpenLocal`] |
 //! | §4.3.3 Algorithm 1 mark/sweep + reply counting | [`revoke::Phase::Run`] / [`revoke::Phase::Batch`] |
 //! | §5.2 partitioned parallel sweep (mark → delete) | [`sweep::Phase::Coordinate`] → [`sweep::Phase::Collect`], [`sweep::Phase::Partition`] |
-//! | §4.2 group migration (ownership handover) | [`migrate::Phase::AwaitInstall`] → [`migrate::Phase::AwaitAcks`] |
+//! | §4.2 group migration (ownership handover) | [`migrate::Phase::AwaitInstall`] → [`migrate::Phase::Draining`] |
 //! | §5.2 bulk capability operations (`Syscall::Batch`) | [`bulk::Phase::Run`] |
 //!
 //! # What a new protocol costs
@@ -69,7 +69,7 @@ pub mod session;
 pub mod sweep;
 
 use semper_base::msg::{KReply, Kcall, UpcallReply};
-use semper_base::{OpId, PeId, VpeId};
+use semper_base::{KernelId, OpId, PeId, VpeId};
 
 use crate::kernel::Kernel;
 use crate::outbox::Outbox;
@@ -250,6 +250,25 @@ impl PendingOp {
             _ => None,
         }
     }
+
+    /// True if this suspended operation references `vpe`'s capability
+    /// group: its resume handler would read or mutate records the
+    /// group-migration protocol is about to marshal away.
+    /// [`Kernel::start_group_migration`] refuses to open the handover
+    /// window while such an op is parked — operations arriving *after*
+    /// the window opens are held and replayed instead. Conservative
+    /// where a phase cannot resolve selectors without kernel context
+    /// (bulk items).
+    pub fn references_vpe(&self, vpe: VpeId) -> bool {
+        match self {
+            PendingOp::Exchange(p) => p.references_vpe(vpe),
+            PendingOp::Session(p) => p.references_vpe(vpe),
+            PendingOp::Revoke(p) => p.references_vpe(vpe),
+            PendingOp::Sweep(p) => p.references_vpe(vpe),
+            PendingOp::Migrate(p) => p.references_vpe(vpe),
+            PendingOp::Bulk(p) => p.references_vpe(vpe),
+        }
+    }
 }
 
 impl Kernel {
@@ -264,55 +283,77 @@ impl Kernel {
     /// Routes one inter-kernel request to its protocol handler.
     pub(crate) fn route_kcall(&mut self, src: PeId, call: &Kcall, out: &mut Outbox) -> u64 {
         let from = self.membership.kernel_of(src);
-        let entry = self.cfg.cost.kcall_entry;
-        entry
-            + match call {
-                Kcall::AnnounceService { id, name, owner, srv_key, srv_pe, srv_vpe } => self
-                    .announce_service(crate::registry::ServiceInfo {
-                        id: *id,
-                        name: *name,
-                        owner: *owner,
-                        srv_key: *srv_key,
-                        srv_pe: *srv_pe,
-                        srv_vpe: *srv_vpe,
-                    }),
-                Kcall::ObtainReq { op, child_key, owner_vpe, owner_sel, requester_vpe } => self
-                    .obtain_request(
-                        from,
-                        *op,
-                        *child_key,
-                        *owner_vpe,
-                        *owner_sel,
-                        *requester_vpe,
-                        out,
-                    ),
-                Kcall::OrphanNotice { parent_key, child_key } => {
-                    self.orphan_notice(*parent_key, *child_key)
-                }
-                Kcall::DelegateReq { op, parent_key, desc, recv_vpe } => {
-                    self.delegate_request(from, *op, *parent_key, *desc, *recv_vpe, out)
-                }
-                Kcall::DelegateAck { op, reply_op, commit } => {
-                    self.delegate_ack(from, *op, *reply_op, *commit, out)
-                }
-                Kcall::RevokeReq { op, cap_key } => self.revoke_request(from, *op, *cap_key, out),
-                Kcall::RevokeBatchReq { op, cap_keys } => {
-                    self.revoke_batch_request(from, *op, cap_keys, out)
-                }
-                Kcall::SweepMarkReq { op, cap_keys } => {
-                    self.sweep_mark_request(from, *op, cap_keys, out)
-                }
-                Kcall::SweepDeleteReq { op } => self.sweep_delete_request(from, *op, out),
-                Kcall::SweepDoneNotice { op } => self.sweep_done_notice(from, *op, out),
-                Kcall::OpenSessReq { op, child_key, service, client_vpe } => {
-                    self.open_sess_request(from, *op, *child_key, *service, *client_vpe, out)
-                }
-                Kcall::MigrateReq { op, pe, vpe, next_object_id, next_sel, caps } => self
-                    .migrate_request(from, *op, *pe, *vpe, *next_object_id, *next_sel, caps, out),
-                Kcall::MembershipUpdate { op, pe, new_kernel } => {
-                    self.membership_update(from, *op, *pe, *new_kernel, out)
-                }
+        self.cfg.cost.kcall_entry + self.dispatch_kcall(from, call, out)
+    }
+
+    /// Dispatches one inter-kernel request on behalf of `from` — the
+    /// shared funnel of fresh arrivals ([`Kernel::route_kcall`]),
+    /// relayed requests ([`Kcall::Forwarded`] unwraps to the original
+    /// caller so replies re-home to it), and hold-queue replays.
+    ///
+    /// Before the protocol match, two migration-window rules apply
+    /// (both host-cost-only no-ops outside a window): a request
+    /// resolving into a group this kernel is currently migrating is
+    /// held for replay, and a request whose group is owned elsewhere
+    /// (the sender raced a membership update) is relayed to the
+    /// current owner.
+    pub(crate) fn dispatch_kcall(&mut self, from: KernelId, call: &Kcall, out: &mut Outbox) -> u64 {
+        if let Kcall::Forwarded { from: orig, call: inner } = call {
+            return self.dispatch_kcall(*orig, inner, out);
+        }
+        if !self.active_migrations.is_empty() {
+            if let Some(mig) = self.migration_holding_kcall(call) {
+                self.hold_op(mig, migrate::Held::Kcall { from, call: call.clone() });
+                return 0;
             }
+        }
+        if let Some(target) = self.kcall_forward_target(call) {
+            self.stats.kcalls_forwarded += 1;
+            self.send_kcall(out, target, Kcall::Forwarded { from, call: Box::new(call.clone()) });
+            return self.cfg.cost.kcall_exit;
+        }
+        match call {
+            Kcall::AnnounceService { id, name, owner, srv_key, srv_pe, srv_vpe } => self
+                .announce_service(crate::registry::ServiceInfo {
+                    id: *id,
+                    name: *name,
+                    owner: *owner,
+                    srv_key: *srv_key,
+                    srv_pe: *srv_pe,
+                    srv_vpe: *srv_vpe,
+                }),
+            Kcall::ObtainReq { op, child_key, owner_vpe, owner_sel, requester_vpe } => self
+                .obtain_request(from, *op, *child_key, *owner_vpe, *owner_sel, *requester_vpe, out),
+            Kcall::OrphanNotice { parent_key, child_key } => {
+                self.orphan_notice(*parent_key, *child_key)
+            }
+            Kcall::DelegateReq { op, parent_key, desc, recv_vpe } => {
+                self.delegate_request(from, *op, *parent_key, *desc, *recv_vpe, out)
+            }
+            Kcall::DelegateAck { op, reply_op, commit } => {
+                self.delegate_ack(from, *op, *reply_op, *commit, out)
+            }
+            Kcall::RevokeReq { op, cap_key } => self.revoke_request(from, *op, *cap_key, out),
+            Kcall::RevokeBatchReq { op, cap_keys } => {
+                self.revoke_batch_request(from, *op, cap_keys, out)
+            }
+            Kcall::SweepMarkReq { op, cap_keys } => {
+                self.sweep_mark_request(from, *op, cap_keys, out)
+            }
+            Kcall::SweepDeleteReq { op } => self.sweep_delete_request(from, *op, out),
+            Kcall::SweepDoneNotice { op } => self.sweep_done_notice(from, *op, out),
+            Kcall::OpenSessReq { op, child_key, service, client_vpe } => {
+                self.open_sess_request(from, *op, *child_key, *service, *client_vpe, out)
+            }
+            Kcall::MigrateReq { op, pe, vpe, next_object_id, next_sel, caps } => {
+                self.migrate_request(from, *op, *pe, *vpe, *next_object_id, *next_sel, caps, out)
+            }
+            Kcall::MembershipUpdate { op, pe, new_kernel } => {
+                self.membership_update(from, *op, *pe, *new_kernel, out)
+            }
+            Kcall::KillVpe { vpe } => self.kill_vpe_request(*vpe, out),
+            Kcall::Forwarded { .. } => unreachable!("unwrapped above"),
+        }
     }
 
     /// Routes one inter-kernel reply: counted completions (revocation)
@@ -365,13 +406,13 @@ impl Kernel {
         };
         match (state, reply) {
             (
-                PendingOp::Exchange(Ex::ObtainRemote { tag, requester, child_key, peer_kernel }),
+                PendingOp::Exchange(Ex::ObtainRemote { tag, requester, child_key, .. }),
                 KReply::Obtain { result, .. },
-            ) => self.obtain_reply(tag, requester, child_key, peer_kernel, result, out),
+            ) => self.obtain_reply(from, tag, requester, child_key, result, out),
             (
-                PendingOp::Exchange(Ex::DelegateRemote { tag, delegator, parent_key, peer_kernel }),
+                PendingOp::Exchange(Ex::DelegateRemote { tag, delegator, parent_key, .. }),
                 KReply::Delegate { result, .. },
-            ) => self.delegate_reply(from, tag, delegator, parent_key, peer_kernel, result, out),
+            ) => self.delegate_reply(from, tag, delegator, parent_key, result, out),
             (
                 PendingOp::Exchange(Ex::DelegateWaitDone { tag, delegator, parent_key, child_key }),
                 KReply::DelegateDone { result, .. },
@@ -387,8 +428,8 @@ impl Kernel {
             (PendingOp::Migrate(Mig::AwaitInstall(install)), KReply::Migrate { result, .. }) => {
                 self.migrate_installed(op, *install, *result, out)
             }
-            (PendingOp::Migrate(Mig::AwaitAcks { vpe, fanin }), KReply::MembershipAck { .. }) => {
-                self.migrate_ack(op, vpe, fanin, out)
+            (PendingOp::Migrate(Mig::Draining(drain)), KReply::MembershipAck { .. }) => {
+                self.migrate_ack(op, drain, out)
             }
             (state, reply) => {
                 debug_assert!(false, "reply {reply:?} cannot resume {}", state.spec().name);

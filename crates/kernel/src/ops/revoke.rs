@@ -172,6 +172,25 @@ impl Phase {
             }
         }
     }
+
+    /// True if resuming this phase would touch `vpe`'s capability
+    /// group (see [`crate::ops::PendingOp::references_vpe`]). Roots
+    /// already marked locally are also caught by the migration start's
+    /// table validation (`revoking()`); this covers the initiator and
+    /// the batch echo keys.
+    pub fn references_vpe(&self, vpe: VpeId) -> bool {
+        match self {
+            Phase::Run(op) => {
+                let initiator = match op.initiator {
+                    Initiator::Syscall { vpe: v, .. } => v == vpe,
+                    Initiator::Kcall { cap_key, .. } => cap_key.vpe() == vpe,
+                    Initiator::Internal | Initiator::Batch { .. } | Initiator::Bulk { .. } => false,
+                };
+                initiator || op.local_roots.iter().any(|k| k.vpe() == vpe)
+            }
+            Phase::Batch { cap_keys, .. } => cap_keys.iter().any(|k| k.vpe() == vpe),
+        }
+    }
 }
 
 impl Kernel {
@@ -657,6 +676,17 @@ impl Kernel {
         let mut cost = 0;
         for key in cap_keys {
             if !self.mapdb.contains(*key) {
+                let owner = self.membership.kernel_of_key(*key);
+                if owner != self.id {
+                    // The key's group migrated away after the sender
+                    // partitioned the batch: chain this entry to the
+                    // current owner; its reply completes the entry.
+                    self.send_kcall(out, owner, Kcall::RevokeReq { op: batch, cap_key: *key });
+                    cost += self.cfg.cost.kcall_exit;
+                    continue;
+                }
+                // Already gone (e.g. revoked by a concurrent operation
+                // that completed): vacuously done.
                 self.batch_entry_done(batch, 0, out);
                 continue;
             }
@@ -669,19 +699,30 @@ impl Kernel {
     /// [`KReply::RevokeBatch`]: decrements the operation's fan-in
     /// (Algorithm 1, `receive_revoke_reply`) and sweeps when it drains.
     pub(crate) fn revoke_reply_arrived(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
-        let Some(PendingOp::Revoke(Phase::Run(rop))) = self.pending.get_mut(op) else {
-            debug_assert!(false, "revoke reply for unknown op {op}");
-            return 0;
-        };
-        if rop.fanin.complete_one(deleted) {
-            let Some(PendingOp::Revoke(Phase::Run(rop))) = self.pending.remove(op) else {
-                unreachable!("checked above");
-            };
-            self.complete_revoke(op, rop, out)
-        } else {
-            // Decrementing the outstanding counter (Algorithm 1's
-            // `receive_revoke_reply` fast path) is essentially free.
-            0
+        match self.pending.get_mut(op) {
+            Some(PendingOp::Revoke(Phase::Run(rop))) => {
+                if rop.fanin.complete_one(deleted) {
+                    let Some(PendingOp::Revoke(Phase::Run(rop))) = self.pending.remove(op) else {
+                        unreachable!("checked above");
+                    };
+                    self.complete_revoke(op, rop, out)
+                } else {
+                    // Decrementing the outstanding counter (Algorithm
+                    // 1's `receive_revoke_reply` fast path) is
+                    // essentially free.
+                    0
+                }
+            }
+            // A batch entry chained to another kernel (its key's group
+            // migrated away) completed remotely.
+            Some(PendingOp::Revoke(Phase::Batch { .. })) => {
+                self.batch_entry_done(op, deleted, out);
+                0
+            }
+            _ => {
+                debug_assert!(false, "revoke reply for unknown op {op}");
+                0
+            }
         }
     }
 }

@@ -79,6 +79,18 @@ impl Phase {
             },
         }
     }
+
+    /// True if resuming this phase would touch `vpe`'s capability
+    /// group (see [`crate::ops::PendingOp::references_vpe`]).
+    pub fn references_vpe(&self, vpe: VpeId) -> bool {
+        match self {
+            Phase::OpenRemote { client, child_key, srv, .. }
+            | Phase::OpenLocal { client, child_key, srv, .. } => {
+                *client == vpe || child_key.vpe() == vpe || srv.srv_vpe == vpe
+            }
+            Phase::AtService { child_key, srv, .. } => child_key.vpe() == vpe || srv.srv_vpe == vpe,
+        }
+    }
 }
 
 impl Kernel {

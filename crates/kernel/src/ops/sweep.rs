@@ -58,7 +58,7 @@
 use std::collections::BTreeMap;
 
 use semper_base::msg::{KReply, Kcall};
-use semper_base::{DdlKey, DetHashSet, KernelId, OpId, RawDdlKey};
+use semper_base::{DdlKey, DetHashSet, KernelId, OpId, RawDdlKey, VpeId};
 
 use crate::kernel::Kernel;
 use crate::ops::revoke::{Initiator, ReadyOp, RevokeOp};
@@ -155,6 +155,25 @@ impl Phase {
             Phase::Partition(_) => {
                 &PhaseSpec { name: "sweep-part", awaits: Awaits::FanIn, thread: Thread::Free }
             }
+        }
+    }
+
+    /// True if resuming this phase would touch `vpe`'s capability
+    /// group (see [`crate::ops::PendingOp::references_vpe`]). Marked
+    /// subtree members are also caught by the migration start's table
+    /// validation (`revoking()`); this covers the initiator and the
+    /// recorded roots.
+    pub fn references_vpe(&self, vpe: VpeId) -> bool {
+        match self {
+            Phase::Coordinate(s) | Phase::Collect(s) => {
+                let initiator = match s.initiator {
+                    Initiator::Syscall { vpe: v, .. } => v == vpe,
+                    Initiator::Kcall { cap_key, .. } => cap_key.vpe() == vpe,
+                    Initiator::Internal | Initiator::Batch { .. } | Initiator::Bulk { .. } => false,
+                };
+                initiator || s.local_roots.iter().any(|k| k.vpe() == vpe)
+            }
+            Phase::Partition(p) => p.roots.iter().any(|k| k.vpe() == vpe),
         }
     }
 }
@@ -264,8 +283,16 @@ impl Kernel {
         debug_assert!(stack.is_empty());
         for &root in cap_keys {
             if !self.mapdb.contains(root) {
-                // Already deleted by a concurrent operation: vacuous.
                 cost += self.ref_cost();
+                if self.membership.kernel_of_key(root) != self.id {
+                    // The root's group migrated away after the
+                    // coordinator partitioned its frontier: report it
+                    // back as next-round frontier so the coordinator
+                    // regroups it to the current owner.
+                    frontier.push(root);
+                }
+                // Otherwise already deleted by a concurrent operation
+                // that completed: vacuous.
                 continue;
             }
             if self.mapdb.get(root).expect("checked").revoking() {

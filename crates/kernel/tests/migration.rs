@@ -68,7 +68,7 @@ fn migration_moves_records_verbatim() {
     let key_extra = c.kernels[0].table(a).unwrap().get(extra).unwrap();
     let caps_before = c.total_caps();
 
-    c.migrate(a, KernelId(2));
+    c.migrate(a, KernelId(2)).expect("quiescent migration");
     c.check_invariants();
 
     // Source forgot the VPE; destination owns it, alive, same bindings.
@@ -100,7 +100,7 @@ fn protocol_keeps_working_against_the_new_owner() {
     // Pre-migration child at group 1.
     let _pre = delegate(&mut c, a, VpeId(1), root);
 
-    c.migrate(a, KernelId(2));
+    c.migrate(a, KernelId(2)).expect("quiescent migration");
 
     // Group 1's VPE obtains the migrated capability: its kernel must
     // route the request to kernel 2 now.
@@ -134,9 +134,9 @@ fn repeated_migration_round_trips() {
     let root = create_mem(&mut c, a);
     let _child = delegate(&mut c, a, VpeId(2), root);
 
-    c.migrate(a, KernelId(1));
-    c.migrate(a, KernelId(2));
-    c.migrate(a, KernelId(0));
+    c.migrate(a, KernelId(1)).expect("hop 1");
+    c.migrate(a, KernelId(2)).expect("hop 2");
+    c.migrate(a, KernelId(0)).expect("hop 3");
     c.check_invariants();
 
     assert!(c.kernels[0].vpe_alive(a));
@@ -197,4 +197,200 @@ fn service_vpes_cannot_migrate() {
         .start_group_migration(VpeId(0), KernelId(1), &mut out)
         .expect_err("service VPEs are pinned");
     assert_eq!(err.code(), Code::InvalidArgs);
+}
+
+// ----- non-quiescent migration: forward-or-hold races -------------------
+
+fn digests(c: &TestCluster) -> Vec<Vec<String>> {
+    c.kernels.iter().map(|k| k.state_digest()).collect()
+}
+
+fn assert_quiesced(c: &TestCluster) {
+    c.check_invariants();
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0, "kernel {} leaked a pending op", k.id());
+    }
+}
+
+/// A revoke racing a migration converges to the same state in both
+/// arrival orders: revoke-first refuses the start until the sweep
+/// drains; migration-first holds the revoke in the handover window and
+/// replays it against the new owner.
+#[test]
+fn revoke_vs_migrate_race_both_orders() {
+    // Order A: the revoke is in flight when the migration is requested.
+    let mut early = TestCluster::new(3, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut early, a);
+    let _child = delegate(&mut early, a, VpeId(1), root);
+    let tag = early.syscall_async(a, Syscall::Revoke { sel: root, own: true });
+    early.pump_n(1); // spanning sweep now pending at the source
+    let err = early.start_migration(a, KernelId(2)).expect_err("must refuse mid-revocation");
+    assert_eq!(err.code(), Code::RevokeInProgress);
+    early.pump_all();
+    assert!(early.take_reply(a, tag).expect("revoke reply").result.is_ok());
+    early.migrate(a, KernelId(2)).expect("migration after the sweep drained");
+    assert_quiesced(&early);
+
+    // Order B: the migration window is open when the revoke arrives.
+    let mut late = TestCluster::new(3, 1);
+    let root2 = create_mem(&mut late, a);
+    assert_eq!(root2, root);
+    let _child = delegate(&mut late, a, VpeId(1), root2);
+    let src = late.start_migration(a, KernelId(2)).expect("start");
+    let tag = late.syscall_async(a, Syscall::Revoke { sel: root2, own: true });
+    late.pump_all();
+    assert!(late.kernels[src.idx()].take_migration_failure(a).is_none());
+    assert!(late.take_reply(a, tag).expect("revoke reply").result.is_ok());
+    assert_quiesced(&late);
+    assert!(late.kernels[src.idx()].stats().ops_held > 0, "revoke must ride the hold queue");
+
+    // Same survivors, same bindings, group at kernel 2 in both.
+    assert!(early.kernels[2].vpe_alive(a) && late.kernels[2].vpe_alive(a));
+    assert_eq!(early.total_caps(), 3); // only the three self-caps survive
+    assert_eq!(digests(&early), digests(&late), "arrival order changed the final state");
+}
+
+/// A bystander's obtain racing the migration converges in both arrival
+/// orders: obtain-first blocks the start while the exchange references
+/// the group; migration-first holds the inter-kernel request and
+/// forwards it to the new owner after the membership fan-in.
+#[test]
+fn exchange_vs_migrate_race_both_orders() {
+    let a = VpeId(0);
+    let b = VpeId(1);
+    let obtain_call = |root| Syscall::Exchange {
+        other: a,
+        own_sel: CapSel::INVALID,
+        other_sel: root,
+        kind: ExchangeKind::Obtain,
+    };
+
+    // Order A: the obtain is parked at the owner when the start runs.
+    let mut early = TestCluster::new(3, 1);
+    let root = create_mem(&mut early, a);
+    let tag = early.syscall_async(b, obtain_call(root));
+    early.pump_n(2); // b's syscall, then the ObtainReq parked at kernel 0
+    let err = early.start_migration(a, KernelId(2)).expect_err("must refuse mid-exchange");
+    assert_eq!(err.code(), Code::RevokeInProgress);
+    early.pump_all();
+    assert!(matches!(
+        early.take_reply(b, tag).expect("obtain reply").result,
+        Ok(SysReplyData::Sel(_))
+    ));
+    early.migrate(a, KernelId(2)).expect("migration after the exchange drained");
+    assert_quiesced(&early);
+
+    // Order B: the ObtainReq lands inside the handover window.
+    let mut late = TestCluster::new(3, 1);
+    let root2 = create_mem(&mut late, a);
+    assert_eq!(root2, root);
+    let src = late.start_migration(a, KernelId(2)).expect("start");
+    let tag = late.syscall_async(b, obtain_call(root2));
+    late.pump_all();
+    assert!(late.kernels[src.idx()].take_migration_failure(a).is_none());
+    assert!(matches!(
+        late.take_reply(b, tag).expect("obtain reply").result,
+        Ok(SysReplyData::Sel(_))
+    ));
+    assert_quiesced(&late);
+    let s = late.kernels[src.idx()].stats();
+    assert!(
+        s.ops_held > 0 && s.kcalls_forwarded > 0,
+        "the racing ObtainReq must be held, then relayed to the new owner"
+    );
+
+    // Both orders: parent at kernel 2 with one child, held by b.
+    for c in [&early, &late] {
+        let key = c.kernels[2].table(a).unwrap().get(root).unwrap();
+        assert_eq!(c.kernels[2].mapdb().get(key).unwrap().child_count(), 1);
+        assert!(c.kernels[1].table(b).is_some());
+    }
+    assert_eq!(digests(&early), digests(&late), "arrival order changed the final state");
+}
+
+/// Killing the VPE while its group is mid-migration neither loses the
+/// kill nor strands records: the kill rides the hold queue, chases the
+/// group to its new owner, and tears everything down there.
+#[test]
+fn kill_vpe_mid_migration_chases_the_group() {
+    let mut c = TestCluster::new(3, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+    let _child = delegate(&mut c, a, VpeId(1), root);
+
+    let src = c.start_migration(a, KernelId(2)).expect("start");
+    c.kill(a); // lands inside the handover window
+    c.pump_all();
+
+    assert!(c.kernels[src.idx()].take_migration_failure(a).is_none());
+    assert_quiesced(&c);
+    for k in &c.kernels {
+        assert!(!k.vpe_alive(a), "kernel {} still thinks {a} is alive", k.id());
+    }
+    // The migration completed, then the replayed kill swept the group:
+    // only the two surviving self-caps remain.
+    assert_eq!(c.kernels[src.idx()].stats().migrations_out, 1);
+    assert_eq!(c.total_caps(), 2);
+    assert!(c.kernels[src.idx()].stats().ops_held > 0, "kill must ride the hold queue");
+}
+
+/// A destination that refuses the install (duplicate VPE id) surfaces
+/// the error to the driver and leaves the group at the source with
+/// membership untouched — the group keeps working as if nothing
+/// happened.
+#[test]
+fn failed_install_keeps_group_at_source() {
+    let mut c = TestCluster::new(2, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+    // Fabricate a conflicting registration at the destination: the
+    // duplicate VPE id is what the install validation must catch.
+    let k1_pe = c.kernels[1].pe();
+    c.kernels[1].add_vpe(a, k1_pe);
+
+    let err = c.migrate(a, KernelId(1)).expect_err("install must be refused");
+    assert_eq!(err.code(), Code::Exists);
+
+    // Group intact at the source; error consumed exactly once.
+    assert!(c.kernels[0].vpe_alive(a));
+    assert!(c.kernels[0].table(a).unwrap().get(root).is_ok());
+    assert!(c.kernels[0].take_migration_failure(a).is_none());
+    let s = c.kernels[0].stats();
+    assert_eq!(s.migrations_failed, 1);
+    assert_eq!(s.migrations_out, 0);
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0, "kernel {} leaked a pending op", k.id());
+    }
+    // The group still serves capability traffic at its old home.
+    let fresh = create_mem(&mut c, a);
+    assert_ne!(fresh, root);
+}
+
+/// Several calls parked in one handover window replay in arrival
+/// order: their selector assignments come out exactly as if the kernel
+/// had processed them the moment they arrived.
+#[test]
+fn hold_queue_replays_in_arrival_order() {
+    let mut c = TestCluster::new(3, 1);
+    let a = VpeId(0);
+    let root = create_mem(&mut c, a);
+
+    let src = c.start_migration(a, KernelId(2)).expect("start");
+    let t1 = c.syscall_async(a, Syscall::CreateMem { size: 4096, perms: Perms::RW });
+    let t2 =
+        c.syscall_async(a, Syscall::DeriveMem { src: root, offset: 0, size: 64, perms: Perms::R });
+    let t3 = c.syscall_async(a, Syscall::CreateMem { size: 4096, perms: Perms::RW });
+    c.pump_all();
+
+    assert!(c.kernels[src.idx()].take_migration_failure(a).is_none());
+    assert_eq!(c.kernels[src.idx()].stats().ops_held, 3, "all three calls ride the hold queue");
+    let sel = |c: &mut TestCluster, tag| match c.take_reply(a, tag).expect("reply").result {
+        Ok(SysReplyData::Mem { sel, .. }) | Ok(SysReplyData::Sel(sel)) => sel,
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    let (s1, s2, s3) = (sel(&mut c, t1), sel(&mut c, t2), sel(&mut c, t3));
+    assert!(s1.0 < s2.0 && s2.0 < s3.0, "replay must preserve arrival order: {s1} {s2} {s3}");
+    assert_quiesced(&c);
+    assert!(c.kernels[2].vpe_alive(a));
 }

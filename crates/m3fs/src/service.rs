@@ -181,6 +181,20 @@ impl FsService {
         self.boot == BootState::Ready
     }
 
+    /// One-line state dump for stall diagnostics (tests/benches).
+    pub fn debug_state(&self) -> String {
+        format!(
+            "ready={} conn_busy={} current={} queued={} sessions={} extents={} revokes={}",
+            self.ready(),
+            self.conn.busy(),
+            self.current.is_some(),
+            self.queue.len(),
+            self.sessions.len(),
+            self.stats.extents_served,
+            self.stats.revokes,
+        )
+    }
+
     /// Starts the boot sequence: register the service, then allocate the
     /// image region.
     pub fn boot(&mut self, out: &mut Outbox) -> u64 {

@@ -138,6 +138,48 @@ fn main() {
         "  -> sweep completed despite the crash; {} capabilities remain, all kernels quiescent",
         c.total_caps()
     );
+    // Scenario 5: a bystander kernel is effectively partitioned from
+    // the migration's membership fan-out — its stale table still routes
+    // the moving group to the old owner while the handover is in
+    // flight, and the migrating VPE is killed before the window closes.
+    // The old owner must hold both the stale-routed request and the
+    // kill, replay them once the fan-in drains, and relay them to the
+    // new owner; nothing may be lost or double-applied.
+    let mut c = TestCluster::new(3, 1);
+    let root = create_mem(&mut c, VpeId(0));
+    let src = c.start_migration(VpeId(0), semper_base::KernelId(2)).expect("start migration");
+    let tag = c.syscall_async(
+        VpeId(1),
+        Syscall::Exchange {
+            other: VpeId(0),
+            own_sel: CapSel::INVALID,
+            other_sel: root,
+            kind: ExchangeKind::Obtain,
+        },
+    );
+    println!("scenario 5: stale-routed obtain and a kill race a live group migration");
+    c.kill(VpeId(0));
+    c.pump_all();
+    assert!(c.kernels[src.idx()].take_migration_failure(VpeId(0)).is_none());
+    // The obtain raced the kill: either outcome is legal, but it must
+    // be answered, and the teardown must reach the new owner.
+    assert!(c.take_reply(VpeId(1), tag).is_some(), "racing obtain lost its reply");
+    c.pump_all();
+    c.check_invariants();
+    for k in &c.kernels {
+        assert!(!k.vpe_alive(VpeId(0)), "kernel {} kept the killed VPE alive", k.id());
+        assert_eq!(k.pending_ops(), 0, "kernel {} left suspended ops", k.id());
+    }
+    let s = *c.kernels[src.idx()].stats();
+    assert_eq!(s.migrations_out, 1, "the migration itself must still complete");
+    println!(
+        "  -> old owner held {} op(s), relayed {} request(s); kill chased the group, \
+         {} capabilities remain",
+        s.ops_held,
+        s.kcalls_forwarded,
+        c.total_caps()
+    );
+
     println!();
     println!("all failure paths converged to consistent capability trees.");
 }

@@ -37,7 +37,7 @@ fn main() {
     // Migrate Alice's capability group to kernel 2. The records move
     // wholesale (same keys, same selectors); kernel 1 learns the new
     // routing through an acknowledged membership update.
-    let cycles = m.machine().migrate_vpe(alice, KernelId(2));
+    let cycles = m.machine().migrate_vpe(alice, KernelId(2)).expect("quiescent migration");
     println!("alice's group migrated to kernel 2 ({cycles} cycles:");
     println!("  marshal + install + handover + 1 membership ack)");
 

@@ -275,8 +275,8 @@ fn group_migration_matches_golden() {
         let (_, _) = m.delegate(a, m.vpe(2, 0), root);
         let (_, _) = m.delegate(a, m.vpe(0, 1), root);
 
-        let first = m.machine().migrate_vpe(a, KernelId(1));
-        let second = m.machine().migrate_vpe(a, KernelId(2));
+        let first = m.machine().migrate_vpe(a, KernelId(1)).expect("quiescent migration");
+        let second = m.machine().migrate_vpe(a, KernelId(2)).expect("quiescent migration");
         // Routing after two hops: a spanning obtain from group 0 must
         // find the group at kernel 2.
         let (_, obtain_cycles) = m.obtain(m.vpe(0, 1), a, root);
