@@ -51,7 +51,18 @@
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
 //!
-//! Results land in `BENCH_PR7.json` at the workspace root (override with
+//! The scenarios are independent machines, so the harness runs them on
+//! `BENCH_THREADS` worker threads (`semperos::Runner`; default 1 =
+//! serial). Parallelism is strictly between machines — every
+//! per-scenario `revoke_sim_cycles`, kcall count, and JSON row is
+//! byte-identical to the serial run (results merge in submission
+//! order); only the harness wall-clock drops. The report records
+//! `threads` and `wall_ms_total`; with `BENCH_SERIAL_REF=<report>` the
+//! serial run's wall-clock is embedded and the parallel speedup
+//! computed, and `BENCH_ASSERT_SPEEDUP=<min>` turns that into a hard
+//! gate (for multi-core hosts; see EXPERIMENTS.md).
+//!
+//! Results land in `BENCH_PR8.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
 //! speedups are computed — this is how each PR's report compares
@@ -69,10 +80,11 @@ use semper_base::msg::{SysReplyData, Syscall};
 use semper_base::{
     CapSel, CapType, DdlKey, Feature, KernelId, KernelMode, MachineConfig, PeId, VpeId,
 };
-use semper_bench::report::{render, Val};
+use semper_bench::report::{read_report, render, Val};
 use semper_caps::CapTable;
 use semperos::experiment::{run_app_instances, MicroMachine};
 use semperos::machine::{Machine, Workload};
+use semperos::{Job, Runner};
 
 /// One scenario measurement.
 struct Scenario {
@@ -611,43 +623,6 @@ fn table_sweep_ab(n: u32) -> (f64, f64, f64) {
     (naive_ms, optimized_ms, speedup)
 }
 
-/// One scenario row of a previously written report.
-struct BaselineRow {
-    name: String,
-    size: u64,
-    revoke_ms: f64,
-    revoke_sim_cycles: u64,
-}
-
-/// Reads a previously written report and extracts its scenario rows. A
-/// full JSON parser would be overkill for a file this harness wrote
-/// itself; a stateful line scan over the known field order suffices.
-/// Relative paths resolve against the workspace root (cargo runs bench
-/// binaries from the package directory).
-fn read_baseline(path: &str) -> Option<Vec<BaselineRow>> {
-    let workspace_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    let text = std::fs::read_to_string(path)
-        .or_else(|_| std::fs::read_to_string(format!("{workspace_root}/{path}")))
-        .ok()?;
-    let mut out = Vec::new();
-    let (mut name, mut size, mut revoke_ms) = (None::<String>, 0u64, 0f64);
-    for line in text.lines() {
-        let line = line.trim();
-        if let Some(rest) = line.strip_prefix("\"name\": \"") {
-            name = rest.strip_suffix("\",").map(str::to_string);
-        } else if let Some(rest) = line.strip_prefix("\"size\": ") {
-            size = rest.trim_end_matches(',').parse().unwrap_or(0);
-        } else if let Some(rest) = line.strip_prefix("\"revoke_ms\": ") {
-            revoke_ms = rest.trim_end_matches(',').parse().unwrap_or(0.0);
-        } else if let Some(rest) = line.strip_prefix("\"revoke_sim_cycles\": ") {
-            if let (Some(n), Ok(cycles)) = (name.take(), rest.trim_end_matches(',').parse()) {
-                out.push(BaselineRow { name: n, size, revoke_ms, revoke_sim_cycles: cycles });
-            }
-        }
-    }
-    Some(out)
-}
-
 fn main() {
     let smoke = std::env::var("SCALE_CAPOPS_SMOKE").is_ok();
     let scale = if smoke { 16 } else { 1 };
@@ -656,23 +631,50 @@ fn main() {
         "Figures 4/5 and Table 3 methodology",
     );
 
-    let scenarios = vec![
-        chain_revoke(4096 / scale, false),
-        chain_revoke(1024 / scale, true),
-        tree_revoke(10_000 / scale, 10_000 / scale),
-        dense_table_teardown(10_000 / scale),
-        group_migration(4096 / scale),
-        rebalance_under_load((48 / scale).max(3) as u16, 2),
-        spanning_revoke(2048 / scale, false),
-        spanning_revoke(2048 / scale, true),
+    // Each scenario is one closed job over its own machine(s); the
+    // runner executes them on `BENCH_THREADS` workers and returns the
+    // rows in submission order, so the table, the assertions below and
+    // the JSON report are byte-identical to a serial run.
+    let jobs: Vec<(&'static str, Job<'static, Scenario>)> = vec![
+        ("chain_revoke_local", Box::new(move || chain_revoke(4096 / scale, false))),
+        ("chain_revoke_spanning", Box::new(move || chain_revoke(1024 / scale, true))),
+        ("tree_revoke_wide", Box::new(move || tree_revoke(10_000 / scale, 10_000 / scale))),
+        ("dense_table_teardown", Box::new(move || dense_table_teardown(10_000 / scale))),
+        ("group_migration_ring", Box::new(move || group_migration(4096 / scale))),
+        (
+            "rebalance_under_load",
+            Box::new(move || rebalance_under_load((48 / scale).max(3) as u16, 2)),
+        ),
+        ("spanning_revoke_sequential", Box::new(move || spanning_revoke(2048 / scale, false))),
+        ("spanning_revoke_batched", Box::new(move || spanning_revoke(2048 / scale, true))),
         // Floor of 4 instances: with fewer, every client sits in a
         // group that hosts a service instance and no close ever crosses
         // a kernel — the twins would measure nothing.
-        file_workload((8 / scale).max(4), false),
-        file_workload((8 / scale).max(4), true),
-        dense_table_spanning(10_000 / scale, false),
-        dense_table_spanning(10_000 / scale, true),
+        ("file_workload_sequential", Box::new(move || file_workload((8 / scale).max(4), false))),
+        ("file_workload_batched", Box::new(move || file_workload((8 / scale).max(4), true))),
+        (
+            "dense_table_teardown_sequential",
+            Box::new(move || dense_table_spanning(10_000 / scale, false)),
+        ),
+        (
+            "dense_table_teardown_parallel",
+            Box::new(move || dense_table_spanning(10_000 / scale, true)),
+        ),
     ];
+    let submitted: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
+    let runner = Runner::from_env();
+    let threads = runner.threads();
+    println!("harness threads: {threads} (BENCH_THREADS)");
+
+    let t_suite = Instant::now();
+    let scenarios = runner.run(jobs.into_iter().map(|(_, job)| job).collect());
+    let wall_ms_total = ms(t_suite);
+
+    // Report emission must not depend on completion order: the merge
+    // sorts by submission index, and this pins it — a row out of place
+    // here means the deterministic merge broke.
+    let returned: Vec<&'static str> = scenarios.iter().map(|s| s.name).collect();
+    assert_eq!(returned, submitted, "scenario rows must come back in submission order");
 
     println!(
         "{:<26} {:>7} {:>12} {:>12} {:>16} {:>14} {:>8}",
@@ -770,10 +772,19 @@ fn main() {
          current {optimized_ms:.1} ms, speedup {speedup:.1}x"
     );
 
+    println!();
+    println!("suite wall-clock: {wall_ms_total:.1} ms at {threads} thread(s)");
+
     let mut fields = vec![
-        ("pr", Val::U(7)),
+        ("pr", Val::U(8)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
+        // Harness-level fields (PR 8): worker count and total suite
+        // wall-clock. Top-level, so the scenario-row scan never sees
+        // them; `wall_ms_total` is wall-clock and thus — like
+        // `revoke_ms` — exempt from byte-identity.
+        ("threads", Val::U(threads as u64)),
+        ("wall_ms_total", Val::F(wall_ms_total)),
         ("scenarios", Val::Arr(scenarios.iter().map(Scenario::to_val).collect())),
         (
             "table_sweep_ab",
@@ -786,14 +797,54 @@ fn main() {
         ),
     ];
 
+    // Serial-vs-parallel wall-clock: BENCH_SERIAL_REF names a report
+    // recorded by a serial (BENCH_THREADS=1) run of the same suite; its
+    // total wall-clock is embedded and the parallel speedup computed.
+    // BENCH_ASSERT_SPEEDUP=<min> makes the speedup a hard gate — only
+    // meaningful on multi-core hosts, hence opt-in (see EXPERIMENTS.md).
+    if let Ok(serial_path) = std::env::var("BENCH_SERIAL_REF") {
+        let serial_wall = read_report(&serial_path).and_then(|r| r.wall_ms_total);
+        match serial_wall {
+            Some(serial_ms) if serial_ms > 0.0 && wall_ms_total > 0.0 => {
+                let speedup = serial_ms / wall_ms_total;
+                println!(
+                    "serial reference {serial_path}: {serial_ms:.1} ms -> {wall_ms_total:.1} ms \
+                     at {threads} thread(s) ({speedup:.2}x)"
+                );
+                fields.push(("serial_wall_ms_total", Val::F(serial_ms)));
+                fields.push(("parallel_speedup", Val::F(speedup)));
+                if let Ok(min) = std::env::var("BENCH_ASSERT_SPEEDUP") {
+                    let min: f64 = min.parse().expect("BENCH_ASSERT_SPEEDUP must be a number");
+                    if speedup < min {
+                        eprintln!(
+                            "BENCH_ASSERT_SPEEDUP: {speedup:.2}x at {threads} threads, \
+                             needed >= {min:.2}x over {serial_path}"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+            _ => {
+                eprintln!(
+                    "warning: BENCH_SERIAL_REF={serial_path} has no wall_ms_total; \
+                     skipping speedup comparison"
+                );
+                if std::env::var("BENCH_ASSERT_SPEEDUP").is_ok() {
+                    eprintln!("BENCH_ASSERT_SPEEDUP: unreadable serial reference fails the gate");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     let enforce = std::env::var("BENCH_ENFORCE_CYCLES").is_ok();
     let mut cycle_drift = Vec::new();
     if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
-        if let Some(base) = read_baseline(&baseline_path) {
+        if let Some(base) = read_report(&baseline_path) {
             let mut cmp = Vec::new();
             let mut comparable_rows = 0u32;
             for s in &scenarios {
-                let Some(row) = base.iter().find(|r| r.name == s.name) else { continue };
+                let Some(row) = base.rows.iter().find(|r| r.name == s.name) else { continue };
                 let speedup = if s.revoke_ms > 0.0 { row.revoke_ms / s.revoke_ms } else { 0.0 };
                 // Simulated cycles are comparable only at identical
                 // scenario size (smoke and full reports differ).
@@ -868,7 +919,7 @@ fn main() {
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR7.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");

@@ -110,6 +110,79 @@ fn pad(out: &mut String, indent: usize) {
     }
 }
 
+/// One scenario row of a previously written report.
+#[derive(Debug, Clone)]
+pub struct ScenarioRow {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario size (chain length, capability count, …).
+    pub size: u64,
+    /// Host wall-clock of the measured phase.
+    pub revoke_ms: f64,
+    /// Simulated cycles of the measured phase — the deterministic
+    /// field; bit-identical across runs at equal size.
+    pub revoke_sim_cycles: u64,
+}
+
+/// A previously written report: its scenario rows plus the harness-level
+/// fields the parallel runner added in PR 8. Reports from before PR 8
+/// parse fine — `threads`/`wall_ms_total` just come back `None`.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Scenario rows, in file order (= submission order).
+    pub rows: Vec<ScenarioRow>,
+    /// Harness worker threads (`BENCH_THREADS`), if recorded.
+    pub threads: Option<u64>,
+    /// Total harness wall-clock over the whole scenario suite, if
+    /// recorded.
+    pub wall_ms_total: Option<f64>,
+}
+
+/// Reads a previously written report. A full JSON parser would be
+/// overkill for a file this harness wrote itself; a stateful line scan
+/// over the known field order suffices. Relative paths resolve against
+/// the workspace root (cargo runs bench binaries from the package
+/// directory).
+///
+/// The scan keys scenario rows on the `"name"` … `"revoke_sim_cycles"`
+/// field sequence; `vs_baseline` comparison rows lack
+/// `revoke_sim_cycles` (they carry `baseline_sim_cycles` instead), so
+/// they never complete a row. New scenario fields appended *after*
+/// `revoke_sim_cycles` are invisible to the scan — the
+/// append-parser-compatibly rule every report writer follows.
+pub fn read_report(path: &str) -> Option<Report> {
+    let workspace_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(path)
+        .or_else(|_| std::fs::read_to_string(format!("{workspace_root}/{path}")))
+        .ok()?;
+    let mut report = Report::default();
+    let (mut name, mut size, mut revoke_ms) = (None::<String>, 0u64, 0f64);
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"size\": ") {
+            size = rest.trim_end_matches(',').parse().unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("\"revoke_ms\": ") {
+            revoke_ms = rest.trim_end_matches(',').parse().unwrap_or(0.0);
+        } else if let Some(rest) = line.strip_prefix("\"revoke_sim_cycles\": ") {
+            if let (Some(n), Ok(cycles)) = (name.take(), rest.trim_end_matches(',').parse()) {
+                report.rows.push(ScenarioRow {
+                    name: n,
+                    size,
+                    revoke_ms,
+                    revoke_sim_cycles: cycles,
+                });
+            }
+        } else if let Some(rest) = line.strip_prefix("\"threads\": ") {
+            report.threads = rest.trim_end_matches(',').parse().ok();
+        } else if let Some(rest) = line.strip_prefix("\"wall_ms_total\": ") {
+            report.wall_ms_total = rest.trim_end_matches(',').parse().ok();
+        }
+    }
+    Some(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +212,83 @@ mod tests {
     fn empty_collections() {
         assert_eq!(render(&Val::Arr(vec![])), "[]\n");
         assert_eq!(render(&Val::Obj(vec![])), "{}\n");
+    }
+
+    #[test]
+    fn report_round_trips_through_the_scan() {
+        let v = Val::obj(vec![
+            ("pr", Val::U(8)),
+            ("smoke", Val::U(0)),
+            ("threads", Val::U(4)),
+            ("wall_ms_total", Val::F(221.5)),
+            (
+                "scenarios",
+                Val::Arr(vec![
+                    Val::obj(vec![
+                        ("name", Val::S("tree_revoke_wide".into())),
+                        ("size", Val::U(10_001)),
+                        ("build_ms", Val::F(50.0)),
+                        ("revoke_ms", Val::F(12.5)),
+                        ("revoke_sim_cycles", Val::U(123_456)),
+                        ("events", Val::U(80_000)),
+                    ]),
+                    Val::obj(vec![
+                        ("name", Val::S("chain_revoke_local".into())),
+                        ("size", Val::U(4_097)),
+                        ("build_ms", Val::F(9.0)),
+                        ("revoke_ms", Val::F(3.25)),
+                        ("revoke_sim_cycles", Val::U(999)),
+                    ]),
+                ]),
+            ),
+            // Comparison rows must not register as scenario rows: they
+            // have a name but no revoke_sim_cycles.
+            (
+                "vs_baseline",
+                Val::Arr(vec![Val::obj(vec![
+                    ("name", Val::S("tree_revoke_wide".into())),
+                    ("baseline_revoke_ms", Val::F(13.0)),
+                    ("revoke_ms", Val::F(12.5)),
+                    ("baseline_sim_cycles", Val::U(123_456)),
+                ])]),
+            ),
+        ]);
+        let dir = std::env::temp_dir().join("semper_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("round_trip.json");
+        std::fs::write(&path, render(&v)).unwrap();
+        let report = read_report(path.to_str().unwrap()).expect("readable report");
+        assert_eq!(report.threads, Some(4));
+        assert_eq!(report.wall_ms_total, Some(221.5));
+        assert_eq!(report.rows.len(), 2, "vs_baseline rows must not be scanned as scenarios");
+        assert_eq!(report.rows[0].name, "tree_revoke_wide");
+        assert_eq!(report.rows[0].size, 10_001);
+        assert_eq!(report.rows[0].revoke_sim_cycles, 123_456);
+        assert_eq!(report.rows[1].name, "chain_revoke_local");
+        assert_eq!(report.rows[1].revoke_ms, 3.25);
+    }
+
+    #[test]
+    fn pre_pr8_reports_parse_without_harness_fields() {
+        let v = Val::obj(vec![
+            ("pr", Val::U(7)),
+            (
+                "scenarios",
+                Val::Arr(vec![Val::obj(vec![
+                    ("name", Val::S("x".into())),
+                    ("size", Val::U(1)),
+                    ("revoke_ms", Val::F(1.0)),
+                    ("revoke_sim_cycles", Val::U(2)),
+                ])]),
+            ),
+        ]);
+        let dir = std::env::temp_dir().join("semper_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pre_pr8.json");
+        std::fs::write(&path, render(&v)).unwrap();
+        let report = read_report(path.to_str().unwrap()).expect("readable report");
+        assert_eq!(report.threads, None);
+        assert_eq!(report.wall_ms_total, None);
+        assert_eq!(report.rows.len(), 1);
     }
 }

@@ -25,3 +25,17 @@ pub use rng::DetRng;
 pub use sched::PeSchedule;
 pub use stats::{Counter, Summary};
 pub use time::Cycles;
+
+// The engine holds no `Rc`, `RefCell`, thread-local or global state —
+// a whole simulation is an owned value that can move between threads.
+// The parallel harness (`semperos::runner`) runs independent machines
+// on worker threads on the strength of this; lock it in at compile
+// time so a shared-mutability regression fails the build here.
+const fn assert_send<T: Send>() {}
+const _: () = {
+    assert_send::<EventQueue<u64>>();
+    assert_send::<PeSchedule<u64>>();
+    assert_send::<DetRng>();
+    assert_send::<Counter>();
+    assert_send::<Summary>();
+};

@@ -8,11 +8,17 @@
 //! worst possible moments, and shows the protocol cleaning up: orphaned
 //! capabilities are removed, the two-way delegate handshake aborts
 //! cleanly, and overlapping revocations complete exactly once.
+//!
+//! Each scenario builds its own cluster, so they run on the parallel
+//! harness (`semperos::Runner`, sized by `BENCH_THREADS`, default
+//! serial); the summaries print in scenario order regardless of the
+//! worker count.
 
 use semper_base::config::Feature;
 use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
 use semper_base::{CapSel, VpeId};
 use semper_kernel::harness::TestCluster;
+use semperos::{Job, Runner};
 
 fn create_mem(c: &mut TestCluster, vpe: VpeId) -> CapSel {
     match c.syscall(vpe, Syscall::CreateMem { size: 4096, perms: Perms::RW }).result {
@@ -21,8 +27,8 @@ fn create_mem(c: &mut TestCluster, vpe: VpeId) -> CapSel {
     }
 }
 
-fn main() {
-    // Scenario 1: the obtainer dies while its obtain is in flight.
+/// Scenario 1: the obtainer dies while its obtain is in flight.
+fn obtainer_killed_mid_obtain() -> String {
     let mut c = TestCluster::new(2, 1);
     let sel = create_mem(&mut c, VpeId(0));
     c.syscall_async(
@@ -35,17 +41,19 @@ fn main() {
         },
     );
     c.pump_n(4); // owner linked the child; reply is in flight
-    println!("scenario 1: obtainer killed mid-obtain");
     c.kill(VpeId(1));
     c.pump_all();
     c.check_invariants();
-    println!(
-        "  -> orphan cleaned at the owner's kernel: {} (capabilities left: {})",
+    format!(
+        "scenario 1: obtainer killed mid-obtain\n  -> orphan cleaned at the owner's kernel: {} \
+         (capabilities left: {})",
         c.kernels[0].stats().orphans_cleaned == 1,
         c.total_caps()
-    );
+    )
+}
 
-    // Scenario 2: the receiver dies during a delegate handshake.
+/// Scenario 2: the receiver dies during a delegate handshake.
+fn receiver_killed_mid_delegate() -> String {
     let mut c = TestCluster::new(2, 1);
     let sel = create_mem(&mut c, VpeId(0));
     let tag = c.syscall_async(
@@ -58,14 +66,18 @@ fn main() {
         },
     );
     c.pump_n(5); // pending insert created at the receiver's kernel
-    println!("scenario 2: receiver killed mid-delegate (two-way handshake in flight)");
     c.kill(VpeId(1));
     c.pump_all();
     let err = c.take_reply(VpeId(0), tag).unwrap().result.unwrap_err();
     c.check_invariants();
-    println!("  -> delegator notified with {err}; no dangling child reference");
+    format!(
+        "scenario 2: receiver killed mid-delegate (two-way handshake in flight)\n  -> delegator \
+         notified with {err}; no dangling child reference"
+    )
+}
 
-    // Scenario 3: a VPE holding cross-kernel delegations exits.
+/// Scenario 3: a VPE holding cross-kernel delegations exits.
+fn exit_with_cross_kernel_chain() -> String {
     let mut c = TestCluster::new(3, 1);
     let a = create_mem(&mut c, VpeId(0));
     let r = c.syscall(
@@ -87,22 +99,24 @@ fn main() {
             kind: ExchangeKind::Delegate,
         },
     );
-    println!("scenario 3: exit of a VPE with a two-hop cross-kernel delegation chain");
     c.syscall_async(VpeId(0), Syscall::Exit);
     c.pump_all();
     c.check_invariants();
-    println!(
-        "  -> recursive revocation crossed three kernels; {} capabilities remain",
+    format!(
+        "scenario 3: exit of a VPE with a two-hop cross-kernel delegation chain\n  -> recursive \
+         revocation crossed three kernels; {} capabilities remain",
         c.total_caps()
-    );
+    )
+}
 
-    // Scenario 4: a peer kernel's whole workload dies while a parallel
-    // partitioned sweep (PR 6, `kernel::ops::sweep`) is marking its
-    // partition. VPE death is the failure unit the model supports, so a
-    // "kernel crash" is every VPE hosted by that kernel dying at once:
-    // the victims' teardown revokes overlap the in-flight sweep and
-    // must chain onto it instead of racing it, and the sweep must still
-    // complete and acknowledge the initiator.
+/// Scenario 4: a peer kernel's whole workload dies while a parallel
+/// partitioned sweep (PR 6, `kernel::ops::sweep`) is marking its
+/// partition. VPE death is the failure unit the model supports, so a
+/// "kernel crash" is every VPE hosted by that kernel dying at once:
+/// the victims' teardown revokes overlap the in-flight sweep and
+/// must chain onto it instead of racing it, and the sweep must still
+/// complete and acknowledge the initiator.
+fn kernel_crash_mid_parallel_sweep() -> String {
     let mut c = TestCluster::new(4, 2);
     for k in &mut c.kernels {
         k.enable_feature_for_test(Feature::ParallelSweep);
@@ -123,7 +137,6 @@ fn main() {
     let before = c.total_caps();
     let tag = c.syscall_async(VpeId(0), Syscall::Revoke { sel: root, own: true });
     c.pump_n(3); // mark requests are out; the partitions are not yet swept
-    println!("scenario 4: kernel 1's VPEs all die mid-parallel-sweep");
     c.kill(VpeId(2));
     c.kill(VpeId(3));
     c.pump_all();
@@ -134,17 +147,21 @@ fn main() {
     for k in &c.kernels {
         assert_eq!(k.pending_ops(), 0, "kernel {} left suspended ops", k.id());
     }
-    println!(
-        "  -> sweep completed despite the crash; {} capabilities remain, all kernels quiescent",
+    format!(
+        "scenario 4: kernel 1's VPEs all die mid-parallel-sweep\n  -> sweep completed despite \
+         the crash; {} capabilities remain, all kernels quiescent",
         c.total_caps()
-    );
-    // Scenario 5: a bystander kernel is effectively partitioned from
-    // the migration's membership fan-out — its stale table still routes
-    // the moving group to the old owner while the handover is in
-    // flight, and the migrating VPE is killed before the window closes.
-    // The old owner must hold both the stale-routed request and the
-    // kill, replay them once the fan-in drains, and relay them to the
-    // new owner; nothing may be lost or double-applied.
+    )
+}
+
+/// Scenario 5: a bystander kernel is effectively partitioned from
+/// the migration's membership fan-out — its stale table still routes
+/// the moving group to the old owner while the handover is in
+/// flight, and the migrating VPE is killed before the window closes.
+/// The old owner must hold both the stale-routed request and the
+/// kill, replay them once the fan-in drains, and relay them to the
+/// new owner; nothing may be lost or double-applied.
+fn kill_races_live_migration() -> String {
     let mut c = TestCluster::new(3, 1);
     let root = create_mem(&mut c, VpeId(0));
     let src = c.start_migration(VpeId(0), semper_base::KernelId(2)).expect("start migration");
@@ -157,7 +174,6 @@ fn main() {
             kind: ExchangeKind::Obtain,
         },
     );
-    println!("scenario 5: stale-routed obtain and a kill race a live group migration");
     c.kill(VpeId(0));
     c.pump_all();
     assert!(c.kernels[src.idx()].take_migration_failure(VpeId(0)).is_none());
@@ -172,14 +188,26 @@ fn main() {
     }
     let s = *c.kernels[src.idx()].stats();
     assert_eq!(s.migrations_out, 1, "the migration itself must still complete");
-    println!(
-        "  -> old owner held {} op(s), relayed {} request(s); kill chased the group, \
-         {} capabilities remain",
+    format!(
+        "scenario 5: stale-routed obtain and a kill race a live group migration\n  -> old owner \
+         held {} op(s), relayed {} request(s); kill chased the group, {} capabilities remain",
         s.ops_held,
         s.kcalls_forwarded,
         c.total_caps()
-    );
+    )
+}
 
+fn main() {
+    let jobs: Vec<Job<'static, String>> = vec![
+        Box::new(obtainer_killed_mid_obtain),
+        Box::new(receiver_killed_mid_delegate),
+        Box::new(exit_with_cross_kernel_chain),
+        Box::new(kernel_crash_mid_parallel_sweep),
+        Box::new(kill_races_live_migration),
+    ];
+    for summary in Runner::from_env().run(jobs) {
+        println!("{summary}");
+    }
     println!();
     println!("all failure paths converged to consistent capability trees.");
 }

@@ -11,9 +11,10 @@
 //! finish times or kernel statistics diverge here.
 
 use semper_apps::AppKind;
-use semper_base::{KernelMode, MachineConfig};
+use semper_base::{KernelId, KernelMode, MachineConfig};
 use semper_kernel::KernelStats;
-use semperos::experiment::{run_app_instances, MicroMachine};
+use semperos::experiment::{run_app_instances, run_app_instances_threads, MicroMachine};
+use semperos::{Job, Runner, SharedMachinePool};
 
 /// A full application run, reduced to its observable outputs.
 #[derive(Debug, PartialEq, Eq)]
@@ -341,6 +342,156 @@ fn pooled_reuse_is_cycle_identical() {
     let reused_tree = pool.with(2, 2, KernelMode::SemperOS, |m| m.measure_tree_revoke(16, 1));
     let fresh_tree = MicroMachine::new(2, 2, KernelMode::SemperOS).measure_tree_revoke(16, 1);
     assert_eq!(reused_tree, fresh_tree, "reused machine measured different cycles than fresh");
+}
+
+/// One scenario's observable outputs plus every kernel's full state
+/// digest, for serial-vs-parallel comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct DetRow {
+    name: &'static str,
+    cycles: u64,
+    events: u64,
+    now: u64,
+    caps_deleted: u64,
+    kcalls: u64,
+    digest: Vec<String>,
+}
+
+/// Runs one measurement and reduces the machine to a [`DetRow`].
+fn det_row(name: &'static str, mut m: MicroMachine, cycles: u64) -> DetRow {
+    let kernels = m.shape().0;
+    let mach = m.machine();
+    let stats = mach.kernel_stats();
+    DetRow {
+        name,
+        cycles,
+        events: mach.events(),
+        now: mach.now().0,
+        caps_deleted: stats.iter().map(|s| s.caps_deleted).sum(),
+        kcalls: stats.iter().map(|s| s.kcalls_out).sum(),
+        digest: (0..kernels).flat_map(|k| mach.kernel(KernelId(k)).state_digest()).collect(),
+    }
+}
+
+/// The scenario job list of the parallel-runner golden: a mix of
+/// shapes and protocols, each job building and consuming its own
+/// machine — the `scale_capops` pattern in miniature.
+fn runner_jobs() -> Vec<Job<'static, DetRow>> {
+    vec![
+        Box::new(|| {
+            let mut m = MicroMachine::new(2, 2, KernelMode::SemperOS);
+            let c = m.measure_chain_revoke(32, false);
+            det_row("chain_local", m, c)
+        }),
+        Box::new(|| {
+            let mut m = MicroMachine::new(3, 2, KernelMode::SemperOS);
+            let c = m.measure_chain_revoke(48, true);
+            det_row("chain_spanning", m, c)
+        }),
+        Box::new(|| {
+            let mut m = MicroMachine::new(3, 3, KernelMode::SemperOS);
+            let c = m.measure_tree_revoke(64, 2);
+            det_row("tree_wide", m, c)
+        }),
+        Box::new(|| {
+            let mut m = MicroMachine::new(1, 3, KernelMode::M3);
+            let c = m.measure_chain_revoke(24, false);
+            det_row("chain_m3", m, c)
+        }),
+        Box::new(|| {
+            let mut m = MicroMachine::new(4, 2, KernelMode::SemperOS);
+            let c = m.measure_tree_revoke(48, 3);
+            det_row("tree_spanning", m, c)
+        }),
+        Box::new(|| {
+            let mut m = MicroMachine::new(2, 3, KernelMode::SemperOS);
+            let c = m.measure_chain_revoke(40, false);
+            det_row("chain_deep", m, c)
+        }),
+    ]
+}
+
+/// The parallel runner's determinism golden (ISSUE 8): the same job
+/// list at 1, 2 and 4 workers must produce byte-identical rows — same
+/// simulated cycles, event counts, kernel statistics, and full kernel
+/// state digests, in the same (submission) order — and pooled-machine
+/// reuse across workers must not perturb measured cycles.
+#[test]
+fn parallel_runner_matches_serial() {
+    let render = |rows: &[DetRow]| -> String {
+        rows.iter()
+            .map(|r| {
+                format!(
+                    "{} cycles={} events={} now={} caps={} kcalls={} digest={}",
+                    r.name,
+                    r.cycles,
+                    r.events,
+                    r.now,
+                    r.caps_deleted,
+                    r.kcalls,
+                    r.digest.join(";")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let serial = Runner::new(1).run(runner_jobs());
+    assert_eq!(serial.len(), 6);
+    assert!(serial.iter().all(|r| r.cycles > 0 && !r.digest.is_empty()));
+    for threads in [2, 4] {
+        let parallel = Runner::new(threads).run(runner_jobs());
+        assert_eq!(serial, parallel, "{threads}-worker run diverged from serial");
+        // Byte-identity, not just structural equality: everything a
+        // report would print from these rows is the same string.
+        assert_eq!(
+            render(&serial),
+            render(&parallel),
+            "{threads}-worker rendering diverged from serial"
+        );
+    }
+
+    // Pooled reuse across workers: machines parked by one worker and
+    // reused by another must measure the same cycles as a fresh build
+    // (the MachinePool contract, now exercised through the shared pool
+    // under real thread interleaving).
+    let fresh = MicroMachine::new(2, 2, KernelMode::SemperOS).measure_chain_revoke(24, true);
+    let pool = SharedMachinePool::new(4);
+    pool.put(MicroMachine::new(2, 2, KernelMode::SemperOS));
+    pool.put(MicroMachine::new(2, 2, KernelMode::SemperOS));
+    let pooled = Runner::new(4).map_pooled(
+        &pool,
+        2,
+        2,
+        KernelMode::SemperOS,
+        (0..6).collect::<Vec<u32>>(),
+        |_, _, m| m.measure_chain_revoke(24, true),
+    );
+    assert_eq!(pooled, vec![fresh; 6], "pooled reuse across workers drifted from fresh");
+    assert!(pool.idle() >= 2, "the seeded machines must come back to the pool");
+}
+
+/// A machine built with the parallel build phase must be
+/// indistinguishable from a serially built one: the same application
+/// run on both yields bit-identical per-client finish times and kernel
+/// statistics.
+#[test]
+fn parallel_build_matches_serial_build() {
+    let mut cfg = MachineConfig::small();
+    cfg.num_pes = 16;
+    cfg.kernels = 2;
+    cfg.services = 2;
+    let serial = app_run(&cfg, AppKind::Find, 4);
+    for threads in [2, 4] {
+        let res = run_app_instances_threads(&cfg, AppKind::Find, 4, threads);
+        let parallel = RunFingerprint {
+            durations: res.durations.clone(),
+            makespan: res.makespan,
+            cap_ops: res.cap_ops,
+            kernel_stats: res.kernel_stats,
+        };
+        assert_eq!(serial, parallel, "{threads}-thread build produced a different machine");
+    }
 }
 
 /// Concurrent, overlapping revocations wake their waiters in a fixed

@@ -10,11 +10,22 @@
 //! (`semper_sim::DetRng`) instead of an external property-testing crate:
 //! every case derives from a printed seed, so a failure is reproduced by
 //! running the named generator with that seed.
+//!
+//! Each case builds its own cluster(s) and cases never share state, so
+//! the case loops run on [`semperos::Runner`] worker threads — the
+//! heavy suites are wall-clock-bound exactly like the bench scenarios.
+//! Case numbering (and thus every case's RNG stream) is unchanged.
 
 use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
 use semper_base::{CapSel, CapType, DdlKey, PeId, VpeId};
 use semper_kernel::harness::TestCluster;
 use semper_sim::DetRng;
+use semperos::Runner;
+
+/// Runs `cases` seeded property cases on 4 worker threads.
+fn for_cases(cases: u64, body: impl Fn(u64) + Sync) {
+    Runner::new(4).map((0..cases).collect(), |_, case| body(case));
+}
 
 /// One randomly generated action.
 #[derive(Debug, Clone)]
@@ -55,7 +66,7 @@ fn newest_sel(c: &TestCluster, vpe: VpeId) -> Option<CapSel> {
 /// invariants, never deadlock, and always quiesce.
 #[test]
 fn random_cmo_interleavings_preserve_invariants() {
-    for case in 0..64u64 {
+    for_cases(64, |case| {
         let mut rng = DetRng::split(0xC0_FFEE, case);
         let n_actions = rng.between(1, 39) as usize;
         // 3 kernels x 2 VPEs; VPE v lives in group v / 2.
@@ -147,14 +158,14 @@ fn random_cmo_interleavings_preserve_invariants() {
                 }
             }
         }
-    }
+    });
 }
 
 /// Revoking the root of any randomly built delegation structure
 /// removes exactly the descendants, across any number of kernels.
 #[test]
 fn revoke_removes_exactly_the_subtree() {
-    for case in 0..64u64 {
+    for_cases(64, |case| {
         let mut rng = DetRng::split(0xDE1E_647E, case);
         let n_edges = rng.between(1, 23) as usize;
         let mut c = TestCluster::new(4, 2);
@@ -198,7 +209,7 @@ fn revoke_removes_exactly_the_subtree() {
                 "case {case}: {vpe} still holds {sel}"
             );
         }
-    }
+    });
 }
 
 /// One randomly drawn batch item over a pool of live root capabilities.
@@ -238,7 +249,7 @@ fn draw_batch_item(rng: &mut DetRng, live: &mut Vec<CapSel>, vpes: u16) -> Sysca
 /// item-for-item to the sequential replies.
 #[test]
 fn batched_ops_match_sequential() {
-    for case in 0..48u64 {
+    for_cases(48, |case| {
         let mut rng = DetRng::split(0xBA7C_4ED5, case);
         let n_items = rng.between(1, 17) as usize;
         let mut seq = TestCluster::new(3, 2);
@@ -289,7 +300,7 @@ fn batched_ops_match_sequential() {
             );
             assert_eq!(kb.pending_ops(), 0, "case {case}: suspended ops after batch");
         }
-    }
+    });
 }
 
 /// The parallel partitioned sweep (`Feature::ParallelSweep`) is an
@@ -301,7 +312,7 @@ fn batched_ops_match_sequential() {
 /// too — equivalence is then trivial but still checked.
 #[test]
 fn parallel_sweep_matches_sequential_sweep() {
-    for case in 0..48u64 {
+    for_cases(48, |case| {
         let mut rng = DetRng::split(0x5EE9_5EE9, case);
         let n_edges = rng.between(4, 35) as usize;
         let mut seq = TestCluster::new(4, 2);
@@ -379,7 +390,7 @@ fn parallel_sweep_matches_sequential_sweep() {
             );
             assert_eq!(kp.pending_ops(), 0, "case {case}: suspended ops after parallel sweep");
         }
-    }
+    });
 }
 
 /// DDL keys pack and unpack losslessly for every field combination.
@@ -415,7 +426,7 @@ fn ddl_key_roundtrip() {
 fn ops_during_migration_match_quiesce_then_migrate() {
     use semper_base::KernelId;
 
-    for case in 0..48u64 {
+    for_cases(48, |case| {
         let mut rng = DetRng::split(0x417E_CA5E, case);
         // 3 kernels x 2 VPEs; the migrating VPE 0 starts in group 0 and
         // moves to group 2.
@@ -532,5 +543,5 @@ fn ops_during_migration_match_quiesce_then_migrate() {
             s.ops_held + s.syscalls_forwarded > 0,
             "case {case}: the old owner never held or forwarded anything"
         );
-    }
+    });
 }
