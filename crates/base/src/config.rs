@@ -59,6 +59,15 @@ pub enum Feature {
     /// default so every pre-existing scenario and golden stays
     /// bit-identical; the `*_parallel` bench scenarios enable it.
     ParallelSweep,
+    /// Fault-tolerant operation under a `semper_sim::FaultPlan`: the
+    /// ops engine arms per-pending-op deadlines, retries idempotent
+    /// legs a bounded number of times, aborts everything else with a
+    /// real `Err`, and tolerates the duplicate/missing replies a lossy
+    /// NoC produces (debug asserts on those paths soften to counters).
+    /// Off by default so every golden and trace fingerprint stays
+    /// bit-identical; the fault suites and fault bench scenarios
+    /// enable it together with a non-empty plan.
+    FaultInjection,
 }
 
 /// Full description of a simulated machine and its OS deployment.

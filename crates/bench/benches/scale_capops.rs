@@ -47,6 +47,13 @@
 //!   holds or forwards every call that races the handover
 //!   (`kernel::ops::migrate`, `Phase::Draining`), and the closed-loop
 //!   request stream must never stall;
+//! * **faulted spanning teardown** (new in PR 9) — the spanning-revoke
+//!   shape torn down under a seed-scripted fault plan
+//!   (`semper_sim::faults`): message drops, duplicates, delays and a
+//!   one-way partition window, with the ops engine's deadline → retry
+//!   → abort machinery guaranteeing termination. The appended
+//!   `faults_*` fields record injected faults, retries, aborted ops
+//!   and healed partitions — all deterministic under the cycle gate;
 //! * a **data-structure A/B**: the owner-table reverse removal
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
@@ -62,7 +69,7 @@
 //! computed, and `BENCH_ASSERT_SPEEDUP=<min>` turns that into a hard
 //! gate (for multi-core hosts; see EXPERIMENTS.md).
 //!
-//! Results land in `BENCH_PR8.json` at the workspace root (override with
+//! Results land in `BENCH_PR9.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
 //! speedups are computed — this is how each PR's report compares
@@ -82,6 +89,7 @@ use semper_base::{
 };
 use semper_bench::report::{read_report, render, Val};
 use semper_caps::CapTable;
+use semper_sim::{FaultPlan, PartitionWindow};
 use semperos::experiment::{run_app_instances, MicroMachine};
 use semperos::machine::{Machine, Workload};
 use semperos::{Job, Runner};
@@ -101,6 +109,9 @@ struct Scenario {
     /// Sweep observability of the measured phase (PR 6): all zero for
     /// scenarios that never trigger the parallel sweep.
     sweep: SweepObs,
+    /// Fault-engine observability (PR 9): all zero for scenarios that
+    /// run without a fault plan.
+    faults: FaultObs,
 }
 
 /// Parallel-sweep observability counters (PR 6): fan-out width, round
@@ -112,6 +123,17 @@ struct SweepObs {
     depth: u64,
     partitions: u64,
     dispatches: u64,
+}
+
+/// Fault-engine observability counters (PR 9): network faults injected
+/// by the plan, deadline-driven request-leg retries, operations aborted
+/// with an `Err`, and partition windows that healed during the run.
+#[derive(Default)]
+struct FaultObs {
+    injected: u64,
+    retries: u64,
+    ops_aborted: u64,
+    partitions_healed: u64,
 }
 
 impl Scenario {
@@ -139,6 +161,10 @@ impl Scenario {
             ("sweep_depth", Val::U(self.sweep.depth)),
             ("sweep_partitions", Val::U(self.sweep.partitions)),
             ("handler_dispatches", Val::U(self.sweep.dispatches)),
+            ("faults_injected", Val::U(self.faults.injected)),
+            ("fault_retries", Val::U(self.faults.retries)),
+            ("ops_aborted", Val::U(self.faults.ops_aborted)),
+            ("partitions_healed", Val::U(self.faults.partitions_healed)),
         ])
     }
 }
@@ -205,6 +231,7 @@ fn chain_revoke(len: u32, spanning: bool) -> Scenario {
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -243,6 +270,7 @@ fn tree_revoke(children: u32, prefill: u32) -> Scenario {
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -275,6 +303,7 @@ fn dense_table_teardown(caps: u32) -> Scenario {
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -338,6 +367,7 @@ fn dense_table_spanning(caps: u32, parallel: bool) -> Scenario {
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -378,6 +408,7 @@ fn group_migration(caps: u32) -> Scenario {
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -418,11 +449,12 @@ fn rebalance_under_load(servers: u16, hops: u32) -> Scenario {
     let server_vpes = m.topo().server_vpes.clone();
     let t = Instant::now();
     let mut handover_cycles = 0u64;
-    // `Machine::now()` only advances when an event is processed, so
-    // every wait below moves an absolute horizon forward instead of
-    // recomputing `now() + window` (which livelocks as soon as the next
-    // event — e.g. a server coming out of a ~150k-cycle modeled extent
-    // access — lies beyond the window).
+    // Every wait below threads an absolute horizon through
+    // `Machine::advance_until`, which moves the base forward by the
+    // full window even when no event lands inside it — recomputing
+    // `run_until(now() + window)` instead livelocks as soon as the next
+    // event (e.g. a server coming out of a ~150k-cycle modeled extent
+    // access) lies beyond the window. See `Machine::advance_until`.
     let mut horizon = m.now();
     for hop in 0..hops {
         let before = m.loadgen_completed();
@@ -438,8 +470,7 @@ fn rebalance_under_load(servers: u16, hops: u32) -> Scenario {
             // finds nothing outstanding.)
             let mut patience = 0u32;
             while !m.vpe_awaiting_extent(vpe) {
-                horizon = horizon.max(m.now()) + 500;
-                m.run_until(horizon);
+                horizon = m.advance_until(horizon + 500);
                 patience += 1;
                 assert!(patience < 8192, "{vpe} never requested an extent; server wedged?");
             }
@@ -447,13 +478,11 @@ fn rebalance_under_load(servers: u16, hops: u32) -> Scenario {
             // Let the closed loop race the open window before draining
             // it: service traffic into the moving group arriving now is
             // held or forwarded by the old owner instead of erroring.
-            horizon = horizon.max(m.now()) + 15_000;
-            m.run_until(horizon);
+            horizon = m.advance_until(horizon + 15_000);
             handover_cycles += m.finish_vpe_migration(ticket).expect("live migration");
             // A slice of steady-state traffic against the rebalanced
             // placement before the next group moves.
-            horizon = horizon.max(m.now()) + 25_000;
-            m.run_until(horizon);
+            horizon = m.advance_until(horizon + 25_000);
         }
         // The closed loop must keep completing requests across the
         // rotation; per-request latency is large (hundreds of
@@ -462,8 +491,7 @@ fn rebalance_under_load(servers: u16, hops: u32) -> Scenario {
         // progress inside the migration slices themselves.
         let mut patience = 0u32;
         while m.loadgen_completed() <= before {
-            horizon = horizon.max(m.now()) + 50_000;
-            m.run_until(horizon);
+            horizon = m.advance_until(horizon + 50_000);
             patience += 1;
             assert!(patience < 256, "closed loop stalled during rotation {hop}");
         }
@@ -491,6 +519,7 @@ fn rebalance_under_load(servers: u16, hops: u32) -> Scenario {
         caps_deleted: total_caps_deleted(&m),
         kcalls: total_kcalls(&m) - kcalls_before,
         sweep: sweep_obs(&m, dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -544,6 +573,7 @@ fn spanning_revoke(n: u32, batched: bool) -> Scenario {
         caps_deleted: total_caps_deleted(m.machine()),
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
     }
 }
 
@@ -584,6 +614,84 @@ fn file_workload(instances: u32, batched: bool) -> Scenario {
             partitions: res.kernel_stats.iter().map(|s| s.sweep_partitions).sum(),
             dispatches: res.kernel_stats.iter().map(|s| s.handler_dispatches).sum(),
         },
+        faults: FaultObs::default(),
+    }
+}
+
+/// Spanning teardown under a scripted fault plan (new in PR 9): the
+/// spanning-revoke shape — VPE a of group 0 owns `caps` capabilities,
+/// each with one remote child on kernel 1 — torn down while the
+/// seed-scripted fault engine (`semper_sim::faults`) drops, duplicates
+/// and delays cross-kernel messages and holds a one-way kernel 0 → 1
+/// partition open for a window mid-teardown. Every revoke still
+/// returns to the caller (retried legs or a deadline-driven abort of
+/// the remote leg — never a hang), the machine drains to a quiescent
+/// state, and the whole run is deterministic: same plan + seed ⇒
+/// bit-identical cycles and fault counters, which is what puts this
+/// row under the `BENCH_ENFORCE_CYCLES` gate. The `faults_*` columns
+/// record the injected-fault and recovery totals.
+fn faulted_spanning_teardown(caps: u32) -> Scenario {
+    let mut m = MicroMachine::new(2, 2, KernelMode::SemperOS);
+    let a = m.vpe(0, 0);
+    let b = m.vpe(1, 0);
+
+    let t = Instant::now();
+    let sels: Vec<CapSel> = (0..caps).map(|_| m.create_mem(a)).collect();
+    for sel in &sels {
+        let _ = m.delegate(a, b, *sel);
+    }
+    let build_ms = ms(t);
+
+    // The plan starts at teardown: the build above runs fault-free so
+    // the capability graph under test is always the same. The partition
+    // window sits mid-teardown, so revokes before it exercise the
+    // drop/duplicate/delay path and revokes inside it exercise the
+    // deadline → retry → abort path.
+    let now = m.machine().now().0;
+    let plan = FaultPlan::seeded(0x5EED_FA17)
+        .with_drop(30)
+        .with_duplicate(20)
+        .with_delay(50, 2_000)
+        .with_partition(PartitionWindow {
+            from: 0,
+            to: 1,
+            start: now + 50_000,
+            end: now + 250_000,
+        });
+    m.machine().set_fault_plan(plan, 150_000);
+
+    let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
+    let retries_before: u64 = m.machine().kernel_stats().iter().map(|s| s.retries).sum();
+    let aborted_before: u64 = m.machine().kernel_stats().iter().map(|s| s.ops_aborted).sum();
+    let t = Instant::now();
+    let revoke_cycles: u64 = sels.into_iter().rev().map(|sel| m.revoke(a, sel)).sum();
+    let idle = m.machine().run_until_idle();
+    let revoke_ms = ms(t);
+    assert!(idle.0 > now, "faulted teardown never advanced");
+    m.machine().check_invariants();
+    m.machine().assert_quiescent();
+
+    let st = m.machine().kernel_stats();
+    let fs = m.machine().fault_stats().expect("fault plan installed");
+    let faults = FaultObs {
+        injected: fs.injected,
+        retries: st.iter().map(|s| s.retries).sum::<u64>() - retries_before,
+        ops_aborted: st.iter().map(|s| s.ops_aborted).sum::<u64>() - aborted_before,
+        partitions_healed: fs.partitions_healed,
+    };
+    assert!(faults.injected > 0, "the plan never fired");
+    Scenario {
+        name: "faulted_spanning_teardown",
+        size: caps,
+        build_ms,
+        revoke_ms,
+        revoke_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
+        faults,
     }
 }
 
@@ -660,6 +768,7 @@ fn main() {
             "dense_table_teardown_parallel",
             Box::new(move || dense_table_spanning(10_000 / scale, true)),
         ),
+        ("faulted_spanning_teardown", Box::new(move || faulted_spanning_teardown(2048 / scale))),
     ];
     let submitted: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
     let runner = Runner::from_env();
@@ -776,7 +885,7 @@ fn main() {
     println!("suite wall-clock: {wall_ms_total:.1} ms at {threads} thread(s)");
 
     let mut fields = vec![
-        ("pr", Val::U(8)),
+        ("pr", Val::U(9)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
         // Harness-level fields (PR 8): worker count and total suite
@@ -919,7 +1028,7 @@ fn main() {
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR8.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");

@@ -17,6 +17,7 @@ use semper_base::msg::{Payload, SysReply, Syscall, Upcall, UpcallReply};
 use semper_base::{Error, KernelId, Msg, PeId, VpeId};
 use semper_caps::MembershipTable;
 use semper_noc::GlobalMemory;
+use semper_sim::{FaultPlan, NetVerdict};
 
 use crate::kernel::Kernel;
 use crate::outbox::Outbox;
@@ -40,6 +41,19 @@ pub struct TestCluster {
     /// full payload) — the protocol-trace fingerprint used by the
     /// trace-equivalence tests.
     trace: Option<Vec<String>>,
+    /// The scripted fault plan, when this cluster runs under fault
+    /// injection (see [`TestCluster::set_fault_plan`]).
+    fault_plan: Option<FaultPlan>,
+    /// Delayed messages as `(release_step, seq, msg)`; `seq` preserves
+    /// submission order among messages released at the same step.
+    delayed: Vec<(u64, u64, Msg)>,
+    delay_seq: u64,
+    /// The fault clock: one tick per [`TestCluster::step`] in fault
+    /// mode (plus quiet-network jumps to the next deadline).
+    fault_step: u64,
+    /// Kernels taken down by a scripted crash; all traffic to their
+    /// island drops.
+    dead_islands: BTreeSet<KernelId>,
 }
 
 impl TestCluster {
@@ -90,6 +104,11 @@ impl TestCluster {
             next_session_ident: 1,
             tag_counter: 0,
             trace: None,
+            fault_plan: None,
+            delayed: Vec::new(),
+            delay_seq: 0,
+            fault_step: 0,
+            dead_islands: BTreeSet::new(),
         }
     }
 
@@ -216,8 +235,14 @@ impl TestCluster {
         Some(list.remove(idx))
     }
 
-    /// Processes a single queued message; returns false when idle.
+    /// Processes a single queued message; returns false when idle. In
+    /// fault mode (a plan is set) idleness additionally requires the
+    /// delay buffer to be empty and no pending-op deadline to be armed:
+    /// a fault run is only over once every op completed or aborted.
     pub fn step(&mut self) -> bool {
+        if self.fault_plan.is_some() {
+            return self.step_faulted();
+        }
         let Some(msg) = self.queue.pop_front() else {
             return false;
         };
@@ -248,10 +273,254 @@ impl TestCluster {
         self.queue.len()
     }
 
-    /// Checks invariants on every kernel.
+    /// Checks invariants on every kernel (crashed islands excluded —
+    /// their state froze mid-operation by design).
     pub fn check_invariants(&self) {
         for k in &self.kernels {
+            if self.dead_islands.contains(&k.id()) {
+                continue;
+            }
             k.check_invariants().unwrap_or_else(|e| panic!("kernel {}: {e}", k.id()));
+        }
+    }
+
+    // ----- fault injection ----------------------------------------------
+
+    /// Arms a fault plan: NoC verdicts apply to every inter-kernel
+    /// message, scripted crash points are installed, and each kernel
+    /// runs fault-tolerant with per-pending-op deadlines of
+    /// `deadline_budget` steps. Must be set before the workload starts.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan, deadline_budget: u64) {
+        for k in &mut self.kernels {
+            k.enable_fault_injection(deadline_budget);
+            let points = plan.crash_points(k.id().0);
+            if !points.is_empty() {
+                k.arm_crash_points(points);
+            }
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// The armed plan's NoC-level fault counters, if a plan is set.
+    pub fn fault_stats(&self) -> Option<&semper_sim::FaultStats> {
+        self.fault_plan.as_ref().map(|p| p.stats())
+    }
+
+    /// Kernels taken down by scripted crashes.
+    pub fn dead_kernels(&self) -> &BTreeSet<KernelId> {
+        &self.dead_islands
+    }
+
+    /// True if this kernel is still up.
+    pub fn kernel_alive(&self, k: KernelId) -> bool {
+        !self.dead_islands.contains(&k)
+    }
+
+    /// Asserts that the cluster reached true quiescence: no queued or
+    /// delayed messages, and every surviving kernel passes
+    /// [`Kernel::check_quiescent`] (empty ledger, no open windows, no
+    /// leaked waiters). The termination property of the fault engine.
+    pub fn assert_quiescent(&self) {
+        assert!(self.queue.is_empty(), "{} messages still queued", self.queue.len());
+        assert!(self.delayed.is_empty(), "{} messages still delayed", self.delayed.len());
+        for k in &self.kernels {
+            if self.dead_islands.contains(&k.id()) {
+                continue;
+            }
+            k.check_quiescent().unwrap_or_else(|e| panic!("not quiescent: {e}"));
+        }
+    }
+
+    /// One step of the faulted cluster: advance the fault clock, release
+    /// due delayed messages, deliver one message through the plan's
+    /// verdict, then poll every surviving kernel's deadlines. With the
+    /// network quiet, the clock jumps to the next armed deadline so
+    /// starved operations abort instead of hanging the run.
+    fn step_faulted(&mut self) -> bool {
+        self.fault_step += 1;
+        self.release_delayed();
+        let Some(msg) = self.queue.pop_front() else {
+            // Quiet network: jump the clock forward. First to the next
+            // delayed release, otherwise to the earliest deadline.
+            if let Some(release) = self.delayed.iter().map(|(r, _, _)| *r).min() {
+                self.fault_step = self.fault_step.max(release);
+                self.release_delayed();
+                return true;
+            }
+            let next = self
+                .kernels
+                .iter()
+                .filter(|k| !self.dead_islands.contains(&k.id()))
+                .filter_map(|k| k.next_fault_deadline())
+                .min();
+            let Some(deadline) = next else {
+                return false;
+            };
+            self.fault_step = self.fault_step.max(deadline);
+            self.poll_fault_deadlines();
+            return true;
+        };
+        self.deliver_faulted(msg);
+        self.poll_fault_deadlines();
+        true
+    }
+
+    /// Moves every delayed message whose release step arrived back into
+    /// the queue, in (release, submission) order.
+    fn release_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = self.fault_step;
+        let mut due: Vec<(u64, u64, Msg)> = Vec::new();
+        self.delayed.retain_mut(|entry| {
+            if entry.0 <= now {
+                due.push((entry.0, entry.1, entry.2.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|(release, seq, _)| (*release, *seq));
+        for (_, _, msg) in due {
+            self.queue.push_back(msg);
+        }
+    }
+
+    /// Runs every surviving kernel's deadline poll (in kernel-id order)
+    /// and injects whatever the aborts produced.
+    fn poll_fault_deadlines(&mut self) {
+        for kidx in 0..self.kernels.len() {
+            if self.dead_islands.contains(&self.kernels[kidx].id()) {
+                continue;
+            }
+            let mut out = Outbox::new();
+            self.kernels[kidx].poll_faults(self.fault_step, &mut out);
+            for (m, _) in out.drain() {
+                self.queue.push_back(m);
+            }
+            if self.kernels[kidx].crashed() {
+                // A crash point on an abort path (e.g. a re-park).
+                self.kernel_down(kidx);
+            }
+        }
+    }
+
+    /// Delivers one message under the fault plan: traffic to dead
+    /// islands drops (with the sender's DTU credit released), and
+    /// inter-kernel messages take the plan's verdict. Everything else
+    /// behaves exactly like the fault-free dispatch.
+    fn deliver_faulted(&mut self, msg: Msg) {
+        let src_kidx = self.kernels.iter().position(|k| k.pe() == msg.src);
+        let dst_kidx = self.kernels.iter().position(|k| k.pe() == msg.dst);
+        // Traffic addressed to a crashed island vanishes. A request's
+        // DTU slot at the dead end is gone with it; release the
+        // sender's credit so its queue towards the corpse keeps
+        // draining (those requests abort via peer-death or deadline).
+        if let Some(didx) = dst_kidx {
+            let dead_dst = self.dead_islands.contains(&self.kernels[didx].id());
+            if dead_dst {
+                if matches!(msg.payload, Payload::Kcall(_)) {
+                    if let Some(sidx) = src_kidx {
+                        if !self.dead_islands.contains(&self.kernels[sidx].id()) {
+                            let dst_kernel = self.kernels[didx].id();
+                            let mut out = Outbox::new();
+                            self.kernels[sidx].return_credit(&mut out, dst_kernel);
+                            for (m, _) in out.drain() {
+                                self.queue.push_back(m);
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+        }
+        // The plan's verdict applies to the inter-kernel NoC boundary
+        // only: requests and replies between two kernel islands.
+        if let (Some(sidx), Some(didx)) = (src_kidx, dst_kidx) {
+            if matches!(msg.payload, Payload::Kcall(_) | Payload::KReply(_)) {
+                let from = self.kernels[sidx].id().0;
+                let to = self.kernels[didx].id().0;
+                let now = self.fault_step;
+                let verdict = self
+                    .fault_plan
+                    .as_mut()
+                    .map(|p| p.verdict(from, to, now))
+                    .unwrap_or(NetVerdict::Deliver);
+                match verdict {
+                    NetVerdict::Deliver => {}
+                    NetVerdict::Drop => {
+                        // The message is lost *after* the wire: treat
+                        // the slot as consumed so credit accounting
+                        // cannot deadlock the sender.
+                        if matches!(msg.payload, Payload::Kcall(_)) {
+                            let dst_kernel = self.kernels[didx].id();
+                            let mut out = Outbox::new();
+                            self.kernels[sidx].return_credit(&mut out, dst_kernel);
+                            for (m, _) in out.drain() {
+                                self.queue.push_back(m);
+                            }
+                        }
+                        return;
+                    }
+                    NetVerdict::Duplicate => {
+                        // Deliver now and once more later; the copy
+                        // takes its own verdict when it surfaces.
+                        self.queue.push_back(msg.clone());
+                    }
+                    NetVerdict::Delay(d) => {
+                        let seq = self.delay_seq;
+                        self.delay_seq += 1;
+                        self.delayed.push((self.fault_step + d, seq, msg));
+                        return;
+                    }
+                }
+            }
+        }
+        if let Some(didx) = dst_kidx {
+            if let Some(trace) = &mut self.trace {
+                trace.push(format!("{}->{} {:?}", msg.src, msg.dst, msg.payload));
+            }
+            let mut out = Outbox::new();
+            self.kernels[didx].handle(&msg, &mut out);
+            if self.kernels[didx].crashed() {
+                // The scripted crash point fired *inside* this handler:
+                // the island dies with the handler's output unsent.
+                drop(out);
+                self.kernel_down(didx);
+                return;
+            }
+            if matches!(msg.payload, Payload::Kcall(_)) {
+                let dst_kernel = self.kernels[didx].id();
+                if let Some(sidx) = src_kidx {
+                    if !self.dead_islands.contains(&self.kernels[sidx].id()) {
+                        self.kernels[sidx].return_credit(&mut out, dst_kernel);
+                    }
+                }
+            }
+            for (m, _) in out.drain() {
+                self.queue.push_back(m);
+            }
+            return;
+        }
+        self.dispatch(msg);
+    }
+
+    /// Takes a crashed kernel's island down: marks it dead and runs
+    /// peer-death detection on every survivor (in kernel-id order), so
+    /// their in-flight operations towards the corpse abort.
+    fn kernel_down(&mut self, kidx: usize) {
+        let dead = self.kernels[kidx].id();
+        self.dead_islands.insert(dead);
+        for i in 0..self.kernels.len() {
+            if i == kidx || self.dead_islands.contains(&self.kernels[i].id()) {
+                continue;
+            }
+            let mut out = Outbox::new();
+            self.kernels[i].peer_down(dead, &mut out);
+            for (m, _) in out.drain() {
+                self.queue.push_back(m);
+            }
         }
     }
 
@@ -311,6 +580,20 @@ impl TestCluster {
                 ));
             }
             other => panic!("stub VPE {vpe} got unexpected payload {other:?}"),
+        }
+    }
+}
+
+impl Drop for TestCluster {
+    /// Every fault-injected cluster must be driven to true quiescence
+    /// before it goes away — a test that forgets to pump is exactly the
+    /// silent hang the termination hardening exists to catch. Fault-free
+    /// clusters are exempt (constructing racy intermediate states and
+    /// abandoning them is the harness's whole job), as is teardown
+    /// during an unwind from an unrelated failure.
+    fn drop(&mut self) {
+        if self.fault_plan.is_some() && !std::thread::panicking() {
+            self.assert_quiescent();
         }
     }
 }

@@ -95,6 +95,11 @@ pub struct Kernel {
     /// (see [`Kernel::take_migration_failure`]).
     pub(crate) migration_failures: Vec<(VpeId, Error)>,
 
+    /// Fault-tolerance state (deadlines, retry legs, crash script);
+    /// inert unless [`Kernel::enable_fault_injection`] ran (see
+    /// [`crate::ops::faults`]).
+    pub(crate) fault: crate::ops::faults::FaultState,
+
     pub(crate) stats: KernelStats,
 }
 
@@ -143,6 +148,7 @@ impl Kernel {
             eps: crate::epbind::EpBindings::new(),
             active_migrations: Vec::new(),
             migration_failures: Vec::new(),
+            fault: Default::default(),
             stats: KernelStats::default(),
         }
     }
@@ -275,6 +281,9 @@ impl Kernel {
     /// handlers return without pausing; at most two threads process the
     /// queue), so it is exempt.
     pub(crate) fn park(&mut self, op: OpId, state: PendingOp) {
+        if self.fault.enabled {
+            self.note_parked(op, state.spec().name);
+        }
         self.pending.insert(op, state);
         let in_use = self.pending.threads_in_use();
         if in_use > self.stats.max_pending_ops {
@@ -377,7 +386,12 @@ impl Kernel {
     /// accounts for requests that are consumed but not yet answered.
     pub fn return_credit(&mut self, out: &mut Outbox, peer: KernelId) {
         let credits = self.kcredits.entry(peer).or_insert(0);
-        *credits += 1;
+        // Capped at the configured window: a duplicated request under
+        // fault injection is consumed twice at the peer and would
+        // otherwise mint a credit out of thin air.
+        if *credits < self.cfg.max_inflight {
+            *credits += 1;
+        }
         let queued = self.kqueue.get_mut(&peer).and_then(|q| q.pop_front());
         if let Some(call) = queued {
             // Re-send through the credit gate (a credit is available now).

@@ -764,11 +764,20 @@ impl Kernel {
         commit: bool,
         out: &mut Outbox,
     ) -> u64 {
+        match self.pending.get(op) {
+            Some(PendingOp::Exchange(Phase::DelegatePendingInsert { .. })) => {}
+            _ => {
+                // Under fault injection: a duplicated ack, or the
+                // pending insert already aborted (its capability was
+                // never inserted, so dropping the ack is safe).
+                self.fault_anomaly(&format!("delegate ack {op} without pending insert"));
+                return 0;
+            }
+        }
         let Some(PendingOp::Exchange(Phase::DelegatePendingInsert { caller_kernel, cap })) =
             self.pending.remove(op)
         else {
-            debug_assert!(false, "delegate ack without pending insert");
-            return 0;
+            unreachable!("checked above");
         };
         debug_assert_eq!(from, caller_kernel);
         let result = if !commit {

@@ -1,0 +1,516 @@
+//! Fault tolerance for the ops engine
+//! ([`Feature::FaultInjection`](semper_base::config::Feature::FaultInjection)).
+//!
+//! A lossy NoC (see `semper_sim::faults`) breaks the engine's core
+//! assumption that every request eventually produces exactly one reply.
+//! This module hardens the pending-op ledger so that under any
+//! `FaultPlan` every operation still **terminates**: it either completes
+//! normally or aborts with a real `Err` — never a silent hang, never a
+//! leaked ledger entry.
+//!
+//! Three mechanisms, all inert unless [`Kernel::enable_fault_injection`]
+//! was called (so the default configuration stays bit-identical):
+//!
+//! * **Deadlines.** Every parked phase (except the purely local batch
+//!   tracker) is armed with an expiry on the harness-advanced fault
+//!   clock. [`Kernel::poll_faults`] first re-sends recorded idempotent
+//!   request legs (bounded retries — revoke and sweep-delete requests
+//!   are safe to replay because re-revoking a deleted subtree is
+//!   vacuous), then aborts the op: the ledger entry is reaped, held
+//!   threads release, and whoever waits is woken with an error.
+//! * **Peer death.** When the harness declares a kernel crashed
+//!   ([`Kernel::peer_down`]), every in-flight op waiting on that peer
+//!   aborts immediately, and queued requests towards it are dropped.
+//! * **Anomaly absorption.** Duplicated messages produce replies for
+//!   ops that already completed, duplicate fan-in completions, and
+//!   duplicate delete orders. Outside fault mode these are hard bugs
+//!   (debug asserts); under fault mode they are counted in
+//!   `stats.fault_anomalies` and ignored.
+//!
+//! Abort is per-phase surgery, not a generic drop: a revocation that
+//! already marked subtrees must still *sweep* them (leaving `Revoking`
+//! marks behind would wedge every later operation that touches them),
+//! a sweep coordinator force-runs its delete phase, and a migration
+//! abort unwinds through the protocol's own failure path so held
+//! operations replay.
+
+use semper_base::msg::{KReply, Kcall};
+use semper_base::{Code, DetHashMap, Error, KernelId, OpId};
+
+use crate::kernel::Kernel;
+use crate::ops::revoke::ReadyOp;
+use crate::ops::{exchange, migrate, revoke, session, sweep, PendingOp};
+use crate::outbox::Outbox;
+
+/// How many times an expired op re-sends its recorded request legs
+/// before aborting.
+const MAX_LEG_RETRIES: u32 = 2;
+
+/// Recorded idempotent request legs of one pending op, re-sent when its
+/// deadline expires.
+#[derive(Debug, Default)]
+pub(crate) struct RetryLegs {
+    /// Deadline expiries spent on re-sending so far.
+    attempts: u32,
+    /// The legs: destination kernel and the exact request.
+    legs: Vec<(KernelId, Kcall)>,
+}
+
+/// Per-kernel fault-tolerance state. Default-constructed (inert) unless
+/// fault injection is enabled for the run.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    /// True once [`Kernel::enable_fault_injection`] ran.
+    pub(crate) enabled: bool,
+    /// Cycle/step budget granted to each parked phase (0 = no
+    /// deadlines).
+    pub(crate) deadline_budget: u64,
+    /// The harness-advanced fault clock (last `poll_faults` time).
+    pub(crate) now: u64,
+    /// Scripted crash points: remaining parks per phase name; the
+    /// kernel dies when one reaches zero.
+    pub(crate) crash_script: Vec<(&'static str, u32)>,
+    /// True once a scripted crash point fired; the harness checks this
+    /// after every dispatch and discards the crashed handler's output.
+    pub(crate) crashed: bool,
+    /// Expiry tick per pending op.
+    pub(crate) deadlines: DetHashMap<OpId, u64>,
+    /// Re-sendable request legs per pending op.
+    pub(crate) retry_legs: DetHashMap<OpId, RetryLegs>,
+    /// Peer kernels declared dead by the harness.
+    pub(crate) dead_peers: Vec<KernelId>,
+}
+
+impl Kernel {
+    /// Switches this kernel into fault-tolerant operation: arms
+    /// per-pending-op deadlines of `deadline_budget` fault-clock ticks
+    /// and softens the duplicate-message asserts into counters. The
+    /// harness must then advance the clock via [`Kernel::poll_faults`].
+    pub fn enable_fault_injection(&mut self, deadline_budget: u64) {
+        self.enable_feature_for_test(semper_base::Feature::FaultInjection);
+        self.fault.enabled = true;
+        self.fault.deadline_budget = deadline_budget;
+    }
+
+    /// Installs this kernel's scripted crash points (phase name and
+    /// which park of that phase triggers the crash), from
+    /// `FaultPlan::crash_points`.
+    pub fn arm_crash_points(&mut self, points: Vec<(&'static str, u32)>) {
+        self.fault.crash_script = points;
+    }
+
+    /// True once a scripted crash point fired. The harness treats the
+    /// kernel as dead from the dispatch that tripped it: that handler's
+    /// outbox is discarded and all later traffic to the island drops.
+    pub fn crashed(&self) -> bool {
+        self.fault.crashed
+    }
+
+    /// The earliest armed deadline, if any — the harness jumps the
+    /// fault clock here when the network goes quiet, so starved ops
+    /// abort instead of hanging the run.
+    pub fn next_fault_deadline(&self) -> Option<u64> {
+        self.fault.deadlines.values().copied().min()
+    }
+
+    /// Counts one absorbed protocol anomaly (duplicate or stray
+    /// message). Outside fault mode the event is a hard bug.
+    pub(crate) fn fault_anomaly(&mut self, what: &str) {
+        if self.fault.enabled {
+            self.stats.fault_anomalies += 1;
+        } else {
+            debug_assert!(false, "{what}");
+        }
+        let _ = what;
+    }
+
+    /// Bookkeeping hook of [`Kernel::park`]: checks the crash script
+    /// and arms the phase's deadline. The batch tracker is exempt from
+    /// deadlines — it is pure local bookkeeping whose sub-operations
+    /// carry their own deadlines and abort paths.
+    pub(crate) fn note_parked(&mut self, op: OpId, phase: &'static str) {
+        if !self.fault.crashed {
+            for entry in &mut self.fault.crash_script {
+                if entry.0 == phase && entry.1 > 0 {
+                    entry.1 -= 1;
+                    if entry.1 == 0 {
+                        self.fault.crashed = true;
+                    }
+                    break;
+                }
+            }
+        }
+        if phase != "bulk-batch" && self.fault.deadline_budget > 0 {
+            self.fault.deadlines.insert(op, self.fault.now + self.fault.deadline_budget);
+        }
+    }
+
+    /// Records one idempotent request leg of `op` for deadline-driven
+    /// re-sending. Only revoke requests and sweep delete orders are
+    /// recorded: replaying them against an already-revoked subtree is
+    /// vacuous at the receiver, so a retry recovers a *dropped request*
+    /// without corrupting state (a duplicated *reply* is absorbed by
+    /// the saturating fan-in).
+    pub(crate) fn record_retry_leg(&mut self, op: OpId, peer: KernelId, call: &Kcall) {
+        if !self.fault.enabled {
+            return;
+        }
+        self.fault.retry_legs.entry(op).or_default().legs.push((peer, call.clone()));
+    }
+
+    /// Advances the fault clock and handles every expired deadline, in
+    /// op-id order: ops with retry budget re-send their recorded legs
+    /// (skipping dead peers) and re-arm; everything else aborts.
+    /// Returns the modeled cost of the abort work.
+    pub fn poll_faults(&mut self, now: u64, out: &mut Outbox) -> u64 {
+        if !self.fault.enabled {
+            return 0;
+        }
+        self.fault.now = now;
+        if self.fault.deadlines.is_empty() {
+            return 0;
+        }
+        let mut entries: Vec<(OpId, u64)> =
+            self.fault.deadlines.iter().map(|(op, dl)| (*op, *dl)).collect();
+        entries.sort_unstable();
+        let mut cost = 0;
+        for (op, dl) in entries {
+            if self.pending.get(op).is_none() {
+                // The op completed since its deadline was armed; reap
+                // the stale entries lazily (op ids are never reused).
+                self.fault.deadlines.remove(&op);
+                self.fault.retry_legs.remove(&op);
+                continue;
+            }
+            if dl > now {
+                continue;
+            }
+            let legs = match self.fault.retry_legs.get_mut(&op) {
+                Some(r) if r.attempts < MAX_LEG_RETRIES => {
+                    r.attempts += 1;
+                    Some(r.legs.clone())
+                }
+                _ => None,
+            };
+            if let Some(legs) = legs {
+                self.fault.deadlines.insert(op, now + self.fault.deadline_budget.max(1));
+                for (peer, call) in legs {
+                    if self.fault.dead_peers.contains(&peer) {
+                        continue;
+                    }
+                    self.stats.retries += 1;
+                    self.send_kcall(out, peer, call);
+                }
+            } else {
+                self.fault.deadlines.remove(&op);
+                self.fault.retry_legs.remove(&op);
+                if let Some(state) = self.pending.remove(op) {
+                    cost += self.abort_op(op, state, out);
+                }
+            }
+        }
+        cost
+    }
+
+    /// Declares a peer kernel dead: drops queued requests towards it
+    /// and aborts every pending op waiting on it (in op-id order, so
+    /// the abort replies leave deterministically). The harness calls
+    /// this on every surviving kernel when a scripted crash fires.
+    pub fn peer_down(&mut self, dead: KernelId, out: &mut Outbox) -> u64 {
+        if !self.fault.enabled || self.fault.dead_peers.contains(&dead) {
+            return 0;
+        }
+        self.fault.dead_peers.push(dead);
+        // Requests stalled behind the credit gate towards the dead
+        // kernel would never be consumed; their ops abort below.
+        self.kqueue.remove(&dead);
+        let mut doomed: Vec<OpId> = self
+            .pending
+            .iter()
+            .filter(|(_, state)| self.awaits_dead_peer(state, dead))
+            .map(|(op, _)| op)
+            .collect();
+        doomed.sort_unstable();
+        let mut cost = 0;
+        for op in doomed {
+            self.fault.deadlines.remove(&op);
+            self.fault.retry_legs.remove(&op);
+            // Aborting one op can complete others (waiter cascades);
+            // re-check that this one is still parked.
+            let Some(state) = self.pending.remove(op) else { continue };
+            cost += self.abort_op(op, state, out);
+        }
+        cost
+    }
+
+    /// True if `state` cannot make progress once `dead` stopped
+    /// responding. Conservative: multi-peer fan-ins that merely
+    /// *include* the dead peer are matched too (their surviving legs'
+    /// replies land on an absent op and are absorbed as anomalies);
+    /// phases waiting on local VPEs or on nobody return false and are
+    /// covered by their deadline instead.
+    fn awaits_dead_peer(&self, state: &PendingOp, dead: KernelId) -> bool {
+        match state {
+            PendingOp::Exchange(p) => match p {
+                exchange::Phase::ObtainRemote { peer_kernel, .. }
+                | exchange::Phase::DelegateRemote { peer_kernel, .. } => *peer_kernel == dead,
+                exchange::Phase::ObtainAtOwner { caller_kernel, .. }
+                | exchange::Phase::DelegateAtRecv { caller_kernel, .. }
+                | exchange::Phase::DelegatePendingInsert { caller_kernel, .. } => {
+                    *caller_kernel == dead
+                }
+                exchange::Phase::DelegateWaitDone { child_key, .. } => {
+                    self.membership.kernel_of_key(*child_key) == dead
+                }
+                exchange::Phase::LocalAccept { .. } | exchange::Phase::DelegateAborted { .. } => {
+                    false
+                }
+            },
+            PendingOp::Session(p) => match p {
+                session::Phase::OpenRemote { srv, .. } => srv.owner == dead,
+                session::Phase::AtService { caller_kernel, .. } => *caller_kernel == dead,
+                session::Phase::OpenLocal { .. } => false,
+            },
+            PendingOp::Revoke(p) => match p {
+                revoke::Phase::Batch { caller_kernel, .. } => *caller_kernel == dead,
+                // A classic revoke fans out to many peers without
+                // recording which legs are outstanding; its deadline
+                // (with retries towards the survivors) covers it.
+                revoke::Phase::Run(_) => false,
+            },
+            PendingOp::Sweep(p) => match p {
+                sweep::Phase::Partition(part) => part.caller == dead,
+                sweep::Phase::Coordinate(s) | sweep::Phase::Collect(s) => {
+                    s.participants.contains(&dead)
+                }
+            },
+            PendingOp::Migrate(p) => match p {
+                migrate::Phase::AwaitInstall(i) => i.dst == dead,
+                // Draining waits on every bystander; the deadline
+                // force-completes it.
+                migrate::Phase::Draining(_) => false,
+            },
+            PendingOp::Bulk(_) => false,
+        }
+    }
+
+    /// Aborts one pending op with per-phase surgery so the system stays
+    /// consistent: waiters are woken, marked subtrees are swept, reply
+    /// obligations towards callers are met (with an error), and held
+    /// operations replay. Returns the modeled cost.
+    fn abort_op(&mut self, op: OpId, state: PendingOp, out: &mut Outbox) -> u64 {
+        self.stats.ops_aborted += 1;
+        let err = Error::new(Code::Timeout);
+        let exit = self.cfg.cost.kcall_exit;
+        match state {
+            PendingOp::Exchange(phase) => match phase {
+                // The upcall-cancellation sweep already knows how to
+                // fail these three towards their initiators.
+                p @ (exchange::Phase::LocalAccept { .. }
+                | exchange::Phase::ObtainAtOwner { .. }
+                | exchange::Phase::DelegateAtRecv { .. }) => {
+                    self.cancel_exchange_phase(p, out);
+                    exit
+                }
+                exchange::Phase::ObtainRemote { tag, requester, .. } => {
+                    self.reply_sys(out, requester, tag, Err(err));
+                    exit
+                }
+                exchange::Phase::DelegateRemote { tag, delegator, .. } => {
+                    self.reply_sys(out, delegator, tag, Err(err));
+                    exit
+                }
+                // The receiver inserted (or will insert) the child; we
+                // can no longer learn which. Fail the syscall and leave
+                // the child as an orphan for the §4.3.2 cleanup.
+                exchange::Phase::DelegateWaitDone { tag, delegator, .. } => {
+                    self.stats.orphans_cleaned += 1;
+                    self.reply_sys(out, delegator, tag, Err(err));
+                    exit
+                }
+                exchange::Phase::DelegateAborted { tag, delegator, reason } => {
+                    self.reply_sys(out, delegator, tag, Err(reason));
+                    exit
+                }
+                // Never inserted — §4.3.2's whole point: dropping the
+                // pending capability is safe and complete.
+                exchange::Phase::DelegatePendingInsert { .. } => 0,
+            },
+            PendingOp::Session(phase) => match phase {
+                session::Phase::OpenRemote { tag, client, .. }
+                | session::Phase::OpenLocal { tag, client, .. } => {
+                    self.reply_sys(out, client, tag, Err(err));
+                    exit
+                }
+                session::Phase::AtService { caller_op, caller_kernel, .. } => {
+                    self.send_kreply(
+                        out,
+                        caller_kernel,
+                        KReply::OpenSess { op: caller_op, result: Err(err) },
+                    );
+                    exit
+                }
+            },
+            PendingOp::Revoke(phase) => match phase {
+                // Completing with the legs that did answer is the only
+                // consistent abort: marked subtrees must be swept
+                // (stale `Revoking` marks would wedge every later
+                // operation touching them) and dependents woken. The
+                // unresponsive remote subtrees belong to a dead or
+                // unreachable kernel — orphaned there, gone with it.
+                revoke::Phase::Run(rop) => self.complete_revoke(op, rop, out),
+                // Report what the completed sub-revokes deleted; the
+                // caller's protocol treats revoke replies as always-Ok.
+                revoke::Phase::Batch { caller_op, caller_kernel, cap_keys, fanin } => {
+                    self.send_kreply(
+                        out,
+                        caller_kernel,
+                        KReply::RevokeBatch {
+                            op: caller_op,
+                            cap_keys,
+                            deleted: fanin.tally(),
+                            result: Ok(()),
+                        },
+                    );
+                    exit
+                }
+            },
+            PendingOp::Sweep(phase) => match phase {
+                // Give up on the missing mark replies and dependency
+                // wakes: force the delete phase over what *was* marked.
+                // `sweep_begin_delete` re-parks the op as `Collect`
+                // with a fresh deadline.
+                sweep::Phase::Coordinate(mut s) => {
+                    s.marks_outstanding = 0;
+                    s.deps = 0;
+                    self.pending.insert(op, PendingOp::Sweep(sweep::Phase::Coordinate(s)));
+                    self.run_ready(vec![ReadyOp::SweepCoord(op)], out)
+                }
+                // Some partitions never reported deletion. Close the
+                // sweep with the counts that arrived: release every
+                // surviving participant's deferred waiters and our own,
+                // and notify the initiator.
+                sweep::Phase::Collect(s) => {
+                    let mut cost = self.cfg.cost.revoke_finish;
+                    for &k in &s.participants {
+                        if self.fault.dead_peers.contains(&k) {
+                            continue;
+                        }
+                        cost += exit;
+                        self.send_kcall(out, k, Kcall::SweepDoneNotice { op });
+                    }
+                    self.notify_initiator(s.initiator, true, s.fanin.tally(), out);
+                    let mut ready: Vec<ReadyOp> = Vec::new();
+                    for w in s.woken {
+                        self.wake_waiter(w, &mut ready);
+                    }
+                    cost + self.run_ready(ready, out)
+                }
+                // The coordinator is gone (or unreachable): retire the
+                // partition locally — delete what it marked so no
+                // `Revoking` marks leak, and fire its deferred waiters.
+                sweep::Phase::Partition(p) => {
+                    self.sweep_parts.remove(&(p.caller, p.caller_op));
+                    self.abort_sweep_partition(p, out)
+                }
+            },
+            PendingOp::Migrate(phase) => match phase {
+                // The protocol's own refusal path: the group never
+                // left, membership stays, held operations replay.
+                migrate::Phase::AwaitInstall(install) => {
+                    self.migrate_installed(op, *install, Err(err), out)
+                }
+                // Records are handed over and the destination routes
+                // the group; missing bystander acks only delay *their*
+                // view. Close the window so held operations replay
+                // (stragglers chase the group via the forward rule).
+                migrate::Phase::Draining(drain) => {
+                    let migrate::Drain { vpe, held, .. } = *drain;
+                    self.migration_complete(vpe, held, out)
+                }
+            },
+            // Batch trackers never arm deadlines and wait on no peer;
+            // defensive re-insert if one ever lands here.
+            state @ PendingOp::Bulk(_) => {
+                self.stats.ops_aborted -= 1;
+                self.pending.insert(op, state);
+                0
+            }
+        }
+    }
+
+    /// Force-retires one sweep partition without its coordinator:
+    /// deletes the marked subtrees (the partition's territory) in one
+    /// batched pass and wakes both its deferred waiters and anything
+    /// waiting on the deleted capabilities. Shared by the partition
+    /// abort path and the late-done-notice anomaly path.
+    pub(crate) fn abort_sweep_partition(
+        &mut self,
+        mut p: sweep::SweepPart,
+        out: &mut Outbox,
+    ) -> u64 {
+        let mut cost = 0;
+        let mut stack = std::mem::take(&mut self.scratch.stack);
+        let mut deleted = std::mem::take(&mut self.scratch.deleted);
+        let mut woken = std::mem::take(&mut self.scratch.woken);
+        debug_assert!(deleted.is_empty() && woken.is_empty());
+        for root in std::mem::take(&mut p.roots) {
+            self.mapdb.delete_local_subtree_into(root, &mut stack, &mut deleted);
+        }
+        cost += self.sweep_deleted(&mut deleted, &mut woken);
+        cost += self.cfg.cost.revoke_finish;
+        self.scratch.stack = stack;
+        self.scratch.deleted = deleted;
+        let mut to_wake = std::mem::take(&mut p.woken);
+        to_wake.append(&mut woken);
+        self.scratch.woken = woken;
+        let mut ready: Vec<ReadyOp> = Vec::new();
+        for w in to_wake {
+            self.wake_waiter(w, &mut ready);
+        }
+        cost + self.run_ready(ready, out)
+    }
+
+    /// Asserts that the kernel reached true quiescence: no suspended
+    /// operations, no open migration windows, no sweep partitions, no
+    /// registered revoke waiters, no active batches, and no requests
+    /// stalled behind the credit gate. The fault suites call this after
+    /// every run — a leak here is exactly the silent hang the
+    /// termination hardening exists to prevent.
+    pub fn check_quiescent(&self) -> core::result::Result<(), String> {
+        if !self.pending.is_empty() {
+            let mut stuck: Vec<String> =
+                self.pending.iter().map(|(op, s)| format!("{op}:{}", s.spec().name)).collect();
+            stuck.sort_unstable();
+            return Err(format!("kernel {}: pending ops at quiescence: {stuck:?}", self.id));
+        }
+        if !self.active_migrations.is_empty() {
+            return Err(format!(
+                "kernel {}: open migration windows: {:?}",
+                self.id, self.active_migrations
+            ));
+        }
+        if !self.sweep_parts.is_empty() {
+            let mut keys: Vec<(KernelId, OpId)> = self.sweep_parts.keys().copied().collect();
+            keys.sort_unstable();
+            return Err(format!("kernel {}: live sweep partitions: {keys:?}", self.id));
+        }
+        if !self.revoke_waiters.is_empty() {
+            return Err(format!(
+                "kernel {}: {} revoke-waiter entries at quiescence",
+                self.id,
+                self.revoke_waiters.len()
+            ));
+        }
+        if !self.bulk_by_vpe.is_empty() {
+            return Err(format!("kernel {}: active batched syscalls at quiescence", self.id));
+        }
+        let mut stalled: Vec<(KernelId, usize)> =
+            self.kqueue.iter().filter(|(_, q)| !q.is_empty()).map(|(k, q)| (*k, q.len())).collect();
+        if !stalled.is_empty() {
+            stalled.sort_unstable();
+            return Err(format!("kernel {}: credit-stalled requests: {stalled:?}", self.id));
+        }
+        Ok(())
+    }
+}

@@ -432,7 +432,12 @@ impl Kernel {
     /// replayed traffic that resolves to the new owner takes the
     /// forward rule. Returns the modeled cost of the replayed work
     /// (zero for a quiescent migration).
-    fn migration_complete(&mut self, vpe: VpeId, held: Vec<Held>, out: &mut Outbox) -> u64 {
+    pub(crate) fn migration_complete(
+        &mut self,
+        vpe: VpeId,
+        held: Vec<Held>,
+        out: &mut Outbox,
+    ) -> u64 {
         self.stats.migrations_out += 1;
         self.active_migrations.retain(|&(v, _, _)| v != vpe);
         self.replay_held(held, out)

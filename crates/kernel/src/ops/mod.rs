@@ -61,6 +61,7 @@
 
 pub mod bulk;
 pub mod exchange;
+pub mod faults;
 pub mod ledger;
 pub mod memops;
 pub mod migrate;
@@ -151,11 +152,20 @@ impl FanIn {
     }
 
     /// Records one completion carrying `n` tally units; returns true
-    /// when this was the last outstanding completion.
+    /// when this was the last outstanding completion. A completion
+    /// against an already-idle fan-in is absorbed (returns false): a
+    /// lossy NoC duplicates replies, and a fault-aborted operation can
+    /// receive the straggler leg it gave up on. Without fault injection
+    /// neither happens, so normal runs are bit-identical.
     pub fn complete_one(&mut self, n: u64) -> bool {
         self.tally += n;
-        self.outstanding -= 1;
-        self.outstanding == 0
+        match self.outstanding {
+            0 => false,
+            left => {
+                self.outstanding = left - 1;
+                self.outstanding == 0
+            }
+        }
     }
 
     /// True if no completions are outstanding.
@@ -401,7 +411,9 @@ impl Kernel {
 
         let op = reply.op();
         let Some(state) = self.pending.remove(op) else {
-            debug_assert!(false, "reply {reply:?} without a pending op");
+            // Under fault injection: a duplicated reply, or a straggler
+            // for an op that already aborted.
+            self.fault_anomaly(&format!("reply {reply:?} without a pending op"));
             return 0;
         };
         match (state, reply) {
@@ -432,7 +444,11 @@ impl Kernel {
                 self.migrate_ack(op, drain, out)
             }
             (state, reply) => {
-                debug_assert!(false, "reply {reply:?} cannot resume {}", state.spec().name);
+                // Under fault injection: a duplicated reply arriving
+                // after the op legitimately advanced to another phase.
+                // Re-park the phase untouched.
+                self.fault_anomaly(&format!("reply {reply:?} cannot resume {}", state.spec().name));
+                self.pending.insert(op, state);
                 0
             }
         }

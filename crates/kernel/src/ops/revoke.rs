@@ -415,7 +415,9 @@ impl Kernel {
             for (k, cap_keys) in by_kernel {
                 op.fanin.arm();
                 cost += self.cfg.cost.kcall_exit;
-                self.send_kcall(out, k, Kcall::RevokeBatchReq { op: op_id, cap_keys });
+                let call = Kcall::RevokeBatchReq { op: op_id, cap_keys };
+                self.record_retry_leg(op_id, k, &call);
+                self.send_kcall(out, k, call);
             }
         } else {
             for (k, cap_key) in remote.drain(..) {
@@ -427,7 +429,9 @@ impl Kernel {
                 // the fan-out.
                 cost +=
                     self.cfg.cost.kcall_exit + self.cfg.cost.revoke_mark + self.cfg.cost.dtu_send;
-                self.send_kcall_pipelined(out, k, Kcall::RevokeReq { op: op_id, cap_key }, cost);
+                let call = Kcall::RevokeReq { op: op_id, cap_key };
+                self.record_retry_leg(op_id, k, &call);
+                self.send_kcall_pipelined(out, k, call, cost);
             }
         }
         cost
@@ -435,8 +439,9 @@ impl Kernel {
 
     /// Phase 2: sweep the marked local subtrees, fire waiters, notify the
     /// initiator. Completion of waiters can cascade; a worklist keeps the
-    /// recursion bounded.
-    fn complete_revoke(&mut self, op_id: OpId, op: RevokeOp, out: &mut Outbox) -> u64 {
+    /// recursion bounded. Also the fault engine's forced-completion path
+    /// for a revoke whose remote legs stopped answering.
+    pub(crate) fn complete_revoke(&mut self, op_id: OpId, op: RevokeOp, out: &mut Outbox) -> u64 {
         self.run_ready(vec![ReadyOp::Revoke(op_id, op)], out)
     }
 
@@ -545,18 +550,22 @@ impl Kernel {
                 }
             }
             Some(PendingOp::Sweep(sweep::Phase::Coordinate(s))) => {
-                s.deps -= 1;
+                // Saturating: a fault-forced coordinator abort zeroes
+                // `deps` while registered wakes are still due.
+                s.deps = s.deps.saturating_sub(1);
                 if s.deps == 0 && s.marks_outstanding == 0 {
                     ready.push(ReadyOp::SweepCoord(waiter));
                 }
             }
             Some(PendingOp::Sweep(sweep::Phase::Partition(p))) => {
-                p.deps -= 1;
+                p.deps = p.deps.saturating_sub(1);
                 if p.deps == 0 && p.delete_requested {
                     ready.push(ReadyOp::SweepPart(waiter));
                 }
             }
-            _ => debug_assert!(false, "waiter {waiter} is not a pending revoke"),
+            // Under fault injection: the waiter aborted (or was forced
+            // to completion) before its wake arrived.
+            _ => self.fault_anomaly(&format!("waiter {waiter} is not a pending revoke")),
         }
     }
 
@@ -611,7 +620,9 @@ impl Kernel {
         let Some(PendingOp::Revoke(Phase::Batch { caller_op, caller_kernel, cap_keys, fanin })) =
             self.pending.get_mut(batch)
         else {
-            debug_assert!(false, "batch tracker {batch} missing");
+            // Under fault injection: the batch tracker already aborted
+            // (replied with its partial tally); drop the late entry.
+            self.fault_anomaly(&format!("batch tracker {batch} missing"));
             return;
         };
         if fanin.complete_one(deleted) {
@@ -681,7 +692,9 @@ impl Kernel {
                     // The key's group migrated away after the sender
                     // partitioned the batch: chain this entry to the
                     // current owner; its reply completes the entry.
-                    self.send_kcall(out, owner, Kcall::RevokeReq { op: batch, cap_key: *key });
+                    let call = Kcall::RevokeReq { op: batch, cap_key: *key };
+                    self.record_retry_leg(batch, owner, &call);
+                    self.send_kcall(out, owner, call);
                     cost += self.cfg.cost.kcall_exit;
                     continue;
                 }
@@ -720,7 +733,9 @@ impl Kernel {
                 0
             }
             _ => {
-                debug_assert!(false, "revoke reply for unknown op {op}");
+                // Under fault injection: a duplicated reply, or a
+                // straggler leg of an op that already aborted.
+                self.fault_anomaly(&format!("revoke reply for unknown op {op}"));
                 0
             }
         }

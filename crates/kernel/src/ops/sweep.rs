@@ -355,11 +355,21 @@ impl Kernel {
         frontier: &[DdlKey],
         out: &mut Outbox,
     ) -> u64 {
+        // Check before removing: a duplicated or straggler mark reply
+        // must not knock out an op parked in another phase.
+        match self.pending.get(op) {
+            Some(PendingOp::Sweep(Phase::Coordinate(_))) => {}
+            _ => {
+                self.fault_anomaly(&format!("mark reply for unknown sweep {op}"));
+                return 0;
+            }
+        }
         let Some(PendingOp::Sweep(Phase::Coordinate(mut s))) = self.pending.remove(op) else {
-            debug_assert!(false, "mark reply for unknown sweep {op}");
-            return 0;
+            unreachable!("checked above");
         };
-        s.marks_outstanding -= 1;
+        // Saturating: a fault-forced abort zeroes the counter while
+        // straggler replies are still in flight.
+        s.marks_outstanding = s.marks_outstanding.saturating_sub(1);
         let mut cost = 0;
         if !frontier.is_empty() {
             s.rounds += 1;
@@ -458,9 +468,15 @@ impl Kernel {
     /// region in one batched pass and orders every participant to
     /// delete its partition.
     pub(crate) fn sweep_begin_delete(&mut self, op: OpId, out: &mut Outbox) -> u64 {
+        match self.pending.get(op) {
+            Some(PendingOp::Sweep(Phase::Coordinate(_))) => {}
+            _ => {
+                self.fault_anomaly(&format!("delete step for unknown sweep {op}"));
+                return 0;
+            }
+        }
         let Some(PendingOp::Sweep(Phase::Coordinate(mut s))) = self.pending.remove(op) else {
-            debug_assert!(false, "delete step for unknown sweep {op}");
-            return 0;
+            unreachable!("checked above");
         };
         debug_assert!(s.marks_outstanding == 0 && s.deps == 0);
         if s.rounds > self.stats.sweep_depth {
@@ -487,7 +503,9 @@ impl Kernel {
             let k = s.participants[i];
             s.fanin.arm();
             cost += self.cfg.cost.kcall_exit;
-            self.send_kcall(out, k, Kcall::SweepDeleteReq { op });
+            let call = Kcall::SweepDeleteReq { op };
+            self.record_retry_leg(op, k, &call);
+            self.send_kcall(out, k, call);
         }
         debug_assert!(!s.fanin.idle(), "a sweep always has participants");
         self.park(op, PendingOp::Sweep(Phase::Collect(s)));
@@ -503,17 +521,32 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let Some(&local) = self.sweep_parts.get(&(from, caller_op)) else {
-            debug_assert!(false, "delete order for unknown sweep ({from}, {caller_op})");
+            // Under fault injection: the partition already retired (or
+            // aborted) and this order is a straggler or duplicate.
+            self.fault_anomaly(&format!("delete order for unknown sweep ({from}, {caller_op})"));
             return 0;
         };
-        let ready_now = {
+        let (dup, swept, ready_now) = {
             let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.get_mut(local) else {
                 unreachable!("sweep_parts points at a partition");
             };
-            debug_assert!(!p.delete_requested, "delete ordered twice");
+            let dup = p.delete_requested;
             p.delete_requested = true;
-            p.deps == 0
+            (dup, p.swept, p.deps == 0)
         };
+        if dup {
+            // A re-sent delete order (coordinator deadline retry, or a
+            // NoC duplicate). If the partition already swept, the
+            // original reply was lost: resend it — the deletion count
+            // travelled with the first reply, so this one reports 0.
+            // Otherwise the first order is still working; ignore.
+            self.fault_anomaly(&format!("duplicate delete order for sweep ({from}, {caller_op})"));
+            if swept {
+                self.send_kreply(out, from, KReply::SweepDelete { op: caller_op, deleted: 0 });
+                return self.cfg.cost.kcall_exit;
+            }
+            return 0;
+        }
         if ready_now {
             self.run_ready(vec![ReadyOp::SweepPart(local)], out)
         } else {
@@ -526,14 +559,22 @@ impl Kernel {
     /// partition (fired on the done notice); the partition op stays
     /// parked until then.
     pub(crate) fn sweep_part_finish(&mut self, local: OpId, out: &mut Outbox) -> u64 {
-        let (caller, caller_op, roots) = {
+        let (caller, caller_op, roots, stray) = {
             let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.get_mut(local) else {
-                debug_assert!(false, "partition delete for unknown op {local}");
+                self.fault_anomaly(&format!("partition delete for unknown op {local}"));
                 return 0;
             };
-            debug_assert!(p.delete_requested && p.deps == 0 && !p.swept);
-            (p.caller, p.caller_op, std::mem::take(&mut p.roots))
+            debug_assert!(p.delete_requested && p.deps == 0);
+            let stray = p.swept;
+            let roots = if stray { Vec::new() } else { std::mem::take(&mut p.roots) };
+            (p.caller, p.caller_op, roots, stray)
         };
+        if stray {
+            // A second trigger after sweeping (only reachable with
+            // fault-forced wakes); the first pass did the work.
+            self.fault_anomaly(&format!("partition {local} deleted twice"));
+            return 0;
+        }
         let mut cost = 0;
         let mut stack = std::mem::take(&mut self.scratch.stack);
         let mut deleted = std::mem::take(&mut self.scratch.deleted);
@@ -563,7 +604,9 @@ impl Kernel {
     pub(crate) fn sweep_delete_reply(&mut self, op: OpId, deleted: u64, out: &mut Outbox) -> u64 {
         let drained = {
             let Some(PendingOp::Sweep(Phase::Collect(s))) = self.pending.get_mut(op) else {
-                debug_assert!(false, "delete reply for unknown sweep {op}");
+                // Under fault injection: a duplicated reply, or a
+                // straggler for a sweep that already closed.
+                self.fault_anomaly(&format!("delete reply for unknown sweep {op}"));
                 return 0;
             };
             s.fanin.complete_one(deleted)
@@ -597,13 +640,23 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         let Some(local) = self.sweep_parts.remove(&(from, caller_op)) else {
-            debug_assert!(false, "done notice for unknown sweep ({from}, {caller_op})");
+            // Under fault injection: the partition already retired (or
+            // aborted), and this notice is a straggler or duplicate.
+            self.fault_anomaly(&format!("done notice for unknown sweep ({from}, {caller_op})"));
             return 0;
         };
         let Some(PendingOp::Sweep(Phase::Partition(p))) = self.pending.remove(local) else {
             unreachable!("sweep_parts points at a partition");
         };
-        debug_assert!(p.swept, "done notice before the partition was deleted");
+        if !p.swept {
+            // Fault mode: the coordinator gave up on this partition's
+            // delete reply (abort broadcast its done notices early).
+            // Force-retire the partition so its marks don't leak.
+            self.fault_anomaly(&format!(
+                "done notice before partition ({from}, {caller_op}) was deleted"
+            ));
+            return self.abort_sweep_partition(p, out);
+        }
         let mut ready: Vec<ReadyOp> = Vec::new();
         for w in p.woken {
             self.wake_waiter(w, &mut ready);

@@ -77,6 +77,17 @@ pub struct KernelStats {
     /// High-water mark of frontier-expansion rounds in one sweep — the
     /// cross-kernel depth of the deepest swept subtree.
     pub sweep_depth: u64,
+    /// Idempotent request legs re-sent after a deadline expired
+    /// (`Feature::FaultInjection` only).
+    pub retries: u64,
+    /// Pending operations aborted with `Err` — deadline expiry with no
+    /// retry budget left, or a peer kernel declared dead
+    /// (`Feature::FaultInjection` only).
+    pub ops_aborted: u64,
+    /// Protocol anomalies absorbed under fault injection: replies for
+    /// unknown ops, duplicate fan-in completions, duplicate delete
+    /// orders — events that are hard errors outside fault mode.
+    pub fault_anomalies: u64,
 }
 
 impl KernelStats {

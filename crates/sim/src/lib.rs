@@ -14,12 +14,14 @@
 //! 2. No randomness outside [`rng::DetRng`], which is seeded from the
 //!    machine configuration.
 
+pub mod faults;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
 
+pub use faults::{CrashPoint, FaultPlan, FaultStats, NetVerdict, PartitionWindow};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use sched::PeSchedule;
@@ -36,6 +38,7 @@ const _: () = {
     assert_send::<EventQueue<u64>>();
     assert_send::<PeSchedule<u64>>();
     assert_send::<DetRng>();
+    assert_send::<FaultPlan>();
     assert_send::<Counter>();
     assert_send::<Summary>();
 };

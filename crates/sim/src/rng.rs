@@ -15,6 +15,7 @@
 //! environment has no registry access anyway.
 
 /// A deterministic, splittable RNG (xoshiro256++).
+#[derive(Debug, Clone)]
 pub struct DetRng {
     s: [u64; 4],
 }

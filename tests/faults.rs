@@ -1,0 +1,353 @@
+//! Asserted fault-injection suite (PR 9).
+//!
+//! The five failure scenarios that `examples/failure_injection.rs`
+//! demonstrates print-only are pinned here as hard assertions, and the
+//! deterministic fault engine (`semper_sim::faults` +
+//! `Feature::FaultInjection`) gets its own scripted scenarios: a kernel
+//! crash between the mark and delete phases of a parallel sweep, a
+//! one-way network partition across a live group migration, and a
+//! drop/duplicate/delay storm over a mixed workload. Every scenario
+//! must *terminate* — each issued operation completes or errors, the
+//! surviving kernels reach true quiescence ([`TestCluster::
+//! assert_quiescent`]), and the structural invariants hold.
+//!
+//! The legacy scenarios build independent clusters, so they run on the
+//! parallel harness (`semperos::Runner`, sized by `BENCH_THREADS`);
+//! their results come back in submission order regardless of the
+//! worker count.
+
+use semper_base::config::Feature;
+use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
+use semper_base::{CapSel, KernelId, VpeId};
+use semper_kernel::harness::TestCluster;
+use semper_sim::{CrashPoint, FaultPlan, PartitionWindow};
+use semperos::{Job, Runner};
+
+fn create_mem(c: &mut TestCluster, vpe: VpeId) -> CapSel {
+    match c.syscall(vpe, Syscall::CreateMem { size: 4096, perms: Perms::RW }).result {
+        Ok(SysReplyData::Mem { sel, .. }) => sel,
+        other => panic!("create_mem failed: {other:?}"),
+    }
+}
+
+fn delegate(c: &mut TestCluster, from: VpeId, to: VpeId, sel: CapSel) -> CapSel {
+    let r = c.syscall(
+        from,
+        Syscall::Exchange {
+            other: to,
+            own_sel: sel,
+            other_sel: CapSel::INVALID,
+            kind: ExchangeKind::Delegate,
+        },
+    );
+    match r.result {
+        Ok(SysReplyData::Delegated { recv_sel }) => recv_sel,
+        other => panic!("delegate failed: {other:?}"),
+    }
+}
+
+fn assert_no_pending(c: &TestCluster) {
+    for k in &c.kernels {
+        assert_eq!(k.pending_ops(), 0, "kernel {} left suspended ops", k.id());
+    }
+}
+
+// ----- the five legacy scenarios, assert-ified -------------------------
+
+/// Scenario 1: the obtainer dies while its obtain is in flight. The
+/// owner's kernel must clean the orphaned child link, leaving only the
+/// owner's self-capability and its memory capability.
+fn obtainer_killed_mid_obtain() -> &'static str {
+    let mut c = TestCluster::new(2, 1);
+    let sel = create_mem(&mut c, VpeId(0));
+    c.syscall_async(
+        VpeId(1),
+        Syscall::Exchange {
+            other: VpeId(0),
+            own_sel: CapSel::INVALID,
+            other_sel: sel,
+            kind: ExchangeKind::Obtain,
+        },
+    );
+    c.pump_n(4); // owner linked the child; reply is in flight
+    c.kill(VpeId(1));
+    c.pump_all();
+    c.check_invariants();
+    assert_eq!(c.kernels[0].stats().orphans_cleaned, 1, "orphan not cleaned at the owner");
+    assert_eq!(c.total_caps(), 2, "only VPE0's self-cap and its memory cap may survive");
+    assert_no_pending(&c);
+    "obtainer_killed_mid_obtain"
+}
+
+/// Scenario 2: the receiver dies during a delegate handshake. The
+/// delegator must get an error reply and no dangling child reference
+/// may remain.
+fn receiver_killed_mid_delegate() -> &'static str {
+    let mut c = TestCluster::new(2, 1);
+    let sel = create_mem(&mut c, VpeId(0));
+    let tag = c.syscall_async(
+        VpeId(0),
+        Syscall::Exchange {
+            other: VpeId(1),
+            own_sel: sel,
+            other_sel: CapSel::INVALID,
+            kind: ExchangeKind::Delegate,
+        },
+    );
+    c.pump_n(5); // pending insert created at the receiver's kernel
+    c.kill(VpeId(1));
+    c.pump_all();
+    let reply = c.take_reply(VpeId(0), tag).expect("delegator must be answered");
+    assert!(reply.result.is_err(), "delegate into a dead receiver must fail: {:?}", reply.result);
+    c.check_invariants();
+    assert_no_pending(&c);
+    "receiver_killed_mid_delegate"
+}
+
+/// Scenario 3: a VPE holding a two-hop cross-kernel delegation chain
+/// exits. The recursive revocation crosses all three kernels; only the
+/// two bystander VPEs' self-capabilities survive.
+fn exit_with_cross_kernel_chain() -> &'static str {
+    let mut c = TestCluster::new(3, 1);
+    let a = create_mem(&mut c, VpeId(0));
+    let b = delegate(&mut c, VpeId(0), VpeId(1), a);
+    let _ = delegate(&mut c, VpeId(1), VpeId(2), b);
+    c.syscall_async(VpeId(0), Syscall::Exit);
+    c.pump_all();
+    c.check_invariants();
+    assert_eq!(c.total_caps(), 2, "the exiting VPE's chain must vanish on every kernel");
+    assert_no_pending(&c);
+    "exit_with_cross_kernel_chain"
+}
+
+/// Scenario 4: a peer kernel's whole workload dies while a parallel
+/// partitioned sweep is marking its partition. The victims' teardown
+/// revokes must chain onto the in-flight sweep, and the sweep must
+/// still complete and acknowledge the initiator.
+fn workload_death_mid_parallel_sweep() -> &'static str {
+    let mut c = TestCluster::new(4, 2);
+    for k in &mut c.kernels {
+        k.enable_feature_for_test(Feature::ParallelSweep);
+    }
+    let root = create_mem(&mut c, VpeId(0));
+    for to in [2u16, 3, 4, 5, 6, 7] {
+        let _ = delegate(&mut c, VpeId(0), VpeId(to), root);
+    }
+    let before = c.total_caps();
+    let tag = c.syscall_async(VpeId(0), Syscall::Revoke { sel: root, own: true });
+    c.pump_n(3); // mark requests are out; the partitions are not yet swept
+    c.kill(VpeId(2));
+    c.kill(VpeId(3));
+    c.pump_all();
+    assert!(c.take_reply(VpeId(0), tag).unwrap().result.is_ok(), "sweep not acknowledged");
+    c.check_invariants();
+    assert!(c.kernels[0].stats().sweeps >= 1, "revoke did not take the sweep path");
+    assert_eq!(c.total_caps(), before - 7 - 2, "subtree + the dead VPEs' self-caps gone");
+    assert_no_pending(&c);
+    "workload_death_mid_parallel_sweep"
+}
+
+/// Scenario 5: a stale-routed obtain and a kill race a live group
+/// migration. The old owner must hold or relay both; the obtain must
+/// be answered, the kill must chase the group to the new owner, and
+/// the migration itself must still complete.
+fn kill_races_live_migration() -> &'static str {
+    let mut c = TestCluster::new(3, 1);
+    let root = create_mem(&mut c, VpeId(0));
+    let src = c.start_migration(VpeId(0), KernelId(2)).expect("start migration");
+    let tag = c.syscall_async(
+        VpeId(1),
+        Syscall::Exchange {
+            other: VpeId(0),
+            own_sel: CapSel::INVALID,
+            other_sel: root,
+            kind: ExchangeKind::Obtain,
+        },
+    );
+    c.kill(VpeId(0));
+    c.pump_all();
+    assert!(c.kernels[src.idx()].take_migration_failure(VpeId(0)).is_none());
+    // The obtain raced the kill: either outcome is legal, but it must
+    // be answered, and the teardown must reach the new owner.
+    assert!(c.take_reply(VpeId(1), tag).is_some(), "racing obtain lost its reply");
+    c.pump_all();
+    c.check_invariants();
+    for k in &c.kernels {
+        assert!(!k.vpe_alive(VpeId(0)), "kernel {} kept the killed VPE alive", k.id());
+    }
+    assert_no_pending(&c);
+    let s = *c.kernels[src.idx()].stats();
+    assert_eq!(s.migrations_out, 1, "the migration itself must still complete");
+    "kill_races_live_migration"
+}
+
+/// The five legacy scenarios from `examples/failure_injection.rs`,
+/// asserted and run on the parallel harness.
+#[test]
+fn legacy_failure_scenarios_hold() {
+    let jobs: Vec<Job<'static, &'static str>> = vec![
+        Box::new(obtainer_killed_mid_obtain),
+        Box::new(receiver_killed_mid_delegate),
+        Box::new(exit_with_cross_kernel_chain),
+        Box::new(workload_death_mid_parallel_sweep),
+        Box::new(kill_races_live_migration),
+    ];
+    let ran = Runner::from_env().run(jobs);
+    assert_eq!(
+        ran,
+        vec![
+            "obtainer_killed_mid_obtain",
+            "receiver_killed_mid_delegate",
+            "exit_with_cross_kernel_chain",
+            "workload_death_mid_parallel_sweep",
+            "kill_races_live_migration",
+        ],
+        "scenario results must come back in submission order"
+    );
+}
+
+// ----- scripted fault-engine scenarios ---------------------------------
+
+/// The ISSUE's tentpole script: kernel 2 dies after marking its sweep
+/// partition, before the delete order arrives. The crash point fires on
+/// the first `sweep-part` park at kernel 2 — its island freezes with
+/// the partition marked but unswept. The survivors must detect the
+/// peer's death, the coordinator must force its delete phase over the
+/// partitions that did answer, and the initiating revoke must still be
+/// acknowledged. No silent hang, no leaked ledger entries.
+#[test]
+fn kernel_crash_between_sweep_mark_and_delete() {
+    let mut c = TestCluster::new(4, 2);
+    for k in &mut c.kernels {
+        k.enable_feature_for_test(Feature::ParallelSweep);
+    }
+    let plan =
+        FaultPlan::empty().with_crash(CrashPoint { kernel: 2, phase: "sweep-part", after_nth: 1 });
+    c.set_fault_plan(plan, 64);
+
+    // Root at VPE 0 (kernel 0), one copy in every other group: the
+    // sweep partitions by owning kernel, so kernels 1, 2 and 3 each
+    // hold a partition.
+    let root = create_mem(&mut c, VpeId(0));
+    for to in [2u16, 3, 4, 5, 6, 7] {
+        let _ = delegate(&mut c, VpeId(0), VpeId(to), root);
+    }
+    let tag = c.syscall_async(VpeId(0), Syscall::Revoke { sel: root, own: true });
+    c.pump_all();
+
+    assert!(!c.kernel_alive(KernelId(2)), "the scripted crash point never fired");
+    assert_eq!(c.dead_kernels().len(), 1, "only kernel 2 may die");
+    let reply = c.take_reply(VpeId(0), tag).expect("initiator must be answered");
+    assert!(reply.result.is_ok(), "revoke replies are always-Ok: {:?}", reply.result);
+    assert!(c.kernels[0].stats().sweeps >= 1, "revoke did not take the sweep path");
+    // The coordinator lost a participant: either its fan-in aborted via
+    // peer-death or a deadline — both count as an aborted op.
+    assert!(c.kernels[0].stats().ops_aborted >= 1, "the lost partition never aborted");
+    // Survivors' partitions are swept: no copy of the subtree remains
+    // outside the dead island.
+    for k in &c.kernels {
+        if !c.kernel_alive(k.id()) {
+            continue;
+        }
+        for vpe in 0..8u16 {
+            if let Some(t) = k.table(VpeId(vpe)) {
+                for (sel, _) in t.iter() {
+                    assert!(sel.0 < 2, "kernel {} still holds subtree cap {sel}", k.id());
+                }
+            }
+        }
+    }
+    c.check_invariants();
+    c.assert_quiescent();
+}
+
+/// A one-way partition (kernel 0 cannot reach kernel 2) opens just as
+/// a group migration 0 → 2 starts: the install request is dropped on
+/// the NoC, the source's `migrate-await-install` deadline expires, and
+/// the migration aborts through the protocol's own refusal path — the
+/// group never leaves. After the window heals, the same migration
+/// succeeds.
+#[test]
+fn partition_aborts_then_heals_migration() {
+    let mut c = TestCluster::new(3, 1);
+    // The window covers the install request's send but closes before
+    // the 128-step deadline fires: the first migration still aborts
+    // (install requests carry no retry legs — the drop is fatal), and
+    // by the time the deadline pump has run, the route is healed.
+    let plan =
+        FaultPlan::empty().with_partition(PartitionWindow { from: 0, to: 2, start: 0, end: 64 });
+    c.set_fault_plan(plan, 128);
+    let root = create_mem(&mut c, VpeId(0));
+
+    let src = c.start_migration(VpeId(0), KernelId(2)).expect("start migration");
+    c.pump_all();
+    let err = c.kernels[src.idx()].take_migration_failure(VpeId(0));
+    assert!(err.is_some(), "the partitioned install must abort the migration");
+    assert_eq!(c.kernel_of(VpeId(0)), KernelId(0), "the group must not leave the source");
+    let fs = c.fault_stats().expect("plan installed");
+    assert!(fs.partitioned > 0, "the partition never dropped anything");
+    c.check_invariants();
+    c.assert_quiescent();
+
+    // The pump drained past the window's end (quiet-network clock
+    // jumps); the healed route must now carry the same migration.
+    c.migrate(VpeId(0), KernelId(2)).expect("migration must succeed after the heal");
+    assert_eq!(c.kernel_of(VpeId(0)), KernelId(2));
+    let fs = c.fault_stats().expect("plan installed");
+    assert_eq!(fs.partitions_healed, 1, "the healed window must be counted once");
+    // The delegation structure survived the aborted attempt: the
+    // migrated VPE still holds its root capability.
+    let k = c.kernel_of(VpeId(0));
+    assert!(c.kernels[k.idx()].table(VpeId(0)).unwrap().get(root).is_ok());
+    c.check_invariants();
+    c.assert_quiescent();
+}
+
+/// A drop/duplicate/delay storm over a mixed spanning workload: every
+/// issued operation must be answered (Ok or Err — never silence), the
+/// cluster must reach true quiescence, and the structural invariants
+/// must hold on every kernel.
+#[test]
+fn message_storm_terminates_with_all_ops_answered() {
+    let mut c = TestCluster::new(3, 2);
+    let plan = FaultPlan::seeded(0x57_0421).with_drop(60).with_duplicate(40).with_delay(80, 12);
+    c.set_fault_plan(plan, 256);
+
+    let mut tags: Vec<(VpeId, u64)> = Vec::new();
+    let mut roots: Vec<(VpeId, CapSel)> = Vec::new();
+    for v in 0..6u16 {
+        let vpe = VpeId(v);
+        let sel = create_mem(&mut c, vpe);
+        roots.push((vpe, sel));
+    }
+    for (i, &(vpe, sel)) in roots.iter().enumerate() {
+        // Spanning delegation to the next group's first VPE.
+        let to = VpeId(((vpe.0 / 2 + 1) % 3) * 2);
+        tags.push((
+            vpe,
+            c.syscall_async(
+                vpe,
+                Syscall::Exchange {
+                    other: to,
+                    own_sel: sel,
+                    other_sel: CapSel::INVALID,
+                    kind: ExchangeKind::Delegate,
+                },
+            ),
+        ));
+        c.pump_n(1 + i); // interleave so windows overlap
+    }
+    for &(vpe, sel) in &roots {
+        tags.push((vpe, c.syscall_async(vpe, Syscall::Revoke { sel, own: true })));
+    }
+    c.pump_all();
+
+    for (vpe, tag) in tags {
+        let reply = c.take_reply(vpe, tag);
+        assert!(reply.is_some(), "{vpe} tag {tag}: operation vanished without a reply");
+    }
+    let fs = c.fault_stats().expect("plan installed");
+    assert!(fs.injected > 0, "the storm never fired");
+    c.check_invariants();
+    c.assert_quiescent();
+}
