@@ -68,6 +68,16 @@ pub enum Feature {
     /// bit-identical; the fault suites and fault bench scenarios
     /// enable it together with a non-empty plan.
     FaultInjection,
+    /// Promise-capability IPC (ROADMAP item 4): `Syscall::SubmitAsync`
+    /// returns a first-class *promise capability* immediately; the
+    /// kernel pipelines dependent calls naming an unresolved promise
+    /// (parked in the promise's resolution queue, replayed in arrival
+    /// order on resolve) and routes the `Provide`/`Resolve` legs of
+    /// cross-kernel promises through the ops engine. Off by default so
+    /// every pre-existing golden, trace fingerprint, and bench cycle
+    /// count stays bit-identical; the `*_pipelined` scenarios and the
+    /// promise suites enable it.
+    PromiseIpc,
 }
 
 /// Full description of a simulated machine and its OS deployment.
@@ -155,9 +165,13 @@ impl MachineConfig {
 
     /// Kernel thread-pool size per the paper's formula (§4.2):
     /// `V_group + K_max * M_inflight`, where `V_group` is the number of
-    /// VPEs in this kernel's group.
+    /// VPEs in this kernel's group. With `Feature::PromiseIpc` the VPE
+    /// term doubles: an asynchronous inner execution can hold a thread
+    /// concurrently with the same VPE's blocking syscall.
     pub fn thread_pool_size(&self, vpes_in_group: u32) -> u32 {
-        vpes_in_group + self.kernels as u32 * self.max_inflight
+        let vpe_term =
+            if self.has_feature(Feature::PromiseIpc) { 2 * vpes_in_group } else { vpes_in_group };
+        vpe_term + self.kernels as u32 * self.max_inflight
     }
 
     /// Validates structural constraints; returns a human-readable reason

@@ -55,6 +55,10 @@ pub enum Code {
     /// Timeout while waiting for a remote party (only used by tests and
     /// watchdogs; the protocols themselves are timeout-free).
     Timeout,
+    /// A promise capability has not resolved yet (non-blocking
+    /// `WaitPromise` polls report this; it is informational, not a
+    /// failure of the promised operation).
+    Unresolved,
 }
 
 impl Code {
@@ -80,6 +84,7 @@ impl Code {
             Code::InternalError => "EINTERNAL",
             Code::NoSuchVpe => "ENOVPE",
             Code::Timeout => "ETIMEOUT",
+            Code::Unresolved => "EUNRES",
         }
     }
 }
@@ -157,6 +162,7 @@ mod tests {
             Code::InternalError,
             Code::NoSuchVpe,
             Code::Timeout,
+            Code::Unresolved,
         ];
         let mut seen = std::collections::BTreeSet::new();
         for c in codes {

@@ -228,6 +228,28 @@ pub enum Syscall {
     /// `semper_kernel::ops::bulk`). `Batch` and `Exit` may not appear
     /// as items.
     Batch(Box<[Syscall]>),
+    /// Submits the inner call asynchronously (`Feature::PromiseIpc`):
+    /// the kernel replies immediately with a *promise capability*
+    /// ([`SysReplyData::Promise`]) standing in for the eventual result.
+    /// Selector-valued operands of later calls may name an unresolved
+    /// promise; the kernel parks those calls in the promise's resolution
+    /// queue and replays them — with the resolved value substituted — in
+    /// arrival order once the promise resolves. Boxed so this variant
+    /// does not widen [`Syscall`]. `Exit`, `Batch`, and the promise
+    /// calls themselves may not be submitted asynchronously.
+    SubmitAsync(Box<Syscall>),
+    /// Queries a promise capability (`Feature::PromiseIpc`). If the
+    /// promise is resolved the kernel replies with the stored result
+    /// (non-consuming: waiting again re-reads it). Otherwise, with
+    /// `block` set the caller's reply is deferred until resolution;
+    /// without it the kernel replies [`crate::Code::Unresolved`]
+    /// immediately — a poll.
+    WaitPromise {
+        /// Selector of the promise capability.
+        sel: CapSel,
+        /// Block until resolution instead of polling.
+        block: bool,
+    },
 }
 
 /// Payload of a successful system-call reply.
@@ -269,6 +291,12 @@ pub enum SysReplyData {
     /// pointer) so this variant does not widen `SysReplyData` — and
     /// thereby every `Msg` — past the slim-layout budget.
     Batch(Box<Vec<Result<SysReplyData>>>),
+    /// A [`Syscall::SubmitAsync`] was accepted; `sel` is the promise
+    /// capability standing in for the eventual result.
+    Promise {
+        /// Selector of the new promise capability.
+        sel: CapSel,
+    },
 }
 
 /// Reply to a system call.
@@ -471,6 +499,36 @@ pub enum Kcall {
         /// The relayed request.
         call: Box<Kcall>,
     },
+    /// First leg of an eager cross-kernel delegate against an
+    /// unresolved promise (`Feature::PromiseIpc`): the sender's kernel
+    /// *will* delegate a capability — not yet describable because an
+    /// operand promise is unresolved — to `recv_vpe`. The receiving
+    /// kernel runs the consent upcall now, so by the time the operand
+    /// resolves only the transfer legs remain. Answered with
+    /// [`KReply::Provide`]; the actual capability follows in a
+    /// [`Kcall::Resolve`].
+    Provide {
+        /// Correlation id (sender-local).
+        op: OpId,
+        /// The delegating VPE.
+        from_vpe: VpeId,
+        /// The VPE that will receive the capability.
+        recv_vpe: VpeId,
+    },
+    /// Second leg of an eager delegate: the operand promise resolved,
+    /// so the sender now names the capability to transfer (or aborts
+    /// with an `Err`, e.g. the promise resolved to a failure or the
+    /// submitter died — then the receiver just drops its pending state
+    /// and no reply is sent). Answered with [`KReply::Resolved`] on the
+    /// `Ok` path.
+    Resolve {
+        /// The *receiver's* correlation id (from [`KReply::Provide`]).
+        op: OpId,
+        /// The sender's correlation id, echoed in [`KReply::Resolved`].
+        reply_op: OpId,
+        /// The parent capability to delegate from, or the abort reason.
+        result: Result<CapDesc>,
+    },
     /// Terminate a VPE hosted by the receiving kernel. Sent by a
     /// migration source replaying a kill that arrived while the VPE's
     /// group was mid-handover (the group — and with it the kill — now
@@ -577,6 +635,25 @@ pub enum KReply {
         /// Correlation id echoed from the update.
         op: OpId,
     },
+    /// Reply to [`Kcall::Provide`]: the receiving VPE's consent verdict.
+    /// On success, the receiver kernel's correlation id addressing the
+    /// follow-up [`Kcall::Resolve`].
+    Provide {
+        /// Correlation id echoed from the request.
+        op: OpId,
+        /// On success: the receiver kernel's pending-op id.
+        result: Result<OpId>,
+    },
+    /// Reply to an `Ok` [`Kcall::Resolve`]: the receiver created the
+    /// pending child capability. On success, the child's DDL key plus
+    /// the receiver's insert correlation id — the sender commits with
+    /// the ordinary [`Kcall::DelegateAck`] handshake.
+    Resolved {
+        /// The resolve's `reply_op` echoed back.
+        op: OpId,
+        /// On success: pending child key and the receiver's insert op.
+        result: Result<(DdlKey, OpId)>,
+    },
 }
 
 impl KReply {
@@ -593,7 +670,9 @@ impl KReply {
             | KReply::SweepDelete { op, .. }
             | KReply::OpenSess { op, .. }
             | KReply::Migrate { op, .. }
-            | KReply::MembershipAck { op } => *op,
+            | KReply::MembershipAck { op }
+            | KReply::Provide { op, .. }
+            | KReply::Resolved { op, .. } => *op,
         }
     }
 }
@@ -877,6 +956,8 @@ impl Payload {
                 KReply::OpenSess { .. } => 24,
                 KReply::Migrate { .. } => 24,
                 KReply::MembershipAck { .. } => 8,
+                KReply::Provide { .. } => 16,
+                KReply::Resolved { .. } => 24,
             },
             Payload::Upcall(_) | Payload::UpcallReply(_) => 24,
             Payload::Fs(req) => {
@@ -928,6 +1009,8 @@ fn kcall_size(call: &Kcall) -> u32 {
         Kcall::MembershipUpdate { .. } => 16,
         Kcall::Forwarded { call, .. } => 8 + kcall_size(call),
         Kcall::KillVpe { .. } => 8,
+        Kcall::Provide { .. } => 24,
+        Kcall::Resolve { .. } => 48,
     }
 }
 
@@ -947,6 +1030,10 @@ fn syscall_size(call: &Syscall) -> u32 {
         Syscall::Activate { .. } => 16,
         Syscall::Exit => 8,
         Syscall::Batch(items) => 8 + items.iter().map(syscall_size).sum::<u32>(),
+        // An async submission pays an 8-byte promise header on top of
+        // the inner call's payload.
+        Syscall::SubmitAsync(inner) => 8 + syscall_size(inner),
+        Syscall::WaitPromise { .. } => 16,
     }
 }
 

@@ -54,6 +54,18 @@
 //!   → abort machinery guaranteeing termination. The appended
 //!   `faults_*` fields record injected faults, retries, aborted ops
 //!   and healed partitions — all deterministic under the cycle gate;
+//! * **service chains, blocking vs pipelined** (new in PR 10) — every
+//!   group-0 client of a two-kernel machine runs the canonical
+//!   dependent chain (create → derive → cross-kernel delegate →
+//!   read-back derive), either as four synchronous syscalls or
+//!   submitted up front through `Syscall::SubmitAsync` with
+//!   dependencies named by their *promise* selector
+//!   (`Feature::PromiseIpc`, `kernel::ops::promise`) and only the
+//!   tail redeemed.
+//!   `revoke_sim_cycles` holds the workload's end-to-end makespan —
+//!   the pipelined twin must finish in strictly fewer simulated
+//!   cycles — and the appended `promises_*`/`calls_pipelined` columns
+//!   record the protocol counters;
 //! * a **data-structure A/B**: the owner-table reverse removal
 //!   (`CapTable::remove_key`) against a re-implementation of the naive
 //!   linear-scan sweep the seed shipped, on identical 10k-entry tables.
@@ -69,7 +81,7 @@
 //! computed, and `BENCH_ASSERT_SPEEDUP=<min>` turns that into a hard
 //! gate (for multi-core hosts; see EXPERIMENTS.md).
 //!
-//! Results land in `BENCH_PR9.json` at the workspace root (override with
+//! Results land in `BENCH_PR10.json` at the workspace root (override with
 //! `BENCH_OUT`). If `BENCH_BASELINE` names an earlier report, its
 //! scenario timings are embedded under `"baseline"` and per-scenario
 //! speedups are computed — this is how each PR's report compares
@@ -83,7 +95,7 @@
 use std::time::Instant;
 
 use semper_apps::AppKind;
-use semper_base::msg::{SysReplyData, Syscall};
+use semper_base::msg::{ExchangeKind, Perms, SysReplyData, Syscall};
 use semper_base::{
     CapSel, CapType, DdlKey, Feature, KernelId, KernelMode, MachineConfig, PeId, VpeId,
 };
@@ -112,6 +124,9 @@ struct Scenario {
     /// Fault-engine observability (PR 9): all zero for scenarios that
     /// run without a fault plan.
     faults: FaultObs,
+    /// Promise-protocol observability (PR 10): all zero for scenarios
+    /// that never submit an asynchronous invocation.
+    promise: PromiseObs,
 }
 
 /// Parallel-sweep observability counters (PR 6): fan-out width, round
@@ -134,6 +149,18 @@ struct FaultObs {
     retries: u64,
     ops_aborted: u64,
     partitions_healed: u64,
+}
+
+/// Promise-protocol observability counters (PR 10): promise
+/// capabilities minted by `SubmitAsync`, promises driven to a terminal
+/// resolution, and calls that actually pipelined — parked against an
+/// unresolved promise or gated behind an in-flight predecessor instead
+/// of blocking the client.
+#[derive(Default)]
+struct PromiseObs {
+    created: u64,
+    resolved: u64,
+    pipelined: u64,
 }
 
 impl Scenario {
@@ -165,6 +192,9 @@ impl Scenario {
             ("fault_retries", Val::U(self.faults.retries)),
             ("ops_aborted", Val::U(self.faults.ops_aborted)),
             ("partitions_healed", Val::U(self.faults.partitions_healed)),
+            ("promises_created", Val::U(self.promise.created)),
+            ("promises_resolved", Val::U(self.promise.resolved)),
+            ("calls_pipelined", Val::U(self.promise.pipelined)),
         ])
     }
 }
@@ -232,6 +262,7 @@ fn chain_revoke(len: u32, spanning: bool) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -271,6 +302,7 @@ fn tree_revoke(children: u32, prefill: u32) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -304,6 +336,7 @@ fn dense_table_teardown(caps: u32) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -368,6 +401,7 @@ fn dense_table_spanning(caps: u32, parallel: bool) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -409,6 +443,7 @@ fn group_migration(caps: u32) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -520,6 +555,7 @@ fn rebalance_under_load(servers: u16, hops: u32) -> Scenario {
         kcalls: total_kcalls(&m) - kcalls_before,
         sweep: sweep_obs(&m, dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -574,6 +610,7 @@ fn spanning_revoke(n: u32, batched: bool) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -615,6 +652,7 @@ fn file_workload(instances: u32, batched: bool) -> Scenario {
             dispatches: res.kernel_stats.iter().map(|s| s.handler_dispatches).sum(),
         },
         faults: FaultObs::default(),
+        promise: PromiseObs::default(),
     }
 }
 
@@ -692,6 +730,130 @@ fn faulted_spanning_teardown(caps: u32) -> Scenario {
         kcalls: total_kcalls(m.machine()) - kcalls_before,
         sweep: sweep_obs(m.machine(), dispatches_before),
         faults,
+        promise: PromiseObs::default(),
+    }
+}
+
+/// Service chains, blocking vs promise-pipelined (the PR 10 twins):
+/// every group-0 client of a two-kernel machine runs the canonical
+/// dependent chain of a service interaction — "open" (create a memory
+/// capability), "read" (derive the transfer window from it), "hand
+/// off" (delegate the window to the partner VPE in the other group),
+/// then a second read against the root — once as four synchronous
+/// syscalls, once submitted up front through `Syscall::SubmitAsync`
+/// with dependencies named by *promise* selectors
+/// (`Feature::PromiseIpc`) and only the tail redeemed. The pipelined
+/// twin's submissions return immediately, so later clients' submission
+/// round trips overlap the kernel-side delegate work of earlier
+/// chains, and the final read rides the pipeline behind the still
+/// in-flight cross-kernel hand-off (the `calls_pipelined` counter).
+/// `revoke_sim_cycles` records the end-to-end makespan of the whole
+/// workload (field name kept stable for the baseline parser) and the
+/// `promises_*`/`calls_pipelined` columns the protocol counters.
+/// `size` is the client count.
+fn service_chain(clients: u16, pipelined: bool) -> Scenario {
+    let t = Instant::now();
+    let mut m = MicroMachine::new(2, clients, KernelMode::SemperOS);
+    if pipelined {
+        m.machine().enable_feature_everywhere(Feature::PromiseIpc);
+    }
+    // Only group-0 clients initiate (round-robin placement: even ids →
+    // group 0); their partners in group 1 receive the hand-off.
+    let client_vpes: Vec<VpeId> = (0..clients).map(|j| VpeId(j * 2)).collect();
+    let build_ms = ms(t);
+
+    // `root` is hop 0's capability (resolved selector when blocking,
+    // promise selector when pipelined); `dep` the previous hop's.
+    let hop_call = |hop: usize, client: VpeId, root: CapSel, dep: CapSel| match hop {
+        0 => Syscall::CreateMem { size: 16 * 1024, perms: Perms::RW },
+        1 => Syscall::DeriveMem { src: root, offset: 0, size: 4096, perms: Perms::R },
+        2 => Syscall::Exchange {
+            other: VpeId(client.0 ^ 1),
+            own_sel: dep,
+            other_sel: CapSel::INVALID,
+            kind: ExchangeKind::Delegate,
+        },
+        _ => Syscall::DeriveMem { src: root, offset: 4096, size: 4096, perms: Perms::R },
+    };
+    const HOPS: usize = 4;
+
+    let kcalls_before = total_kcalls(m.machine());
+    let dispatches_before = total_dispatches(m.machine());
+    let t = Instant::now();
+    let t0 = m.machine().now();
+    if pipelined {
+        // Submit every client's whole chain; each submission replies
+        // with a promise immediately, so the kernels work on earlier
+        // chains while later clients are still submitting, and hop 3
+        // rides the per-VPE pipeline behind the in-flight hand-off.
+        let mut tails = Vec::with_capacity(client_vpes.len());
+        for &client in &client_vpes {
+            let (mut root, mut dep) = (CapSel::INVALID, CapSel::INVALID);
+            for hop in 0..HOPS {
+                let call = Syscall::SubmitAsync(Box::new(hop_call(hop, client, root, dep)));
+                let (reply, _) = m.machine().syscall_blocking(client, call);
+                match reply.result {
+                    Ok(SysReplyData::Promise { sel }) => dep = sel,
+                    other => panic!("submission must yield a promise: {other:?}"),
+                }
+                if hop == 0 {
+                    root = dep;
+                }
+            }
+            tails.push((client, dep));
+        }
+        // Redeem only the tails: program order guarantees the earlier
+        // hops completed when the tail resolves.
+        for (client, tail) in tails {
+            let (reply, _) = m
+                .machine()
+                .syscall_blocking(client, Syscall::WaitPromise { sel: tail, block: true });
+            assert!(
+                matches!(reply.result, Ok(SysReplyData::Mem { .. } | SysReplyData::Sel(_))),
+                "tail must resolve to the read-back window: {reply:?}"
+            );
+        }
+    } else {
+        for &client in &client_vpes {
+            let (mut root, mut dep) = (CapSel::INVALID, CapSel::INVALID);
+            for hop in 0..HOPS {
+                let (reply, _) =
+                    m.machine().syscall_blocking(client, hop_call(hop, client, root, dep));
+                dep = match reply.result.unwrap_or_else(|e| panic!("hop {hop} failed: {e}")) {
+                    SysReplyData::Mem { sel, .. } => sel,
+                    SysReplyData::Sel(sel) => sel,
+                    _ => CapSel::INVALID,
+                };
+                if hop == 0 {
+                    root = dep;
+                }
+            }
+        }
+    }
+    m.machine().run_until_idle();
+    let chain_cycles = (m.machine().now() - t0).0;
+    let chain_ms = ms(t);
+    m.machine().check_invariants();
+    m.machine().assert_quiescent();
+
+    let st = m.machine().kernel_stats();
+    let promise = PromiseObs {
+        created: st.iter().map(|s| s.promises_created).sum(),
+        resolved: st.iter().map(|s| s.promises_resolved).sum(),
+        pipelined: st.iter().map(|s| s.calls_pipelined).sum(),
+    };
+    Scenario {
+        name: if pipelined { "service_chain_pipelined" } else { "service_chain_blocking" },
+        size: u32::from(clients),
+        build_ms,
+        revoke_ms: chain_ms,
+        revoke_cycles: chain_cycles,
+        events: m.machine().events(),
+        caps_deleted: total_caps_deleted(m.machine()),
+        kcalls: total_kcalls(m.machine()) - kcalls_before,
+        sweep: sweep_obs(m.machine(), dispatches_before),
+        faults: FaultObs::default(),
+        promise,
     }
 }
 
@@ -769,6 +931,16 @@ fn main() {
             Box::new(move || dense_table_spanning(10_000 / scale, true)),
         ),
         ("faulted_spanning_teardown", Box::new(move || faulted_spanning_teardown(2048 / scale))),
+        // Floor of 4 clients so the smoke run still has enough chains
+        // in flight for the submissions to overlap kernel-side work.
+        (
+            "service_chain_blocking",
+            Box::new(move || service_chain(((64 / scale).max(4)) as u16, false)),
+        ),
+        (
+            "service_chain_pipelined",
+            Box::new(move || service_chain(((64 / scale).max(4)) as u16, true)),
+        ),
     ];
     let submitted: Vec<&'static str> = jobs.iter().map(|(n, _)| *n).collect();
     let runner = Runner::from_env();
@@ -873,6 +1045,46 @@ fn main() {
         );
     }
 
+    // The promise protocol's acceptance gate: pipelining the dependent
+    // service chains must finish the whole workload in strictly fewer
+    // simulated cycles than issuing the same chains blocking, and every
+    // promise the pipelined twin minted must have resolved
+    // (deterministic — both are simulated counters).
+    {
+        let blk =
+            scenarios.iter().find(|s| s.name == "service_chain_blocking").expect("blocking twin");
+        let pip =
+            scenarios.iter().find(|s| s.name == "service_chain_pipelined").expect("pipelined twin");
+        assert!(
+            pip.revoke_cycles < blk.revoke_cycles,
+            "service_chain_pipelined: {} sim cycles, not under blocking's {}",
+            pip.revoke_cycles,
+            blk.revoke_cycles
+        );
+        assert!(
+            pip.promise.created > 0 && pip.promise.created == pip.promise.resolved,
+            "pipelined twin leaked promises: {} created, {} resolved",
+            pip.promise.created,
+            pip.promise.resolved
+        );
+        assert!(
+            pip.promise.pipelined > 0,
+            "pipelined twin never pipelined a call: the read-back hop must ride \
+             the pipeline behind the in-flight hand-off"
+        );
+        println!();
+        println!(
+            "service_chain_pipelined vs blocking: sim cycles {} -> {} ({:.1}% saved), \
+             promises {} created / {} resolved, {} calls pipelined",
+            blk.revoke_cycles,
+            pip.revoke_cycles,
+            100.0 * (blk.revoke_cycles - pip.revoke_cycles) as f64 / blk.revoke_cycles as f64,
+            pip.promise.created,
+            pip.promise.resolved,
+            pip.promise.pipelined,
+        );
+    }
+
     let ab_n = 10_000 / scale;
     let (naive_ms, optimized_ms, speedup) = table_sweep_ab(ab_n);
     println!();
@@ -885,7 +1097,7 @@ fn main() {
     println!("suite wall-clock: {wall_ms_total:.1} ms at {threads} thread(s)");
 
     let mut fields = vec![
-        ("pr", Val::U(9)),
+        ("pr", Val::U(10)),
         ("bench", Val::S("scale_capops".into())),
         ("smoke", Val::U(u64::from(smoke))),
         // Harness-level fields (PR 8): worker count and total suite
@@ -1028,7 +1240,7 @@ fn main() {
         }
     }
 
-    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR9.json");
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_PR10.json");
     let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
     let json = render(&Val::obj(fields));
     std::fs::write(&out_path, json).expect("write benchmark report");

@@ -231,6 +231,14 @@ mod tests {
                         ("revoke_ms", Val::F(12.5)),
                         ("revoke_sim_cycles", Val::U(123_456)),
                         ("events", Val::U(80_000)),
+                        // Columns appended after revoke_sim_cycles (the
+                        // PR 9 fault and PR 10 promise counters) must be
+                        // invisible to the scan — the append-parser-
+                        // compatibly rule.
+                        ("partitions_healed", Val::U(1)),
+                        ("promises_created", Val::U(42)),
+                        ("promises_resolved", Val::U(42)),
+                        ("calls_pipelined", Val::U(17)),
                     ]),
                     Val::obj(vec![
                         ("name", Val::S("chain_revoke_local".into())),

@@ -100,6 +100,24 @@ pub struct Kernel {
     /// [`crate::ops::faults`]).
     pub(crate) fault: crate::ops::faults::FaultState,
 
+    /// Promise resolution state, by raw promise key
+    /// (`Feature::PromiseIpc`; see [`crate::ops::promise`]). Never
+    /// iterated on protocol paths without sorting first.
+    pub(crate) promises: DetHashMap<u64, crate::ops::promise::PromiseState>,
+    /// Promise-selector bindings: `(owner, selector)` → raw promise key.
+    /// Kept separate from the capability tables so the classic selector
+    /// paths never see promise selectors.
+    pub(crate) promise_binds: DetHashMap<(VpeId, semper_base::CapSel), u64>,
+    /// The most recently submitted promise per VPE — the gate the next
+    /// `SubmitAsync` chains behind (program-order pipelining).
+    pub(crate) async_pipeline_tail: DetHashMap<VpeId, u64>,
+    /// In-flight asynchronous inner executions: `(owner, reserved tag)`
+    /// → raw promise key. The reply funnel resolves through this index;
+    /// a missing entry means the owner died and the late result drops.
+    pub(crate) async_execs: DetHashMap<(VpeId, u64), u64>,
+    /// Next reserved reply tag for asynchronous inner executions.
+    pub(crate) next_async_tag: u64,
+
     pub(crate) stats: KernelStats,
 }
 
@@ -149,6 +167,11 @@ impl Kernel {
             active_migrations: Vec::new(),
             migration_failures: Vec::new(),
             fault: Default::default(),
+            promises: DetHashMap::default(),
+            promise_binds: DetHashMap::default(),
+            async_pipeline_tail: DetHashMap::default(),
+            async_execs: DetHashMap::default(),
+            next_async_tag: crate::ops::promise::ASYNC_TAG_BASE,
             stats: KernelStats::default(),
         }
     }
@@ -320,6 +343,16 @@ impl Kernel {
         tag: u64,
         result: Result<SysReplyData>,
     ) {
+        if tag >= crate::ops::promise::ASYNC_TAG_BASE {
+            // Completion of an asynchronous inner execution: resolve the
+            // promise instead of messaging the VPE. A missing index entry
+            // means the owner died mid-flight; the late result drops.
+            if let Some(key) = self.async_execs.remove(&(vpe, tag)) {
+                let c = self.promise_exec_done(key, result, out);
+                self.bulk_extra_cost += c;
+            }
+            return;
+        }
         if let Some(&op) = self.bulk_by_vpe.get(&vpe) {
             self.bulk_item_done(op, tag as usize, result, out);
             return;
@@ -501,28 +534,52 @@ impl Kernel {
                 return entry;
             }
         }
-        entry
-            + match call {
-                Syscall::Noop => {
-                    self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
-                    self.cfg.cost.syscall_exit
-                }
-                Syscall::CreateMem { size, perms } => {
-                    self.sys_create_mem(vpe, tag, *size, *perms, out)
-                }
-                Syscall::DeriveMem { src, offset, size, perms } => {
-                    self.sys_derive_mem(vpe, tag, *src, *offset, *size, *perms, out)
-                }
-                Syscall::Exchange { other, own_sel, other_sel, kind } => {
-                    self.sys_exchange(vpe, tag, *other, *own_sel, *other_sel, *kind, out)
-                }
-                Syscall::Revoke { sel, own } => self.sys_revoke(vpe, tag, *sel, *own, out),
-                Syscall::CreateSrv { name } => self.sys_create_srv(vpe, tag, *name, out),
-                Syscall::OpenSession { name } => self.sys_open_session(vpe, tag, *name, out),
-                Syscall::Activate { sel, ep } => self.sys_activate(vpe, tag, *sel, *ep, out),
-                Syscall::Exit => self.sys_exit(vpe, out),
-                Syscall::Batch(items) => self.sys_batch(vpe, tag, items, out),
+        // A call naming a promise selector is a dependent call: it
+        // severs, parks, or replays through the promise engine instead
+        // of the classic handlers (`Feature::PromiseIpc` only; the
+        // bindings map is empty otherwise, so the classic path is
+        // untouched).
+        if !self.promise_binds.is_empty() {
+            if let Some(cost) = self.sys_promise_dependent(vpe, tag, call, out) {
+                return entry + cost;
             }
+        }
+        entry + self.dispatch_syscall(vpe, tag, call, out)
+    }
+
+    /// Dispatches one syscall to its handler (the tail of
+    /// [`Kernel::handle_syscall`], shared with promise-dependent call
+    /// replay).
+    pub(crate) fn dispatch_syscall(
+        &mut self,
+        vpe: VpeId,
+        tag: u64,
+        call: &Syscall,
+        out: &mut Outbox,
+    ) -> u64 {
+        match call {
+            Syscall::Noop => {
+                self.reply_sys(out, vpe, tag, Ok(SysReplyData::None));
+                self.cfg.cost.syscall_exit
+            }
+            Syscall::CreateMem { size, perms } => self.sys_create_mem(vpe, tag, *size, *perms, out),
+            Syscall::DeriveMem { src, offset, size, perms } => {
+                self.sys_derive_mem(vpe, tag, *src, *offset, *size, *perms, out)
+            }
+            Syscall::Exchange { other, own_sel, other_sel, kind } => {
+                self.sys_exchange(vpe, tag, *other, *own_sel, *other_sel, *kind, out)
+            }
+            Syscall::Revoke { sel, own } => self.sys_revoke(vpe, tag, *sel, *own, out),
+            Syscall::CreateSrv { name } => self.sys_create_srv(vpe, tag, *name, out),
+            Syscall::OpenSession { name } => self.sys_open_session(vpe, tag, *name, out),
+            Syscall::Activate { sel, ep } => self.sys_activate(vpe, tag, *sel, *ep, out),
+            Syscall::Exit => self.sys_exit(vpe, out),
+            Syscall::Batch(items) => self.sys_batch(vpe, tag, items, out),
+            Syscall::SubmitAsync(inner) => self.sys_submit_async(vpe, tag, inner, out),
+            Syscall::WaitPromise { sel, block } => {
+                self.sys_wait_promise(vpe, tag, *sel, *block, out)
+            }
+        }
     }
 
     // ----- VPE lifecycle ------------------------------------------------
@@ -587,6 +644,14 @@ impl Kernel {
         // `vpe_alive` when their replies arrive (producing orphan
         // cleanups per §4.3.2).
         self.cancel_upcall_waiters(vpe, out);
+        // Drop the dying VPE's promise state; in-flight invocations
+        // land in dropped slots via the reserved-tag reply funnel.
+        if !self.promise_binds.is_empty()
+            || !self.promises.is_empty()
+            || !self.async_pipeline_tail.is_empty()
+        {
+            self.teardown_promises(vpe, out);
+        }
         // Revoke all capabilities still in the VPE's table, starting at
         // the roots we own. Children in other groups are reached by the
         // revocation protocol itself.

@@ -263,10 +263,15 @@ impl Kernel {
             Syscall::CreateSrv { name } => self.sys_create_srv(vpe, tag, name, out),
             Syscall::OpenSession { name } => self.sys_open_session(vpe, tag, name, out),
             Syscall::Activate { sel, ep } => self.sys_activate(vpe, tag, sel, ep, out),
-            Syscall::Exit | Syscall::Batch(_) => {
+            Syscall::Exit
+            | Syscall::Batch(_)
+            | Syscall::SubmitAsync(_)
+            | Syscall::WaitPromise { .. } => {
                 // Exit has no reply to batch; nested batches would nest
-                // the one-blocking-syscall invariant. Both are rejected
-                // per item so the rest of the batch still runs.
+                // the one-blocking-syscall invariant; the promise calls
+                // have their own pipelining and would tangle the batch's
+                // reply funnel. All are rejected per item so the rest of
+                // the batch still runs.
                 self.reply_sys(out, vpe, tag, Err(Error::new(Code::NotSupported)));
                 0
             }

@@ -39,7 +39,7 @@ use semper_base::{Code, DetHashMap, Error, KernelId, OpId};
 
 use crate::kernel::Kernel;
 use crate::ops::revoke::ReadyOp;
-use crate::ops::{exchange, migrate, revoke, session, sweep, PendingOp};
+use crate::ops::{exchange, migrate, promise, revoke, session, sweep, PendingOp};
 use crate::outbox::Outbox;
 
 /// How many times an expired op re-sends its recorded request legs
@@ -290,6 +290,18 @@ impl Kernel {
                 // force-completes it.
                 migrate::Phase::Draining(_) => false,
             },
+            PendingOp::Promise(p) => match p {
+                // An eager provide without its consent verdict waits on
+                // the receiver's kernel; once the verdict arrived it
+                // waits only on the local operand gate.
+                promise::Phase::ProvidePending(prov) => {
+                    prov.consent.is_none() && prov.peer_kernel == dead
+                }
+                promise::Phase::AwaitResolved { peer_kernel, .. }
+                | promise::Phase::AwaitInsert { peer_kernel, .. } => *peer_kernel == dead,
+                promise::Phase::ConsentAtRecv { caller_kernel, .. }
+                | promise::Phase::AwaitResolve { caller_kernel, .. } => *caller_kernel == dead,
+            },
             PendingOp::Bulk(_) => false,
         }
     }
@@ -429,6 +441,46 @@ impl Kernel {
                     self.migration_complete(vpe, held, out)
                 }
             },
+            PendingOp::Promise(phase) => match phase {
+                // The consent verdict never arrived (or the operand gate
+                // never opened before the deadline — conservatively the
+                // same surgery): release B's pending state if consent
+                // was granted, and fail the promise.
+                promise::Phase::ProvidePending(p) => {
+                    if let Some(Ok(b_op)) = p.consent {
+                        self.send_resolve_abort(p.peer_kernel, b_op, err, out);
+                    }
+                    exit + self.resolve_promise(p.promise, Err(err), out)
+                }
+                promise::Phase::AwaitResolved { promise, .. } => {
+                    exit + self.resolve_promise(promise, Err(err), out)
+                }
+                // The receiver inserted (or will insert) the child; we
+                // can no longer learn which — same orphan discipline as
+                // the classic delegate's `DelegateWaitDone` abort.
+                promise::Phase::AwaitInsert { promise, parent_key, child_key, linked, .. } => {
+                    if linked {
+                        self.mapdb.unlink_child(parent_key, child_key);
+                    }
+                    self.stats.orphans_cleaned += 1;
+                    exit + self.resolve_promise(promise, Err(err), out)
+                }
+                // The receiving VPE never answered the consent upcall:
+                // meet the reply obligation towards A with the error.
+                promise::Phase::ConsentAtRecv { caller_op, caller_kernel, .. } => {
+                    if !self.fault.dead_peers.contains(&caller_kernel) {
+                        self.send_kreply(
+                            out,
+                            caller_kernel,
+                            KReply::Provide { op: caller_op, result: Err(err) },
+                        );
+                    }
+                    exit
+                }
+                // Never inserted anything — dropping the pending state
+                // is safe and complete (§4.3.2 discipline).
+                promise::Phase::AwaitResolve { .. } => 0,
+            },
             // Batch trackers never arm deadlines and wait on no peer;
             // defensive re-insert if one ever lands here.
             state @ PendingOp::Bulk(_) => {
@@ -504,6 +556,26 @@ impl Kernel {
         }
         if !self.bulk_by_vpe.is_empty() {
             return Err(format!("kernel {}: active batched syscalls at quiescence", self.id));
+        }
+        let mut unresolved: Vec<u64> = self
+            .promises
+            .iter()
+            .filter(|(_, p)| p.resolved.is_none() || !p.waiters.is_empty())
+            .map(|(k, _)| *k)
+            .collect();
+        if !unresolved.is_empty() {
+            unresolved.sort_unstable();
+            return Err(format!(
+                "kernel {}: unresolved promises (or parked waiters) at quiescence: {unresolved:?}",
+                self.id
+            ));
+        }
+        if !self.async_execs.is_empty() {
+            return Err(format!(
+                "kernel {}: {} in-flight async executions at quiescence",
+                self.id,
+                self.async_execs.len()
+            ));
         }
         let mut stalled: Vec<(KernelId, usize)> =
             self.kqueue.iter().filter(|(_, q)| !q.is_empty()).map(|(k, q)| (*k, q.len())).collect();

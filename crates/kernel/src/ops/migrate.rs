@@ -231,6 +231,11 @@ impl Kernel {
         if self.pending.iter().any(|(_, p)| p.references_vpe(vpe)) {
             return Err(Error::new(Code::RevokeInProgress));
         }
+        // Promise state never migrates (keys index kernel-local
+        // resolution queues); refuse while the VPE owns any.
+        if self.vpe_has_promise_state(vpe) {
+            return Err(Error::new(Code::RevokeInProgress));
+        }
 
         // Marshal the group in selector order (the table's iteration
         // order is protocol-visible and deterministic). One reference
@@ -525,6 +530,7 @@ impl Kernel {
             Syscall::Batch(items) => {
                 items.iter().find_map(|item| self.syscall_touches_migrating(vpe, item))
             }
+            Syscall::SubmitAsync(inner) => self.syscall_touches_migrating(vpe, inner),
             _ => None,
         }
     }
@@ -544,6 +550,7 @@ impl Kernel {
                 cap_keys.iter().find_map(|k| self.subtree_touches_migrating(*k))
             }
             Kcall::KillVpe { vpe } => self.migration_of_vpe(*vpe),
+            Kcall::Provide { recv_vpe, .. } => self.migration_of_vpe(*recv_vpe),
             _ => None,
         }
     }
@@ -583,6 +590,7 @@ impl Kernel {
             Kcall::RevokeReq { cap_key, .. } => self.membership.kernel_of_key(*cap_key),
             Kcall::OrphanNotice { parent_key, .. } => self.membership.kernel_of_key(*parent_key),
             Kcall::KillVpe { vpe } => self.kernel_of_vpe(*vpe).ok()?,
+            Kcall::Provide { recv_vpe, .. } => self.kernel_of_vpe(*recv_vpe).ok()?,
             _ => return None,
         };
         (owner != self.id).then_some(owner)

@@ -65,6 +65,7 @@ pub mod faults;
 pub mod ledger;
 pub mod memops;
 pub mod migrate;
+pub mod promise;
 pub mod revoke;
 pub mod session;
 pub mod sweep;
@@ -201,6 +202,9 @@ pub enum PendingOp {
     /// A batched system call ([`bulk`]): N capability operations in one
     /// message, executed in order with coalesced revoke fan-outs.
     Bulk(bulk::Phase),
+    /// Promise-capability IPC ([`promise`]): the eager-provide legs of
+    /// an asynchronous cross-kernel delegate (`Feature::PromiseIpc`).
+    Promise(promise::Phase),
 }
 
 impl PendingOp {
@@ -213,6 +217,7 @@ impl PendingOp {
             PendingOp::Sweep(p) => p.spec(),
             PendingOp::Migrate(p) => p.spec(),
             PendingOp::Bulk(p) => p.spec(),
+            PendingOp::Promise(p) => p.spec(),
         }
     }
 
@@ -257,6 +262,7 @@ impl PendingOp {
     pub fn upcall_responder(&self) -> Option<VpeId> {
         match self {
             PendingOp::Exchange(p) => p.upcall_responder(),
+            PendingOp::Promise(p) => p.upcall_responder(),
             _ => None,
         }
     }
@@ -277,6 +283,7 @@ impl PendingOp {
             PendingOp::Sweep(p) => p.references_vpe(vpe),
             PendingOp::Migrate(p) => p.references_vpe(vpe),
             PendingOp::Bulk(p) => p.references_vpe(vpe),
+            PendingOp::Promise(p) => p.references_vpe(vpe),
         }
     }
 }
@@ -361,6 +368,12 @@ impl Kernel {
             Kcall::MembershipUpdate { op, pe, new_kernel } => {
                 self.membership_update(from, *op, *pe, *new_kernel, out)
             }
+            Kcall::Provide { op, from_vpe, recv_vpe } => {
+                self.promise_provide_request(from, *op, *from_vpe, *recv_vpe, out)
+            }
+            Kcall::Resolve { op, reply_op, result } => {
+                self.promise_resolve_request(from, *op, *reply_op, result, out)
+            }
             Kcall::KillVpe { vpe } => self.kill_vpe_request(*vpe, out),
             Kcall::Forwarded { .. } => unreachable!("unwrapped above"),
         }
@@ -407,6 +420,7 @@ impl Kernel {
     ) -> u64 {
         use exchange::Phase as Ex;
         use migrate::Phase as Mig;
+        use promise::Phase as Pr;
         use session::Phase as Sess;
 
         let op = reply.op();
@@ -443,6 +457,19 @@ impl Kernel {
             (PendingOp::Migrate(Mig::Draining(drain)), KReply::MembershipAck { .. }) => {
                 self.migrate_ack(op, drain, out)
             }
+            (PendingOp::Promise(Pr::ProvidePending(p)), KReply::Provide { result, .. }) => {
+                self.promise_provide_reply(op, p, result, out)
+            }
+            (
+                PendingOp::Promise(Pr::AwaitResolved { promise, parent_key, .. }),
+                KReply::Resolved { result, .. },
+            ) => self.promise_resolved_reply(from, op, promise, parent_key, result, out),
+            (
+                PendingOp::Promise(Pr::AwaitInsert {
+                    promise, parent_key, child_key, linked, ..
+                }),
+                KReply::DelegateDone { result, .. },
+            ) => self.promise_insert_done(promise, parent_key, child_key, linked, result, out),
             (state, reply) => {
                 // Under fault injection: a duplicated reply arriving
                 // after the op legitimately advanced to another phase.
@@ -465,6 +492,7 @@ impl Kernel {
         out: &mut Outbox,
     ) -> u64 {
         use exchange::Phase as Ex;
+        use promise::Phase as Pr;
         use session::Phase as Sess;
 
         let op = match reply {
@@ -527,6 +555,10 @@ impl Kernel {
                 out,
             ),
             (
+                PendingOp::Promise(Pr::ConsentAtRecv { caller_op, caller_kernel, recv, .. }),
+                UpcallReply::AcceptExchange { accept, .. },
+            ) => self.promise_consent_accept(caller_op, caller_kernel, recv, *accept, out),
+            (
                 PendingOp::Session(Sess::OpenLocal { tag, client, child_key, srv }),
                 UpcallReply::SessionOpen { result, .. },
             ) => self.session_local_accept(tag, client, child_key, srv, *result, out),
@@ -560,6 +592,22 @@ impl Kernel {
             let p = self.pending.remove(op).expect("collected above");
             match p {
                 PendingOp::Exchange(phase) => self.cancel_exchange_phase(phase, out),
+                PendingOp::Promise(promise::Phase::ConsentAtRecv {
+                    caller_op,
+                    caller_kernel,
+                    ..
+                }) => {
+                    // The receiving VPE died mid-consent: report the
+                    // verdict the sender's promise will resolve to.
+                    self.send_kreply(
+                        out,
+                        caller_kernel,
+                        KReply::Provide {
+                            op: caller_op,
+                            result: Err(semper_base::Error::new(semper_base::Code::VpeGone)),
+                        },
+                    );
+                }
                 other => unreachable!("{} does not await consent upcalls", other.spec().name),
             }
         }
